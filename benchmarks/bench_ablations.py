@@ -1,0 +1,144 @@
+"""Benchmark A1: ablations of the model's root-cause mechanisms.
+
+DESIGN.md commits each paper-claimed root cause to one calibration knob.
+These ablations switch one knob off at a time and verify that exactly
+the corresponding phenomenon disappears — evidence that the reproduction
+captures the paper's causal story rather than curve-fitting the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Calibration,
+    CassandraWorkload,
+    FfmpegWorkload,
+    MpiSearchWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.rng import RngFactory
+
+
+def measure(wl, kind, inst, mode, calib, label):
+    factory = RngFactory()
+    return run_once(
+        wl,
+        make_platform(kind, instance_type(inst), mode),
+        r830_host(),
+        calib,
+        rng=factory.fresh_stream(label, rep=0),
+    ).value
+
+
+def test_ablation_cgroup_accounting(benchmark):
+    """A1.1: free cgroups accounting erases the small-vanilla-CN PSO
+    for CPU-bound work (Section IV-B attribution)."""
+
+    def run():
+        base, ablated = Calibration(), Calibration().without_cgroup_accounting()
+        wl = FfmpegWorkload()
+        return {
+            "bm": measure(wl, "BM", "Large", "vanilla", base, "a1"),
+            "cn": measure(wl, "CN", "Large", "vanilla", base, "a1"),
+            "cn_ablated": measure(wl, "CN", "Large", "vanilla", ablated, "a1"),
+        }
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    with_acct = m["cn"] / m["bm"]
+    without = m["cn_ablated"] / m["bm"]
+    print(
+        f"\nA1.1 vanilla CN Large / BM: x{with_acct:.2f} with accounting, "
+        f"x{without:.2f} without"
+    )
+    assert with_acct > 1.3
+    assert without < 1.0 + (with_acct - 1.0) * 0.55
+
+
+def test_ablation_migration_penalty(benchmark):
+    """A1.2: free migrations erase the pinned-vs-vanilla gap for
+    IO-intensive work (Section III-B3/IV-C attribution)."""
+
+    def run():
+        base, ablated = Calibration(), Calibration().without_migration_penalty()
+        wl = CassandraWorkload()
+        out = {}
+        for name, calib in (("base", base), ("ablated", ablated)):
+            out[name] = {
+                mode: measure(wl, "CN", "xLarge", mode, calib, "a2")
+                for mode in ("vanilla", "pinned")
+            }
+        return out
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap_base = m["base"]["vanilla"] / m["base"]["pinned"]
+    gap_ablated = m["ablated"]["vanilla"] / m["ablated"]["pinned"]
+    print(
+        f"\nA1.2 Cassandra xLarge vanilla/pinned CN gap: x{gap_base:.2f} "
+        f"with migration costs, x{gap_ablated:.2f} without"
+    )
+    assert gap_base > 2.0
+    assert gap_ablated < 1.0 + (gap_base - 1.0) * 0.5
+
+
+def test_ablation_hypervisor_comm(benchmark):
+    """A1.3: without hypervisor-mediated communication amortization, VM
+    overhead for MPI persists at large sizes (Section III-B2-ii)."""
+
+    def run():
+        base = Calibration()
+        ablated = Calibration().without_hypervisor_comm_mediation()
+        wl = MpiSearchWorkload()
+        out = {}
+        for name, calib in (("base", base), ("ablated", ablated)):
+            out[name] = {
+                kind: measure(wl, kind, "16xLarge", "vanilla", calib, "a3")
+                for kind in ("BM", "VM")
+            }
+        return out
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_ratio = m["base"]["VM"] / m["base"]["BM"]
+    ablated_ratio = m["ablated"]["VM"] / m["ablated"]["BM"]
+    print(
+        f"\nA1.3 MPI 16xLarge VM/BM: x{base_ratio:.2f} with mediation, "
+        f"x{ablated_ratio:.2f} without"
+    )
+    assert base_ratio < 1.1
+    assert ablated_ratio > 1.3
+
+
+def test_ablation_multitask_inflation(benchmark):
+    """A1.4: with fixed timeslices and no cache contention, the Fig-8
+    multitasking effect flattens (Section IV-D attribution)."""
+
+    def run():
+        base = Calibration()
+        ablated = Calibration().without_multitask_inflation()
+        out = {}
+        for name, calib in (("base", base), ("ablated", ablated)):
+            out[name] = {
+                tasks: measure(
+                    FfmpegWorkload() if tasks == 1 else FfmpegWorkload().split(30),
+                    "CN",
+                    "4xLarge",
+                    "vanilla",
+                    calib,
+                    "a4",
+                )
+                for tasks in (1, 30)
+            }
+        return out
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_blowup = m["base"][30] / m["base"][1]
+    ablated_blowup = m["ablated"][30] / m["ablated"][1]
+    print(
+        f"\nA1.4 FFmpeg 30-task/1-task: x{base_blowup:.2f} with multitask "
+        f"inflation, x{ablated_blowup:.2f} without"
+    )
+    assert base_blowup > 2.0
+    assert ablated_blowup < 1.0 + (base_blowup - 1.0) * 0.5

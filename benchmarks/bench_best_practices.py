@@ -1,0 +1,114 @@
+"""Benchmark X3: Section VI — validate the best practices empirically.
+
+For each of the paper's five deployment rules, run the configurations
+the rule compares and check the measured data supports the rule; then
+check the advisor recommends accordingly.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.bestpractices import BestPracticeAdvisor
+from repro.platforms.base import PlatformKind
+from repro.rng import RngFactory
+from repro.sched.affinity import ProvisioningMode
+
+
+def measure(wl, kind, inst_name, mode, rep=0):
+    factory = RngFactory()
+    return run_once(
+        wl,
+        make_platform(kind, instance_type(inst_name), mode),
+        r830_host(),
+        rng=factory.fresh_stream(f"bp/{wl.name}/{inst_name}", rep=rep),
+    ).value
+
+
+def run_rule_measurements():
+    wp, cass, ff = WordPressWorkload(), CassandraWorkload(), FfmpegWorkload()
+    return {
+        # rule 1: small vanilla containers are bad for any app type
+        "rule1_small_vanilla_cn": measure(ff, "CN", "Large", "vanilla"),
+        "rule1_small_pinned_cn": measure(ff, "CN", "Large", "pinned"),
+        # rule 2: pinned CN is the best platform for CPU-intensive apps
+        "rule2": {
+            (kind, mode): measure(ff, kind, "xLarge", mode)
+            for kind, mode in (
+                ("CN", "pinned"),
+                ("CN", "vanilla"),
+                ("VM", "pinned"),
+                ("VMCN", "pinned"),
+            )
+        },
+        # rule 3: pinning VMs does not pay for CPU-bound apps
+        "rule3_vanilla_vm": measure(ff, "VM", "xLarge", "vanilla"),
+        "rule3_pinned_vm": measure(ff, "VM", "xLarge", "pinned"),
+        # rule 4: for IO apps without pinning, VMCN beats VM and vanilla CN
+        "rule4": {
+            kind: measure(wp, kind, "xLarge", "vanilla")
+            for kind in ("VMCN", "VM", "CN")
+        },
+        # rule 5: sizing into the CHR band removes the PSO
+        "rule5_in_band": measure(cass, "CN", "16xLarge", "vanilla"),
+        "rule5_in_band_bm": measure(cass, "BM", "16xLarge", "vanilla"),
+        "rule5_below_band": measure(cass, "CN", "xLarge", "vanilla"),
+        "rule5_below_band_bm": measure(cass, "BM", "xLarge", "vanilla"),
+    }
+
+
+def test_best_practices_hold(benchmark):
+    m = benchmark.pedantic(run_rule_measurements, rounds=1, iterations=1)
+
+    print("\nSection VI best practices, validated on measured data:")
+
+    r1 = m["rule1_small_vanilla_cn"] / m["rule1_small_pinned_cn"]
+    print(f"  1. small vanilla CN costs x{r1:.2f} over pinned -> avoid")
+    assert r1 > 1.3
+
+    best = min(m["rule2"], key=m["rule2"].get)
+    print(f"  2. best xLarge platform for FFmpeg: {best[1]} {best[0]}")
+    assert best == ("CN", "pinned")
+
+    r3 = m["rule3_vanilla_vm"] / m["rule3_pinned_vm"]
+    print(f"  3. pinning a VM for FFmpeg gains only x{r3:.3f} -> don't bother")
+    assert r3 < 1.10
+
+    order = sorted(m["rule4"], key=m["rule4"].get)
+    print(f"  4. IO app without pinning, best first: {order}")
+    assert m["rule4"]["VMCN"] < m["rule4"]["CN"]
+
+    in_band = m["rule5_in_band"] / m["rule5_in_band_bm"]
+    below = m["rule5_below_band"] / m["rule5_below_band_bm"]
+    print(
+        f"  5. Cassandra vanilla CN: in CHR band x{in_band:.2f}, "
+        f"below band x{below:.2f}"
+    )
+    assert in_band < 1.3 < below
+
+
+def test_advisor_agrees_with_measurements(benchmark):
+    advisor = BestPracticeAdvisor(host=r830_host())
+
+    def recommend_all():
+        return {
+            wl.name: advisor.recommend(wl.profile())
+            for wl in (FfmpegWorkload(), WordPressWorkload(), CassandraWorkload())
+        }
+
+    recs = benchmark.pedantic(recommend_all, rounds=1, iterations=1)
+    print("\nAdvisor recommendations:")
+    for name, rec in recs.items():
+        print(
+            f"  {name:<10s} -> {rec.mode.value} {rec.platform.value}, "
+            f"{rec.suggested_cores} cores ({rec.chr_range})"
+        )
+        assert rec.platform is PlatformKind.CN
+        assert rec.mode is ProvisioningMode.PINNED

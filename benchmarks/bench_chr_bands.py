@@ -1,0 +1,74 @@
+"""Benchmark X1: Section IV-A — suitable-CHR ranges per application class.
+
+Regenerates the paper's central cross-application analysis: sweep the
+vanilla-CN overhead ratio across instance sizes for each application,
+read off where the PSO vanishes, and compare the resulting CHR band with
+the paper's (FFmpeg 0.07-0.14, WordPress 0.14-0.28, Cassandra 0.28-0.57).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    WordPressWorkload,
+    r830_host,
+    run_platform_sweep,
+)
+from repro.analysis.chr import estimate_suitable_chr_range
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type, instance_types_upto
+
+PAPER_BANDS = {
+    "FFmpeg": (0.07, 0.14),
+    "WordPress": (0.14, 0.28),
+    "Cassandra": (0.28, 0.57),
+}
+
+BIG = [
+    instance_type(n)
+    for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+]
+
+
+def run_bands():
+    host = r830_host()
+    sweeps = {
+        "FFmpeg": run_platform_sweep(FfmpegWorkload(), instance_types_upto(16), reps=3),
+        "WordPress": run_platform_sweep(WordPressWorkload(), BIG, reps=2),
+        "Cassandra": run_platform_sweep(CassandraWorkload(), BIG, reps=3),
+    }
+    return {
+        name: (estimate_suitable_chr_range(sweep, host), sweep)
+        for name, sweep in sweeps.items()
+    }
+
+
+def test_chr_bands(benchmark, results_dir):
+    bands = benchmark.pedantic(run_bands, rounds=1, iterations=1)
+    print("\nSection IV-A: suitable CHR ranges (measured vs paper)")
+    print(f"{'application':<12s} {'measured':<22s} {'paper':<18s} ratios")
+    for name, (band, sweep) in bands.items():
+        lo, hi = PAPER_BANDS[name]
+        ratios = " ".join(
+            f"{r:4.2f}" for r in overhead_ratios(sweep, "Vanilla CN")
+        )
+        print(
+            f"{name:<12s} {str(band):<22s} "
+            f"{lo:.2f} < CHR < {hi:.2f}   [{ratios}]"
+        )
+        sweep.save(results_dir / f"chr_band_{name.lower()}.json")
+
+    for name, (band, _) in bands.items():
+        lo, hi = PAPER_BANDS[name]
+        assert band.low == pytest.approx(lo, abs=0.02), name
+        assert band.high == pytest.approx(hi, abs=0.02), name
+
+    # IO-intensive applications require a higher CHR than CPU-intensive
+    assert (
+        bands["FFmpeg"][0].high
+        <= bands["WordPress"][0].high
+        <= bands["Cassandra"][0].high
+    )

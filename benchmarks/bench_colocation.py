@@ -1,0 +1,75 @@
+"""Benchmark X5: consolidation interference (beyond the paper's isolation).
+
+The paper measures every platform in isolation (Section III-A).  This
+bench quantifies what that isolation assumption hides: three tenants
+co-located on the R830 under vanilla vs pinned provisioning, reporting
+per-tenant interference factors through the two-level scheduler and the
+shared-disk model.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    Tenant,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_colocated,
+)
+from repro.hostmodel.storage import StorageModel
+
+
+def tenants(mode: str) -> list[Tenant]:
+    return [
+        Tenant(
+            FfmpegWorkload(),
+            make_platform("CN", instance_type("4xLarge"), mode),
+            label="transcoder",
+        ),
+        Tenant(
+            CassandraWorkload(),
+            make_platform("CN", instance_type("8xLarge"), mode),
+            label="nosql-store",
+        ),
+        Tenant(
+            WordPressWorkload(),
+            make_platform("CN", instance_type("4xLarge"), mode),
+            label="web-tier",
+        ),
+    ]
+
+
+def run_study():
+    disk = StorageModel(effective_concurrency=24, write_penalty=1.6)
+    return {
+        mode: run_colocated(tenants(mode), host=r830_host(), storage=disk)
+        for mode in ("vanilla", "pinned")
+    }
+
+
+def test_consolidation_interference(benchmark):
+    results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    print("\nConsolidation on the R830 (3 tenants):")
+    for mode, res in results.items():
+        print(f"\n  {mode}:")
+        for label in res.colocated:
+            print(
+                f"    {label:<12s} isolated {res.isolated[label]:7.2f}s  "
+                f"colocated {res.colocated[label]:7.2f}s  "
+                f"x{res.interference(label):5.2f}"
+            )
+
+    for mode, res in results.items():
+        # CPU-ample host: the CPU-bound tenant is barely disturbed ...
+        assert res.interference("transcoder") < 1.1, mode
+        # ... the disk-bound tenant carries the interference
+        worst, factor = res.worst_interference()
+        assert worst == "nosql-store", mode
+        assert factor > 1.3, mode
+
+    # pinning cannot partition the shared disk: the IO tenant's
+    # interference persists under pinned provisioning
+    assert results["pinned"].interference("nosql-store") > 1.3

@@ -1,0 +1,51 @@
+"""Engine micro-benchmarks: simulation throughput itself.
+
+Not a paper artifact — these track the performance of the simulator so
+that regressions in the vectorized event loop are caught.  Timed with
+full pytest-benchmark statistics (multiple rounds), unlike the one-shot
+figure benches.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.rng import RngFactory
+
+
+def _run(wl, kind="CN", inst="xLarge", mode="vanilla"):
+    rng = RngFactory().fresh_stream("perf")
+    return run_once(
+        wl, make_platform(kind, instance_type(inst), mode), r830_host(), rng=rng
+    )
+
+
+def test_perf_ffmpeg_run(benchmark):
+    """One FFmpeg transcode simulation (tens of threads, barriers)."""
+    result = benchmark(_run, FfmpegWorkload())
+    assert result.value > 0
+
+
+def test_perf_wordpress_run(benchmark):
+    """One WordPress run: 1000 single-thread processes."""
+    result = benchmark(_run, WordPressWorkload())
+    assert result.value > 0
+
+
+def test_perf_cassandra_run(benchmark):
+    """One Cassandra run: 100 threads x 1000 marked operations."""
+    result = benchmark(_run, CassandraWorkload())
+    assert result.value > 0
+
+
+def test_perf_multitask_run(benchmark):
+    """The heaviest engine case: 480 threads with barriers (Fig 8)."""
+    result = benchmark(_run, FfmpegWorkload().split(30), inst="4xLarge")
+    assert result.value > 0

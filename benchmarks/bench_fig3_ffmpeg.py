@@ -1,0 +1,49 @@
+"""Benchmark F3: regenerate Fig. 3 — FFmpeg across platforms and sizes.
+
+Paper setup: one 30 MB HD clip transcoded AVC -> HEVC on every platform
+configuration, instance types Large..4xLarge (FFmpeg uses at most 16
+threads), 20 repetitions.  We run 10 repetitions (the paired random
+streams make the means stable well before that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report_sweep
+from repro import FfmpegWorkload, run_platform_sweep
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_types_upto
+
+REPS = 10
+
+
+def run_sweep():
+    return run_platform_sweep(
+        FfmpegWorkload(), instance_types_upto(16), reps=REPS
+    )
+
+
+def test_fig3_ffmpeg(benchmark, results_dir):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report_sweep(
+        sweep,
+        title="Fig. 3: FFmpeg execution time (s) per platform and instance type",
+        results_dir=results_dir,
+        filename="fig3_ffmpeg.json",
+    )
+
+    # shape assertions — the paper's Fig-3 observations
+    vm = overhead_ratios(sweep, "Vanilla VM")
+    assert np.all(vm >= 1.9), "VM should stay at >= ~2x BM (PTO)"
+    assert np.ptp(vm) < 0.4, "VM ratio should be roughly constant"
+
+    vmcn = overhead_ratios(sweep, "Vanilla VMCN")
+    assert vmcn[0] > 3.3, "VMCN should peak near 4x at Large"
+    assert vmcn[-1] < vmcn[0] * 0.7, "VMCN overhead should decay with cores"
+
+    cn = overhead_ratios(sweep, "Vanilla CN")
+    assert cn[0] > 1.3 and cn[-1] < 1.1, "vanilla-CN PSO should decay"
+
+    pinned_cn = overhead_ratios(sweep, "Pinned CN")
+    assert np.all(pinned_cn < 1.05), "pinned CN should match BM"

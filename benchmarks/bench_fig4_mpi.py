@@ -1,0 +1,47 @@
+"""Benchmark F4: regenerate Fig. 4 — MPI Search across platforms and sizes.
+
+Paper setup: MPI Search (parallel integer search; Prime MPI behaved the
+same), one rank per instance core, xLarge..16xLarge, 20 repetitions; we
+run 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report_sweep
+from repro import MpiSearchWorkload, run_platform_sweep
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type
+
+REPS = 10
+INSTANCES = [
+    instance_type(n) for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+]
+
+
+def run_sweep():
+    return run_platform_sweep(MpiSearchWorkload(), INSTANCES, reps=REPS)
+
+
+def test_fig4_mpi_search(benchmark, results_dir):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report_sweep(
+        sweep,
+        title="Fig. 4: MPI Search execution time (s) per platform and instance type",
+        results_dir=results_dir,
+        filename="fig4_mpi.json",
+    )
+
+    vm = overhead_ratios(sweep, "Vanilla VM")
+    assert vm[0] > 1.4, "xLarge VM overhead should be computation-driven"
+    assert vm[-1] < 1.1, "VM should approach BM at scale (hypervisor comm)"
+
+    cn = sweep.means("Vanilla CN")
+    vmcn = sweep.means("Vanilla VMCN")
+    vm_means = sweep.means("Vanilla VM")
+    assert np.all(cn >= vmcn), "CN should exceed VMCN (Fig 4-i)"
+    assert np.all(vmcn >= vm_means), "VMCN should slightly exceed VM (Fig 4-i)"
+
+    cn_ratios = overhead_ratios(sweep, "Vanilla CN")
+    assert cn_ratios[-1] > 1.25, "containerized overhead ratio persists"

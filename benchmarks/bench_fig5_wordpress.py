@@ -1,0 +1,50 @@
+"""Benchmark F5: regenerate Fig. 5 — WordPress mean response time.
+
+Paper setup: JMeter fires 1 000 simultaneous requests at the same
+WordPress site on each platform; mean response time over 6 evaluations.
+We run 3 repetitions (1 000 requests per run already average the
+per-request noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report_sweep
+from repro import WordPressWorkload, run_platform_sweep
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type
+
+REPS = 3
+INSTANCES = [
+    instance_type(n) for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+]
+
+
+def run_sweep():
+    return run_platform_sweep(WordPressWorkload(), INSTANCES, reps=REPS)
+
+
+def test_fig5_wordpress(benchmark, results_dir):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report_sweep(
+        sweep,
+        title="Fig. 5: WordPress mean response time (s) of 1000 requests",
+        results_dir=results_dir,
+        filename="fig5_wordpress.json",
+    )
+
+    cn = overhead_ratios(sweep, "Vanilla CN")
+    assert cn[0] > 1.7, "vanilla CN should be ~2x BM at small sizes"
+    assert cn[-1] < 1.1, "vanilla CN should approach BM at 16xLarge"
+
+    pinned_cn = overhead_ratios(sweep, "Pinned CN")
+    assert np.all(pinned_cn <= 1.02), "pinned CN should be the lowest"
+
+    assert np.all(
+        sweep.means("Pinned VM") < sweep.means("Vanilla VM")
+    ), "pinned VM consistently below vanilla VM (Fig 5-ii)"
+
+    vm = overhead_ratios(sweep, "Vanilla VM")
+    vmcn = overhead_ratios(sweep, "Vanilla VMCN")
+    assert vmcn[-1] < vm[-1], "VMCN mitigates VM overhead where IO dominates"

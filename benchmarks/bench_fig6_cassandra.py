@@ -1,0 +1,75 @@
+"""Benchmark F6: regenerate Fig. 6 — Cassandra mean response time.
+
+Paper setup: cassandra-stress submits 1 000 operations (25 % writes)
+within one second from 100 threads; 20 repetitions; the Large instance
+thrashes and is excluded as out-of-range.  We run 5 repetitions and also
+verify the Large-instance thrash flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report_sweep
+from repro import (
+    CassandraWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+    run_platform_sweep,
+)
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type as it
+
+REPS = 5
+INSTANCES = [
+    it(n) for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+]
+
+
+def run_sweep():
+    return run_platform_sweep(CassandraWorkload(), INSTANCES, reps=REPS)
+
+
+def test_fig6_cassandra(benchmark, results_dir):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report_sweep(
+        sweep,
+        title="Fig. 6: Cassandra mean response time (s) of 1000 operations",
+        results_dir=results_dir,
+        filename="fig6_cassandra.json",
+    )
+
+    cn = overhead_ratios(sweep, "Vanilla CN")
+    assert cn[0] > 2.8, "vanilla CN should be ~3x+ BM at xLarge (Fig 6-i)"
+    assert cn[-1] < 1.25, "CN overhead should diminish at 16xLarge"
+
+    pinned = overhead_ratios(sweep, "Pinned CN")
+    assert np.all(pinned[:3] < 1.0), "pinned CN should beat BM (Fig 6-ii)"
+
+    gain = sweep.means("Vanilla CN") / sweep.means("Pinned CN")
+    assert gain[-1] < 1.25, "pinning impact diminishes at 16xLarge (Fig 6-iii)"
+
+    for label in ("Vanilla VM", "Pinned VM"):
+        assert np.all(
+            overhead_ratios(sweep, label)[-2:] > 1.3
+        ), "VM-based overhead grows at 8xLarge+ (Fig 6-iv)"
+
+
+def test_fig6_large_out_of_range(benchmark):
+    """The Large instance thrashes: out of range, as in the paper's note."""
+
+    def run_large():
+        return run_once(
+            CassandraWorkload(),
+            make_platform("BM", instance_type("Large")),
+            r830_host(),
+        )
+
+    result = benchmark.pedantic(run_large, rounds=1, iterations=1)
+    print(
+        f"\nLarge instance: mean response {result.value:.1f}s, "
+        f"thrashed={result.thrashed} (excluded from Fig. 6, as in the paper)"
+    )
+    assert result.thrashed

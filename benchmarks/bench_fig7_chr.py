@@ -1,0 +1,73 @@
+"""Benchmark F7: regenerate Fig. 7 — the CHR effect across two hosts.
+
+Paper setup: the same 4xLarge (16-core) container runs the FFmpeg
+workload on two homogeneous hosts — one with 16 cores (CHR = 1) and the
+R830 with 112 cores (CHR = 0.14) — in vanilla and pinned mode, plus a
+16-core bare-metal reference.
+
+Note: the paper's own Fig. 7 shows a larger CHR=0.14 penalty (~1.4x) than
+its Fig. 3 shows for the identical configuration (~1.05x); this model is
+calibrated consistently against Fig. 3, so the Fig. 7 effect reproduces
+in *direction* with a smaller magnitude (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FfmpegWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.chr import chr_of
+from repro.analysis.stats import summarize
+from repro.hostmodel.topology import small_host
+from repro.rng import RngFactory
+
+REPS = 10
+
+
+def run_fig7():
+    inst = instance_type("4xLarge")
+    hosts = {"16 cores": small_host(16), "112 cores": r830_host()}
+    factory = RngFactory()
+    rows = {}
+    for host_label, host in hosts.items():
+        for kind, mode in (("CN", "vanilla"), ("CN", "pinned"), ("BM", "vanilla")):
+            values = [
+                run_once(
+                    FfmpegWorkload(),
+                    make_platform(kind, inst, mode),
+                    host,
+                    rng=factory.fresh_stream("fig7", rep=rep),
+                    rep=rep,
+                ).value
+                for rep in range(REPS)
+            ]
+            rows[(host_label, f"{mode.capitalize()} {kind}")] = summarize(values)
+    return rows
+
+
+def test_fig7_chr_effect(benchmark):
+    rows = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    inst = instance_type("4xLarge")
+    print("\nFig. 7: FFmpeg on a 4xLarge CN at different CHR values")
+    for host_label, cpus in (("16 cores", 16), ("112 cores", 112)):
+        chr_val = chr_of(inst.cores, small_host(cpus) if cpus == 16 else r830_host())
+        print(f"\n  host {host_label} (CHR = {chr_val:.2f}):")
+        for plat in ("Vanilla CN", "Pinned CN", "Vanilla BM"):
+            s = rows[(host_label, plat)]
+            print(f"    {plat:<11s} {s.mean:7.2f}s +/- {s.ci_half_width:5.3f}")
+
+    # lower CHR -> higher vanilla-CN overhead
+    low_chr = rows[("112 cores", "Vanilla CN")].mean
+    high_chr = rows[("16 cores", "Vanilla CN")].mean
+    assert low_chr > high_chr
+
+    # at CHR = 1 the container matches bare-metal
+    assert rows[("16 cores", "Vanilla CN")].mean == pytest.approx(
+        rows[("16 cores", "Vanilla BM")].mean, rel=0.02
+    )

@@ -1,0 +1,60 @@
+"""Benchmark F8: regenerate Fig. 8 — multitasking amplifies container PSO.
+
+Paper setup: the same 30-second source video is transcoded on a 4xLarge
+CN instance either as one process or split into 30 one-second clips
+processed in parallel, in vanilla and pinned mode.  Total codec work is
+identical; only the degree of multitasking changes.
+"""
+
+from __future__ import annotations
+
+from repro import FfmpegWorkload, instance_type, make_platform, r830_host, run_once
+from repro.analysis.stats import summarize
+from repro.rng import RngFactory
+
+REPS = 10
+
+
+def run_fig8():
+    inst = instance_type("4xLarge")
+    host = r830_host()
+    factory = RngFactory()
+    rows = {}
+    for task_label, wl in (
+        ("1 Large Task", FfmpegWorkload()),
+        ("30 Small Tasks", FfmpegWorkload().split(30)),
+    ):
+        for mode in ("vanilla", "pinned"):
+            values = [
+                run_once(
+                    wl,
+                    make_platform("CN", inst, mode),
+                    host,
+                    rng=factory.fresh_stream(f"fig8/{task_label}", rep=rep),
+                    rep=rep,
+                ).value
+                for rep in range(REPS)
+            ]
+            rows[(task_label, mode)] = summarize(values)
+    return rows
+
+
+def test_fig8_multitasking(benchmark):
+    rows = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print("\nFig. 8: FFmpeg on a 4xLarge CN — multitasking effect")
+    for task in ("1 Large Task", "30 Small Tasks"):
+        for mode in ("vanilla", "pinned"):
+            s = rows[(task, mode)]
+            print(
+                f"  {task:<15s} {mode.capitalize():<8s} "
+                f"{s.mean:6.2f}s +/- {s.ci_half_width:5.3f}"
+            )
+
+    v1 = rows[("1 Large Task", "vanilla")].mean
+    v30 = rows[("30 Small Tasks", "vanilla")].mean
+    p1 = rows[("1 Large Task", "pinned")].mean
+    p30 = rows[("30 Small Tasks", "pinned")].mean
+
+    assert v30 > 2 * v1, "multitasking should amplify vanilla-CN overhead"
+    assert p30 > 1.3 * p1, "even pinned CN pays for multitasking"
+    assert v30 / p30 > v1 / p1, "vanilla suffers more than pinned (PSO)"

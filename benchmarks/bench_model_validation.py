@@ -1,0 +1,79 @@
+"""Benchmark X4: validate the analytical overhead model (Section VI
+future work) against the simulator across the full platform grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    MpiSearchWorkload,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.model import predict_overhead_ratio
+from repro.rng import RngFactory
+
+GRID = [
+    (FfmpegWorkload(), ["Large", "xLarge", "4xLarge"]),
+    (MpiSearchWorkload(), ["xLarge", "4xLarge", "16xLarge"]),
+    (WordPressWorkload(), ["xLarge", "4xLarge", "16xLarge"]),
+    (CassandraWorkload(), ["xLarge", "4xLarge", "16xLarge"]),
+]
+PLATFORMS = [("VM", "vanilla"), ("CN", "vanilla"), ("CN", "pinned"), ("VMCN", "vanilla")]
+
+
+def run_validation():
+    host = r830_host()
+    factory = RngFactory()
+    rows = []
+    for wl, insts in GRID:
+        for inst_name in insts:
+            inst = instance_type(inst_name)
+            bm = run_once(
+                wl,
+                make_platform("BM", inst),
+                host,
+                rng=factory.fresh_stream(f"mv/{wl.name}/{inst_name}", 0),
+            ).value
+            for kind, mode in PLATFORMS:
+                platform = make_platform(kind, inst, mode)
+                sim = (
+                    run_once(
+                        wl,
+                        platform,
+                        host,
+                        rng=factory.fresh_stream(f"mv/{wl.name}/{inst_name}", 0),
+                    ).value
+                    / bm
+                )
+                pred = predict_overhead_ratio(wl, platform, host)
+                rows.append((wl.name, inst_name, platform.label(), pred, sim))
+    return rows
+
+
+def test_model_validation(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    print(
+        f"\n{'workload':<11s} {'instance':<9s} {'platform':<13s} "
+        f"{'predicted':>9s} {'simulated':>9s} {'rel.err':>8s}"
+    )
+    errors = []
+    for wl, inst, label, pred, sim in rows:
+        err = abs(pred - sim) / sim
+        errors.append(err)
+        print(f"{wl:<11s} {inst:<9s} {label:<13s} {pred:9.2f} {sim:9.2f} {err:7.1%}")
+
+    errors = np.asarray(errors)
+    print(
+        f"\nmedian relative error {np.median(errors):.1%}, "
+        f"90th percentile {np.quantile(errors, 0.9):.1%}"
+    )
+    # the closed form should track the simulator closely in the median and
+    # stay within ~2x even at the saturation knee it does not model
+    assert np.median(errors) < 0.10
+    assert errors.max() < 0.60

@@ -1,0 +1,60 @@
+"""Benchmark X6: network-overhead extension (the paper's future work).
+
+Section VI: "we plan to extend the study to incorporate the impact of
+network overhead."  This bench runs the distributed MPI Search job (16
+ranks) over 1, 2 and 4 nodes of each platform kind and reports how the
+platform ordering changes once the exchange crosses the (virtualized)
+network stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.run.distributed import run_mpi_cluster
+from repro.workloads.distributed import DistributedMpiWorkload
+
+KINDS = ("BM", "VM", "CN", "SG")
+NODES = (1, 2, 4)
+RANKS = 16
+
+
+def run_matrix():
+    out = {}
+    for kind in KINDS:
+        for nodes in NODES:
+            wl = DistributedMpiWorkload(n_nodes=nodes, jitter_sigma=0.0)
+            out[(kind, nodes)] = run_mpi_cluster(
+                wl, RANKS, kind, rng=np.random.default_rng(1)
+            ).makespan
+    return out
+
+
+def test_network_extension(benchmark):
+    m = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print(f"\nDistributed MPI Search, {RANKS} ranks (makespan, s):")
+    header = "  ".join(f"{n} node(s)" for n in NODES)
+    print(f"{'platform':<9s} {header}")
+    for kind in KINDS:
+        row = "  ".join(f"{m[(kind, n)]:9.2f}" for n in NODES)
+        print(f"{kind:<9s} {row}")
+
+    print("\nvs BM at the same node count:")
+    for kind in ("VM", "CN", "SG"):
+        ratios = "  ".join(
+            f"{m[(kind, n)] / m[('BM', n)]:9.2f}" for n in NODES
+        )
+        print(f"{kind:<9s} {ratios}")
+
+    # single node reproduces the paper's Fig-4 ordering: CN worst
+    assert m[("CN", 1)] > m[("VM", 1)] > m[("BM", 1)]
+    # across nodes the virtio-net stack flips the ordering: VM worst
+    for n in (2, 4):
+        assert m[("VM", n)] > m[("CN", n)] > m[("BM", n)]
+    # Singularity tracks bare-metal in both regimes
+    for n in NODES:
+        assert m[("SG", n)] == pytest.approx(m[("BM", n)], rel=0.06)
+    # splitting a communication-bound job across nodes never pays
+    for kind in KINDS:
+        assert m[(kind, 2)] > m[(kind, 1)]

@@ -1,0 +1,92 @@
+"""Benchmark X2: Section IV — PTO / PSO classification across applications.
+
+The paper distinguishes Platform-Type Overhead (constant ratio across
+sizes; the VM abstraction tax) from Platform-Size Overhead (ratio decays
+with container size; the vanilla-container cgroups tax).  This bench
+classifies every platform's measured ratio trend for a CPU-bound and an
+IO-bound application and checks the taxonomy lands where the paper put
+it.  It also prints the per-mechanism breakdown from the trace counters —
+the Section IV-B 'cgroups dominates small containers' evidence.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+    run_platform_sweep,
+)
+from repro.analysis.overhead import OverheadClass, classify_overhead, overhead_ratios
+from repro.platforms.provisioning import instance_types_upto
+from repro.trace.offcputime import OffCpuReport
+
+
+def run_decomposition():
+    ffmpeg = run_platform_sweep(
+        FfmpegWorkload(), instance_types_upto(16), reps=3
+    )
+    cassandra = run_platform_sweep(
+        CassandraWorkload(),
+        [instance_type(n) for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")],
+        reps=3,
+    )
+    return ffmpeg, cassandra
+
+
+def test_pto_pso_classification(benchmark, results_dir):
+    ffmpeg, cassandra = benchmark.pedantic(
+        run_decomposition, rounds=1, iterations=1
+    )
+
+    print("\nSection IV: overhead classification per platform")
+    classes = {}
+    for sweep, wl in ((ffmpeg, "FFmpeg"), (cassandra, "Cassandra")):
+        for label in sweep.platform_order:
+            if label == "Vanilla BM":
+                continue
+            c = classify_overhead(overhead_ratios(sweep, label))
+            classes[(wl, label)] = c
+            print(
+                f"  {wl:<10s} {label:<14s} {c.kind.name:<11s} "
+                f"mean x{c.mean_ratio:.2f}  small x{c.small_ratio:.2f} "
+                f"-> large x{c.large_ratio:.2f}"
+            )
+
+    # the paper's taxonomy
+    assert classes[("FFmpeg", "Vanilla VM")].kind is OverheadClass.PTO
+    assert classes[("FFmpeg", "Pinned VM")].kind is OverheadClass.PTO
+    assert classes[("FFmpeg", "Vanilla CN")].kind is OverheadClass.PSO
+    assert classes[("FFmpeg", "Pinned CN")].kind is OverheadClass.NEGLIGIBLE
+    assert classes[("Cassandra", "Vanilla CN")].kind is OverheadClass.PSO
+    assert classes[("FFmpeg", "Vanilla VMCN")].kind is OverheadClass.PSO
+
+
+def test_cgroup_accounting_dominates_small_vanilla_cn(benchmark):
+    """Section IV-B: the BCC-style evidence, from the trace counters."""
+
+    def run_traced():
+        out = {}
+        for mode in ("vanilla", "pinned"):
+            r = run_once(
+                FfmpegWorkload(),
+                make_platform("CN", instance_type("Large"), mode),
+                r830_host(),
+            )
+            out[mode] = r.counters
+        return out
+
+    counters = benchmark.pedantic(run_traced, rounds=1, iterations=1)
+    print("\nSection IV-B: overhead attribution, FFmpeg on a Large CN")
+    for mode, c in counters.items():
+        rep = OffCpuReport.from_counters(c)
+        print(f"\n  {mode} CN:")
+        print("    " + rep.render().replace("\n", "\n    "))
+
+    vanilla, pinned = counters["vanilla"], counters["pinned"]
+    assert vanilla.cgroup_time > 20 * max(pinned.cgroup_time, 1e-9)
+    # accounting is a sizeable share of the vanilla container's capacity
+    assert vanilla.cgroup_time / vanilla.busy_core_seconds > 0.10

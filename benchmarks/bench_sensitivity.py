@@ -1,0 +1,60 @@
+"""Benchmark X7: calibration robustness of the headline findings.
+
+Perturbs every scalar calibration constant by ±20 % and reports the
+elasticity of three headline quantities:
+
+* the VM's ~2x FFmpeg PTO (Fig. 3),
+* the vanilla container's Cassandra PSO at xLarge (Fig. 6),
+* the VMCN blow-up at Large (Fig. 3).
+
+A finding is considered robust when no single constant's ±20 % shift
+moves it by more than ~20 % — i.e. the shapes come from the mechanisms,
+not from a fragile constant.
+"""
+
+from __future__ import annotations
+
+from repro import CassandraWorkload, FfmpegWorkload, instance_type, make_platform
+from repro.analysis.sensitivity import render_sensitivity, sensitivity_analysis
+
+TARGETS = [
+    (
+        "VM x2 PTO (FFmpeg, xLarge)",
+        FfmpegWorkload(),
+        ("VM", "xLarge", "vanilla"),
+    ),
+    (
+        "vanilla-CN PSO (Cassandra, xLarge)",
+        CassandraWorkload(),
+        ("CN", "xLarge", "vanilla"),
+    ),
+    (
+        "VMCN blow-up (FFmpeg, Large)",
+        FfmpegWorkload(),
+        ("VMCN", "Large", "vanilla"),
+    ),
+]
+
+
+def run_sensitivity():
+    out = {}
+    for title, wl, (kind, inst, mode) in TARGETS:
+        platform = make_platform(kind, instance_type(inst), mode)
+        out[title] = sensitivity_analysis(wl, platform)
+    return out
+
+
+def test_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    for title, res in results.items():
+        print(f"\n=== {title} ===")
+        print(render_sensitivity(res))
+
+    for title, res in results.items():
+        # the finding survives: even the most influential constant moves
+        # the ratio by well under half its magnitude at +/-20%
+        top = res[0]
+        assert abs(top.elasticity) < 2.0, (title, top.constant)
+        # and at least half the knobs are individually irrelevant
+        flat = sum(1 for r in res if abs(r.elasticity) < 0.05)
+        assert flat >= len(res) // 2, title

@@ -1,0 +1,39 @@
+"""Benchmarks T1-T3: regenerate Tables I, II and III of the paper."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table1, render_table2, render_table3
+
+
+def test_table1_applications(benchmark):
+    """Table I: application types used for evaluation."""
+    out = benchmark(render_table1)
+    print("\n" + out)
+    for row in ("FFmpeg", "Open MPI".replace("Open ", "MPI "), "WordPress", "Cassandra"):
+        assert row.split()[0] in out
+
+
+def test_table2_instance_types(benchmark):
+    """Table II: instance types (cores / memory)."""
+    out = benchmark(render_table2)
+    print("\n" + out)
+    # the paper's six sizes with their core counts
+    for name, cores in (
+        ("Large", 2),
+        ("xLarge", 4),
+        ("2xLarge", 8),
+        ("4xLarge", 16),
+        ("8xLarge", 32),
+        ("16xLarge", 64),
+    ):
+        assert name in out
+        assert str(cores) in out
+
+
+def test_table3_platforms(benchmark):
+    """Table III: execution platform specifications."""
+    out = benchmark(render_table3)
+    print("\n" + out)
+    assert "Ubuntu 18.04.3, Kernel 5.4.5" in out
+    assert "Docker 19.03.6" in out
+    assert "Qemu 2.11.1" in out

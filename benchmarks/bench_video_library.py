@@ -1,0 +1,54 @@
+"""Benchmark X8: heterogeneity robustness of the Fig-3 findings.
+
+The paper controls for content by transcoding a single clip.  This bench
+replays the Fig-3 comparison over a heterogeneous 24-clip corpus (the
+variability the authors' TPDS'18/'19 work characterizes) and checks the
+best-practice orderings survive outside the controlled setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import instance_type, make_platform, r830_host, run_once
+from repro.rng import RngFactory
+from repro.workloads.video_library import VideoBatchWorkload, VideoLibrary
+
+CONFIGS = (
+    ("BM", "vanilla"),
+    ("VM", "vanilla"),
+    ("VM", "pinned"),
+    ("VMCN", "vanilla"),
+    ("CN", "vanilla"),
+    ("CN", "pinned"),
+)
+
+
+def run_corpus():
+    host = r830_host()
+    wl = VideoBatchWorkload(library=VideoLibrary(n_videos=24, seed=2020))
+    factory = RngFactory()
+    out = {}
+    for kind, mode in CONFIGS:
+        out[(kind, mode)] = run_once(
+            wl,
+            make_platform(kind, instance_type("4xLarge"), mode),
+            host,
+            rng=factory.fresh_stream("corpus", 0),
+        ).value
+    return out
+
+
+def test_video_corpus_robustness(benchmark):
+    m = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+    bm = m[("BM", "vanilla")]
+    print("\nBatch transcoding a 24-clip heterogeneous corpus (4xLarge):")
+    for (kind, mode), v in m.items():
+        print(f"  {mode.capitalize():<8s} {kind:<5s} {v:8.2f}s  x{v / bm:5.2f}")
+
+    # the Fig-3 orderings survive content heterogeneity
+    assert m[("CN", "pinned")] == pytest.approx(bm, rel=0.05)
+    assert m[("VM", "vanilla")] > 1.8 * bm
+    assert m[("VM", "pinned")] > 0.9 * m[("VM", "vanilla")]
+    assert m[("VMCN", "vanilla")] > m[("VM", "vanilla")]
+    assert m[("CN", "vanilla")] > m[("CN", "pinned")]

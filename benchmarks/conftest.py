@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it runs the experiment through :func:`repro.run.experiment.run_platform_sweep`
+(timed once via pytest-benchmark), prints the same rows/series the paper
+reports, saves the raw sweep as JSON under ``benchmarks/results/``, and
+asserts the figure's qualitative shape so a regression in the model fails
+the bench.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import figure_from_sweep, render_figure
+from repro.analysis.overhead import overhead_ratios
+from repro.run.results import SweepResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def report_sweep(
+    sweep: SweepResult, *, title: str, results_dir: Path, filename: str
+) -> None:
+    """Print the figure, its overhead-ratio table, and save the JSON."""
+    print()
+    print(render_figure(figure_from_sweep(sweep), title=title))
+    print()
+    print("Overhead ratios (platform / Vanilla BM):")
+    header = "  ".join(f"{i:>9s}" for i in sweep.instance_order)
+    print(f"{'platform':<14s} {header}")
+    for label in sweep.platform_order:
+        if label == "Vanilla BM":
+            continue
+        ratios = overhead_ratios(sweep, label)
+        row = "  ".join(f"{r:9.2f}" for r in ratios)
+        print(f"{label:<14s} {row}")
+    sweep.save(results_dir / filename)
+    print(f"\nraw data -> {results_dir / filename}")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CHR tuning: find the right container size for a workload empirically.
+
+Section IV-A of the paper estimates 'suitable CHR' ranges by sweeping a
+vanilla container across instance sizes and reading off where the
+Platform-Size Overhead vanishes.  This example performs that procedure
+for the Cassandra workload, prints the overhead-ratio curve, and
+cross-checks the measured band against the paper's 0.28 < CHR < 0.57.
+
+Run:
+    python examples/chr_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import CassandraWorkload, r830_host, run_platform_sweep
+from repro.analysis.chr import chr_of, estimate_suitable_chr_range
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type
+
+
+def main() -> None:
+    host = r830_host()
+    workload = CassandraWorkload()
+    instances = [
+        instance_type(n)
+        for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+    ]
+
+    print(f"sweeping {workload.name} across container sizes on {host.name} ...")
+    sweep = run_platform_sweep(workload, instances, reps=3)
+
+    ratios = overhead_ratios(sweep, "Vanilla CN")
+    print(f"\n{'instance':<10s} {'cores':>5s} {'CHR':>6s} {'vanilla-CN/BM':>14s}")
+    for inst, ratio in zip(instances, ratios):
+        bar = "#" * int(round((ratio - 1) * 20))
+        print(
+            f"{inst.name:<10s} {inst.cores:>5d} {chr_of(inst, host):>6.2f} "
+            f"{ratio:>13.2f}x |{bar}"
+        )
+
+    band = estimate_suitable_chr_range(sweep, host)
+    print(f"\nmeasured suitable CHR range : {band}")
+    print("paper's range (Section IV-A): 0.28 < CHR < 0.57")
+    print(
+        f"=> provision at least {int(band.low * host.logical_cpus) + 1} cores "
+        f"on this {host.logical_cpus}-CPU host before running this workload "
+        "in an unpinned container."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Deployment advisor: the paper's Section-VI best practices as a tool.
+
+A cloud architect describes an application (CPU duty cycle, IO
+intensity) and the environment's constraints (is pinning allowed? are
+containers allowed?), and gets the platform recommendation the paper's
+rules produce — with the rule numbers and reasoning attached — for
+several environments side by side.
+
+Run:
+    python examples/deployment_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bestpractices import BestPracticeAdvisor
+from repro.hostmodel.topology import r830_host
+from repro.workloads.base import WorkloadProfile
+
+SCENARIOS = {
+    "video transcoding farm": WorkloadProfile(
+        cpu_duty_cycle=0.97,
+        io_intensity=0.05,
+        description="batch AVC->HEVC transcodes",
+    ),
+    "storefront web tier": WorkloadProfile(
+        cpu_duty_cycle=0.35,
+        io_intensity=0.7,
+        description="PHP pages with DB lookups",
+    ),
+    "telemetry ingest store": WorkloadProfile(
+        cpu_duty_cycle=0.45,
+        io_intensity=1.0,
+        description="write-heavy NoSQL ingest",
+    ),
+}
+
+ENVIRONMENTS = {
+    "dedicated host, full control": dict(pinning_available=True),
+    "shared host, no pinning": dict(pinning_available=False),
+    "VM-only compliance zone": dict(vms_required=True, containers_allowed=False),
+}
+
+
+def main() -> None:
+    host = r830_host()
+    for env_name, env_kwargs in ENVIRONMENTS.items():
+        advisor = BestPracticeAdvisor(host=host, **env_kwargs)
+        print(f"\n=== environment: {env_name} ===")
+        for app_name, profile in SCENARIOS.items():
+            rec = advisor.recommend(profile)
+            sizing = (
+                f"{rec.suggested_cores} cores ({rec.chr_range})"
+                if rec.suggested_cores
+                else "size by demand"
+            )
+            print(f"\n  {app_name} ({profile.description})")
+            print(
+                f"    -> {rec.mode.value} {rec.platform.value}, {sizing}; "
+                f"paper rules {list(rec.rules_applied) or ['-']}"
+            )
+            for line in rec.rationale:
+                print(f"       . {line}")
+
+
+if __name__ == "__main__":
+    main()

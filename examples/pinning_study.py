@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A complete mini pinning study: regenerate a Fig.-5-style chart.
+
+Runs the WordPress workload across all seven platform configurations and
+five instance sizes (a smaller-rep version of the Fig. 5 experiment),
+renders the grouped-bar chart as text, prints the overhead-ratio table,
+and saves the raw sweep to JSON for downstream plotting.
+
+Run:
+    python examples/pinning_study.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import WordPressWorkload, run_platform_sweep
+from repro.analysis.figures import figure_from_sweep, render_figure
+from repro.analysis.overhead import overhead_ratios
+from repro.platforms.provisioning import instance_type
+
+
+def main() -> None:
+    instances = [
+        instance_type(n)
+        for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+    ]
+    print("running the WordPress pinning study (7 platforms x 5 sizes) ...")
+    sweep = run_platform_sweep(WordPressWorkload(), instances, reps=2)
+
+    print()
+    print(
+        render_figure(
+            figure_from_sweep(sweep),
+            title="WordPress mean response time (s), 1000 simultaneous requests",
+        )
+    )
+
+    print("\noverhead ratio vs Vanilla BM:")
+    header = "  ".join(f"{i.name:>9s}" for i in instances)
+    print(f"{'platform':<14s} {header}")
+    for label in sweep.platform_order:
+        if label == "Vanilla BM":
+            continue
+        row = "  ".join(f"{r:9.2f}" for r in overhead_ratios(sweep, label))
+        print(f"{label:<14s} {row}")
+
+    out = Path("wordpress_pinning_study.json")
+    sweep.save(out)
+    print(f"\nraw sweep saved to {out.resolve()}")
+    print(
+        "\ntakeaway: pin your IO-bound containers — vanilla containers pay "
+        "up to 2x, pinned containers even beat bare-metal."
+    )
+
+
+if __name__ == "__main__":
+    main()

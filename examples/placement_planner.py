@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Placement planner: from best practices to a costed decision.
+
+Walks the full decision pipeline the library provides on top of the
+paper:
+
+1. classify the application and apply the Section-VI best practices
+   (qualitative recommendation);
+2. rank every deployment on cost under an SLO with the analytical
+   overhead model (quantitative recommendation);
+3. confirm the chosen deployment with a full simulation run.
+
+Run:
+    python examples/placement_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CassandraWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.bestpractices import BestPracticeAdvisor
+from repro.analysis.placement import CostModel, PlacementOptimizer
+
+
+def main() -> None:
+    workload = CassandraWorkload()
+    host = r830_host()
+    slo = 8.0  # seconds of mean response we can tolerate
+
+    print(f"=== planning a deployment for {workload.name} (SLO {slo:.0f}s) ===\n")
+
+    # 1. the paper's qualitative rules
+    advisor = BestPracticeAdvisor(host=host)
+    rec = advisor.recommend(workload.profile())
+    print("best-practice recommendation (Section VI):")
+    print(
+        f"  {rec.mode.value} {rec.platform.value}, {rec.suggested_cores} "
+        f"cores ({rec.chr_range}); rules {list(rec.rules_applied)}"
+    )
+
+    # 2. the quantitative ranking
+    optimizer = PlacementOptimizer(
+        host=host, cost=CostModel(dollars_per_core_hour=0.05)
+    )
+    print("\ncost/SLO ranking (analytical model):")
+    print(optimizer.render(workload, slo_seconds=slo, top_n=6))
+    best = optimizer.best(workload, slo_seconds=slo)
+
+    # 3. confirm by simulation
+    result = run_once(workload, best.platform, host)
+    print(
+        f"\nconfirming {best.label} by simulation: predicted "
+        f"{best.predicted_seconds:.2f}s, simulated {result.value:.2f}s "
+        f"({'SLO met' if result.value <= slo else 'SLO MISSED'})"
+    )
+
+    # and show what ignoring the advice would have cost
+    naive = make_platform("CN", instance_type("xLarge"), "vanilla")
+    naive_result = run_once(workload, naive, host)
+    print(
+        f"\nfor contrast, a naive vanilla xLarge container: "
+        f"{naive_result.value:.2f}s "
+        f"(x{naive_result.value / result.value:.1f} the recommended time)"
+    )
+
+
+if __name__ == "__main__":
+    main()

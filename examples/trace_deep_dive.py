@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Trace deep dive: the Section-IV root-cause analysis, reproduced live.
+
+The paper used BCC kernel tracing (``cpudist``, ``offcputime``) to
+attribute the small-vanilla-container overhead to cgroups accounting and
+migration costs.  This example runs the same investigation on the
+simulator: trace a small vanilla container and its pinned twin, then
+compare
+
+* the execution timeline (Gantt view),
+* the off-CPU/overhead attribution,
+* the on-CPU stretch distribution,
+* and the engine's own overhead-mechanism breakdown.
+
+Run:
+    python examples/trace_deep_dive.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FfmpegWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.engine.tracing import ListTraceSink
+from repro.rng import RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import assemble_overhead_model
+from repro.trace.cpudist import CpuDist
+from repro.trace.offcputime import OffCpuReport
+from repro.trace.timeline import Timeline
+
+
+def main() -> None:
+    host = r830_host()
+    calib = Calibration()
+    workload = FfmpegWorkload(video_seconds=4, n_sync_chunks=5)
+    instance = instance_type("Large")
+    factory = RngFactory()
+
+    results = {}
+    for mode in ("vanilla", "pinned"):
+        platform = make_platform("CN", instance, mode)
+        sink = ListTraceSink()
+        result = run_once(
+            workload,
+            platform,
+            host,
+            calib,
+            rng=factory.fresh_stream("deep-dive", 0),
+            trace=sink,
+        )
+        results[mode] = (result, sink)
+
+    print("=== FFmpeg on a Large (2-core) Docker container ===\n")
+    for mode, (result, sink) in results.items():
+        print(f"--- {mode} CN: {result.value:.2f}s ---")
+        tl = Timeline.from_events(sink.events)
+        print(tl.render(width=64))
+        print("\noffcputime attribution:")
+        print(OffCpuReport.from_counters(result.counters).render())
+        print("\ncpudist (on-CPU stretches):")
+        print(CpuDist.from_counters(result.counters).render(width=30))
+        print()
+
+    # the engine's own mechanism breakdown explains the gap
+    print("=== overhead-model breakdown (osr = 1.5) ===")
+    for mode in ("vanilla", "pinned"):
+        platform = make_platform("CN", instance, mode)
+        processes = workload.build(
+            instance.cores, factory.fresh_stream("deep-dive", 0)
+        )
+        model = assemble_overhead_model(host, platform, calib, workload, processes)
+        b = model.breakdown(1.5)
+        print(
+            f"{mode:<8s} cgroup tax {b.steady_cgroup_fraction:6.1%}  "
+            f"migration slowdown x{b.migration_slowdown:.2f}  "
+            f"efficiency {b.efficiency:6.1%}  "
+            f"dominant: {b.dominant_mechanism()}"
+        )
+
+    v = results["vanilla"][0].value
+    p = results["pinned"][0].value
+    print(
+        f"\nverdict: the vanilla container is x{v / p:.2f} slower, and the "
+        "traces point at cgroups accounting plus migration-cold execution — "
+        "the paper's Section IV-B/IV-C diagnosis."
+    )
+
+
+if __name__ == "__main__":
+    main()

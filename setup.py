@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines whose environments lack the ``wheel`` package (pip's
+PEP-517 editable path needs to build a wheel; the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

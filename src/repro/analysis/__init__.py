@@ -1,0 +1,80 @@
+"""Analysis layer: statistics, overhead decomposition, CHR, reports.
+
+* :mod:`repro.analysis.stats` -- means, Student-t confidence intervals,
+  bootstrap (the paper reports mean + 95 % CI);
+* :mod:`repro.analysis.overhead` -- overhead ratios and the paper's
+  PTO / PSO classification (Section IV);
+* :mod:`repro.analysis.chr` -- Container-to-Host core Ratio analysis and
+  the suitable-CHR range estimator (Section IV-A);
+* :mod:`repro.analysis.bestpractices` -- the Section-VI advisor as code;
+* :mod:`repro.analysis.tables` -- Table I/II/III renderers;
+* :mod:`repro.analysis.figures` -- figure data series + ASCII rendering.
+"""
+
+from repro.analysis.bestpractices import BestPracticeAdvisor, Recommendation
+from repro.analysis.chr import chr_of, estimate_suitable_chr_range
+from repro.analysis.energy import EnergyEstimate, EnergyModel
+from repro.analysis.figures import FigureSeries, figure_from_sweep, render_figure
+from repro.analysis.model import (
+    PredictedTime,
+    WorkloadCharacterization,
+    predict_overhead_ratio,
+    predict_time,
+)
+from repro.analysis.crossapp import CrossApplicationAnalysis, PsoCorrelation
+from repro.analysis.placement import CostModel, PlacementCandidate, PlacementOptimizer
+from repro.analysis.report import generate_report
+from repro.analysis.sensitivity import (
+    SensitivityResult,
+    render_sensitivity,
+    sensitivity_analysis,
+)
+from repro.analysis.overhead import (
+    OverheadClass,
+    classify_overhead,
+    overhead_ratio,
+    overhead_ratios,
+)
+from repro.analysis.stats import (
+    StatSummary,
+    bootstrap_ci,
+    confidence_interval,
+    summarize,
+)
+from repro.analysis.tables import render_table1, render_table2, render_table3
+
+__all__ = [
+    "StatSummary",
+    "confidence_interval",
+    "bootstrap_ci",
+    "summarize",
+    "overhead_ratio",
+    "overhead_ratios",
+    "classify_overhead",
+    "OverheadClass",
+    "chr_of",
+    "estimate_suitable_chr_range",
+    "WorkloadCharacterization",
+    "PredictedTime",
+    "predict_time",
+    "predict_overhead_ratio",
+    "EnergyModel",
+    "EnergyEstimate",
+    "BestPracticeAdvisor",
+    "Recommendation",
+    "FigureSeries",
+    "figure_from_sweep",
+    "render_figure",
+    "generate_report",
+    "CostModel",
+    "PlacementCandidate",
+    "PlacementOptimizer",
+    "CrossApplicationAnalysis",
+    "PsoCorrelation",
+    "SensitivityResult",
+    "sensitivity_analysis",
+    "render_sensitivity",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

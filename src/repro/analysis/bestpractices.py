@@ -1,0 +1,237 @@
+"""The Section-VI "Best Practices" as an executable advisor.
+
+The paper closes with five deployment rules for cloud solution
+architects.  :class:`BestPracticeAdvisor` encodes them: given an
+application profile (CPU-bound / IO-intensive / ultra-IO) and deployment
+constraints (is pinning available? must the workload live in a VM?), it
+recommends a platform, a provisioning mode, and a CHR band — and cites
+which of the paper's rules produced each part of the recommendation.
+
+Application classes map to the paper's CHR bands (Section IV-A):
+
+* CPU intensive (FFmpeg-like):       0.07 < CHR < 0.14
+* IO intensive (WordPress-like):     0.14 < CHR < 0.28
+* ultra IO intensive (Cassandra):    0.28 < CHR < 0.57
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.chr import ChrRange
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import PlatformKind
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import WorkloadProfile
+
+__all__ = ["AppClass", "Recommendation", "BestPracticeAdvisor", "PAPER_CHR_BANDS"]
+
+
+class AppClass(enum.Enum):
+    """Application classes the paper's rules distinguish."""
+
+    CPU_INTENSIVE = "cpu-intensive"
+    IO_INTENSIVE = "io-intensive"
+    ULTRA_IO_INTENSIVE = "ultra-io-intensive"
+
+    @classmethod
+    def from_profile(cls, profile: WorkloadProfile) -> "AppClass":
+        """Classify a workload profile by its IO intensity."""
+        if profile.io_intensity >= 0.85:
+            return cls.ULTRA_IO_INTENSIVE
+        if profile.io_intensity >= 0.4:
+            return cls.IO_INTENSIVE
+        return cls.CPU_INTENSIVE
+
+
+#: Suitable CHR bands per application class (Section IV-A / Best Practice 5).
+PAPER_CHR_BANDS: dict[AppClass, ChrRange] = {
+    AppClass.CPU_INTENSIVE: ChrRange(0.07, 0.14, "4xLarge"),
+    AppClass.IO_INTENSIVE: ChrRange(0.14, 0.28, "8xLarge"),
+    AppClass.ULTRA_IO_INTENSIVE: ChrRange(0.28, 0.57, "16xLarge"),
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output.
+
+    Attributes
+    ----------
+    platform / mode:
+        Recommended execution platform and provisioning mode.
+    chr_range:
+        Suitable CHR band for containerized recommendations (None when a
+        VM or bare-metal platform was recommended).
+    suggested_cores:
+        Concrete core count realizing the CHR band on the given host
+        (None without a container recommendation).
+    rules_applied:
+        Paper best-practice numbers (1-5) that drove the recommendation.
+    rationale:
+        Human-readable reasoning, one line per decision.
+    """
+
+    platform: PlatformKind
+    mode: ProvisioningMode
+    chr_range: ChrRange | None
+    suggested_cores: int | None
+    rules_applied: tuple[int, ...]
+    rationale: tuple[str, ...]
+
+
+@dataclass
+class BestPracticeAdvisor:
+    """Applies the Section-VI rules to a deployment question.
+
+    Parameters
+    ----------
+    host:
+        The host the deployment targets (CHR denominators come from it).
+    pinning_available:
+        Whether the operator may pin (shared hosts often forbid it —
+        "extensive CPU pinning incurs a higher cost and makes the host
+        management more challenging", Section I).
+    containers_allowed / vms_required:
+        Policy constraints of the environment.
+    """
+
+    host: HostTopology
+    pinning_available: bool = True
+    containers_allowed: bool = True
+    vms_required: bool = False
+
+    def recommend(self, profile: WorkloadProfile) -> Recommendation:
+        """Recommend a platform configuration for a workload profile."""
+        app_class = AppClass.from_profile(profile)
+        band = PAPER_CHR_BANDS[app_class]
+        rationale: list[str] = [
+            f"classified as {app_class.value} (io_intensity="
+            f"{profile.io_intensity:.2f})"
+        ]
+        rules: list[int] = []
+
+        if self.vms_required and not self.containers_allowed:
+            return self._vm_only(app_class, rationale, rules)
+
+        if app_class is AppClass.CPU_INTENSIVE:
+            if self.containers_allowed and self.pinning_available:
+                rules.append(2)
+                rationale.append(
+                    "rule 2: pinned containers impose the least overhead "
+                    "for CPU-intensive applications"
+                )
+                return self._container(
+                    ProvisioningMode.PINNED, band, rules, rationale
+                )
+            if self.vms_required or not self.containers_allowed:
+                return self._vm_only(app_class, rationale, rules)
+            # vanilla container: acceptable if sized into the CHR band
+            rules.extend([1, 5])
+            rationale.append(
+                "rule 1: avoid small vanilla containers; rule 5: size the "
+                f"container into {band}"
+            )
+            return self._container(ProvisioningMode.VANILLA, band, rules, rationale)
+
+        # IO-intensive classes
+        if self.containers_allowed and self.pinning_available and not self.vms_required:
+            rules.append(2)
+            rationale.append(
+                "pinned CN imposes the lowest overhead for IO-intensive "
+                "applications (Figs. 5-6) and can even beat bare-metal"
+            )
+            return self._container(ProvisioningMode.PINNED, band, rules, rationale)
+        if self.containers_allowed:
+            rules.append(4)
+            rationale.append(
+                "rule 4: pinned CN not viable -> container within VM "
+                "(VMCN) imposes lower overhead than a VM or a vanilla CN"
+            )
+            return self._vmcn(band, rules, rationale)
+        return self._vm_only(app_class, rationale, rules)
+
+    # ------------------------------------------------------------------
+
+    def _suggest_cores(self, band: ChrRange) -> int:
+        """Pick a core count whose CHR sits mid-band on the host."""
+        target = (band.low + band.high) / 2.0
+        cores = max(1, int(math.ceil(target * self.host.logical_cpus)))
+        cores = min(cores, self.host.logical_cpus)
+        if not band.contains(cores / self.host.logical_cpus):
+            # fall back to the first count strictly inside the band
+            for c in range(1, self.host.logical_cpus + 1):
+                if band.contains(c / self.host.logical_cpus):
+                    return c
+            raise AnalysisError(
+                f"no core count on {self.host.name} realizes CHR band {band}"
+            )
+        return cores
+
+    def _container(
+        self,
+        mode: ProvisioningMode,
+        band: ChrRange,
+        rules: list[int],
+        rationale: list[str],
+    ) -> Recommendation:
+        rules.append(5)
+        cores = self._suggest_cores(band)
+        rationale.append(
+            f"rule 5: size for {band} -> {cores} cores on "
+            f"{self.host.logical_cpus}-CPU host"
+        )
+        if mode is ProvisioningMode.VANILLA:
+            rules.append(1)
+            rationale.append(
+                "rule 1: never instantiate 1-2 core vanilla containers"
+            )
+        return Recommendation(
+            platform=PlatformKind.CN,
+            mode=mode,
+            chr_range=band,
+            suggested_cores=cores,
+            rules_applied=tuple(sorted(set(rules))),
+            rationale=tuple(rationale),
+        )
+
+    def _vmcn(
+        self, band: ChrRange, rules: list[int], rationale: list[str]
+    ) -> Recommendation:
+        cores = self._suggest_cores(band)
+        return Recommendation(
+            platform=PlatformKind.VMCN,
+            mode=ProvisioningMode.VANILLA,
+            chr_range=band,
+            suggested_cores=cores,
+            rules_applied=tuple(sorted(set(rules))),
+            rationale=tuple(rationale),
+        )
+
+    def _vm_only(
+        self, app_class: AppClass, rationale: list[str], rules: list[int]
+    ) -> Recommendation:
+        mode = ProvisioningMode.VANILLA
+        if app_class is AppClass.CPU_INTENSIVE:
+            rules.append(3)
+            rationale.append(
+                "rule 3: do not bother pinning VMs for CPU-bound work — it "
+                "neither improves performance nor lowers cost"
+            )
+        elif self.pinning_available:
+            mode = ProvisioningMode.PINNED
+            rationale.append(
+                "pinned VM consistently imposes lower overhead than vanilla "
+                "VM for IO-intensive applications (Fig. 5)"
+            )
+        return Recommendation(
+            platform=PlatformKind.VM,
+            mode=mode,
+            chr_range=None,
+            suggested_cores=None,
+            rules_applied=tuple(sorted(set(rules))),
+            rationale=tuple(rationale),
+        )

@@ -1,0 +1,107 @@
+"""Container-to-Host core Ratio (CHR) analysis — Section IV-A.
+
+The paper defines CHR as "the ratio of [a container's] assigned cores to
+the total number of host cores" and shows that vanilla-container overhead
+(PSO) shrinks as CHR grows.  It then asks: *"for a given container that
+processes a certain application type, how to know the suitable value of
+CHR?"* and answers empirically, reading off the instance-size interval in
+which the PSO "starts to vanish":
+
+* FFmpeg (CPU intensive):       0.07 < CHR < 0.14
+* WordPress (IO intensive):     0.14 < CHR < 0.28
+* Cassandra (ultra IO):         0.28 < CHR < 0.57
+
+:func:`estimate_suitable_chr_range` implements that read-off procedure on
+a measured sweep: find the first instance size at which the vanilla-CN
+overhead ratio drops below a vanishing threshold, and report the CHR
+interval between the previous size and that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.overhead import overhead_ratios
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.provisioning import InstanceType, instance_type
+from repro.run.results import SweepResult
+
+__all__ = ["chr_of", "ChrRange", "estimate_suitable_chr_range"]
+
+
+def chr_of(instance: InstanceType | int, host: HostTopology) -> float:
+    """CHR of an instance (or raw core count) on a host."""
+    cores = instance.cores if isinstance(instance, InstanceType) else int(instance)
+    if cores < 1:
+        raise AnalysisError(f"cores must be >= 1, got {cores}")
+    if cores > host.logical_cpus:
+        raise AnalysisError(
+            f"{cores} cores exceed the host's {host.logical_cpus} CPUs"
+        )
+    return cores / host.logical_cpus
+
+
+@dataclass(frozen=True)
+class ChrRange:
+    """A suitable-CHR interval for one application class.
+
+    ``low`` is the CHR of the last size at which PSO was still material;
+    ``high`` the CHR of the first size at which it had vanished — the
+    paper's ``low < CHR < high`` notation.
+    """
+
+    low: float
+    high: float
+    vanish_instance: str
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the open interval."""
+        return self.low < value < self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.low:.2f} < CHR < {self.high:.2f}"
+
+
+def estimate_suitable_chr_range(
+    sweep: SweepResult,
+    host: HostTopology,
+    *,
+    platform_label: str = "Vanilla CN",
+    baseline_label: str = "Vanilla BM",
+    vanish_ratio: float = 1.15,
+) -> ChrRange:
+    """Estimate the suitable-CHR interval from a measured sweep.
+
+    Walks the sweep's instance sizes (ascending) and finds the first at
+    which the platform's overhead ratio drops below ``vanish_ratio``.
+    The interval spans from the previous size's CHR (0 if the first size
+    already qualifies) to that size's CHR.
+
+    Raises
+    ------
+    AnalysisError
+        If the overhead never vanishes within the sweep (the paper would
+        need a larger instance type to answer).
+    """
+    if vanish_ratio <= 1.0:
+        raise AnalysisError(f"vanish_ratio must be > 1, got {vanish_ratio}")
+    ratios = overhead_ratios(sweep, platform_label, baseline_label)
+    chrs = np.asarray(
+        [chr_of(instance_type(name), host) for name in sweep.instance_order]
+    )
+    for i, ratio in enumerate(ratios):
+        if ratio < vanish_ratio:
+            low = float(chrs[i - 1]) if i > 0 else 0.0
+            return ChrRange(
+                low=low,
+                high=float(chrs[i]),
+                vanish_instance=sweep.instance_order[i],
+            )
+    raise AnalysisError(
+        f"overhead of {platform_label!r} never drops below {vanish_ratio} "
+        f"within instance sizes {sweep.instance_order} "
+        f"(ratios: {np.round(ratios, 2).tolist()})"
+    )

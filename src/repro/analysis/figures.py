@@ -1,0 +1,139 @@
+"""Figure data series and ASCII rendering.
+
+Each of the paper's result figures (Figs. 3-8) is a grouped-bar chart:
+instance types (or scenarios) on the x-axis, one bar per platform
+configuration, bar height = mean execution/response time with a 95 % CI.
+:func:`figure_from_sweep` extracts exactly that data from a
+:class:`~repro.run.results.SweepResult`; :func:`render_figure` prints it
+as an aligned text chart (the benchmark harness's output format), and
+the series are trivially consumable by any plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import summarize
+from repro.errors import AnalysisError
+from repro.run.results import SweepResult
+
+__all__ = [
+    "FigurePoint",
+    "FigureSeries",
+    "figure_from_sweep",
+    "render_figure",
+    "figure_to_csv",
+]
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One bar: mean, CI and flags."""
+
+    x_label: str
+    mean: float
+    ci_low: float
+    ci_high: float
+    n: int
+    thrashed: bool = False
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One platform's bars across the x-axis."""
+
+    label: str
+    points: list[FigurePoint]
+
+    def means(self) -> list[float]:
+        """Bar heights in x order."""
+        return [p.mean for p in self.points]
+
+
+def figure_from_sweep(
+    sweep: SweepResult,
+    *,
+    exclude_thrashed: bool = True,
+) -> list[FigureSeries]:
+    """Extract grouped-bar series (platform legend order) from a sweep.
+
+    ``exclude_thrashed`` drops out-of-range cells the way the paper
+    excluded Cassandra's Large results ("the system is overloaded and
+    thrashed and the results are out of range") — the bar is kept but
+    flagged, and its mean is reported as measured.
+    """
+    series: list[FigureSeries] = []
+    for label in sweep.platform_order:
+        points: list[FigurePoint] = []
+        for inst in sweep.instance_order:
+            cell = sweep.cell(label, inst)
+            s = summarize(cell.values)
+            points.append(
+                FigurePoint(
+                    x_label=inst,
+                    mean=s.mean,
+                    ci_low=s.ci_low,
+                    ci_high=s.ci_high,
+                    n=s.n,
+                    thrashed=cell.thrashed and exclude_thrashed,
+                )
+            )
+        series.append(FigureSeries(label=label, points=points))
+    return series
+
+
+def figure_to_csv(series: list[FigureSeries]) -> str:
+    """CSV rows (``platform,instance,mean,ci_low,ci_high,n,thrashed``) for
+    external plotting tools."""
+    if not series:
+        raise AnalysisError("cannot export an empty figure")
+    lines = ["platform,instance,mean,ci_low,ci_high,n,thrashed"]
+    for s in series:
+        for p in s.points:
+            lines.append(
+                f"{s.label},{p.x_label},{p.mean:.6g},{p.ci_low:.6g},"
+                f"{p.ci_high:.6g},{p.n},{str(p.thrashed).lower()}"
+            )
+    return "\n".join(lines)
+
+
+def render_figure(
+    series: list[FigureSeries],
+    *,
+    title: str,
+    value_unit: str = "s",
+    width: int = 40,
+) -> str:
+    """ASCII grouped-bar rendering of figure series.
+
+    Thrashed cells are annotated ``(out of range)`` instead of charted,
+    as in the paper's Fig. 6 note.
+    """
+    if not series:
+        raise AnalysisError("cannot render an empty figure")
+    x_labels = [p.x_label for p in series[0].points]
+    for s in series:
+        if [p.x_label for p in s.points] != x_labels:
+            raise AnalysisError("figure series have mismatched x axes")
+
+    chartable = [
+        p.mean for s in series for p in s.points if not p.thrashed
+    ]
+    top = max(chartable) if chartable else 1.0
+    label_w = max(len(s.label) for s in series)
+
+    lines = [title, "=" * len(title)]
+    for x in x_labels:
+        lines.append(f"\n{x}:")
+        for s in series:
+            p = next(pt for pt in s.points if pt.x_label == x)
+            if p.thrashed:
+                lines.append(f"  {s.label:<{label_w}}  (out of range)")
+                continue
+            bar = "#" * max(1, int(round(width * p.mean / top))) if top > 0 else ""
+            ci = (p.ci_high - p.ci_low) / 2.0
+            lines.append(
+                f"  {s.label:<{label_w}}  {p.mean:8.3f}{value_unit} "
+                f"+/-{ci:7.3f}  |{bar}"
+            )
+    return "\n".join(lines)

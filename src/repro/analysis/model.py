@@ -1,0 +1,224 @@
+"""Analytical overhead model — the paper's stated future work.
+
+Section VI closes with: *"we plan to provide a mathematical model to
+measure the overhead of a given virtualization platform based on the
+isolation level it offers."*  This module provides that model on top of
+the reproduction's mechanism library: a **closed-form prediction** of a
+platform's overhead ratio from a static characterization of the workload
+and the deployment geometry — no simulation run required.
+
+The prediction composes the same per-mechanism terms the simulator
+charges, evaluated at a static operating point:
+
+* compute: ``penalty(mem, kernel) * migration_slowdown(osr) /
+  efficiency(osr)`` per platform, with the oversubscription ratio
+  estimated as ``runnable ~= n_threads * duty_cycle``;
+* IO: device time through the platform's IO stack plus per-IRQ latency
+  and wake re-warm work;
+* communication: the platform's communication factor on the workload's
+  exchange time.
+
+The overhead ratio is the platform's predicted per-thread service time
+over bare-metal's.  Because queueing amplification near saturation is
+deliberately *not* modelled (that is what the simulator is for), the
+prediction is a lower-bound-flavoured estimate; the validation bench
+(`bench_model_validation.py`) records prediction-vs-simulation accuracy
+across the full platform grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import ExecutionPlatform
+from repro.platforms.baremetal import BareMetalPlatform
+from repro.run.calibration import Calibration
+from repro.sched.accounting import OverheadModel
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import Workload
+from repro.workloads.segments import CommSegment, ComputeSegment, IoSegment
+
+__all__ = [
+    "WorkloadCharacterization",
+    "PredictedTime",
+    "predict_time",
+    "predict_overhead_ratio",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """Static summary of a workload at one instance size.
+
+    All per-thread quantities are means over the workload's threads.
+
+    Parameters
+    ----------
+    n_threads:
+        Total threads across processes.
+    compute_per_thread:
+        Core-seconds of compute work per thread.
+    mem_intensity / kernel_share:
+        Compute-work-weighted means of the segment attributes.
+    io_time_per_thread:
+        Unloaded device seconds per thread.
+    irqs_per_thread:
+        Interrupts per thread.
+    comm_time_per_thread:
+        Bare-metal communication latency per thread.
+    working_set_bytes:
+        Mean thread working set.
+    duty_cycle:
+        Fraction of thread wall time spent computing (profile value).
+    """
+
+    n_threads: int
+    compute_per_thread: float
+    mem_intensity: float
+    kernel_share: float
+    io_time_per_thread: float
+    irqs_per_thread: float
+    comm_time_per_thread: float
+    working_set_bytes: float
+    duty_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise AnalysisError("n_threads must be >= 1")
+        if self.compute_per_thread < 0 or self.io_time_per_thread < 0:
+            raise AnalysisError("per-thread times must be >= 0")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise AnalysisError("duty_cycle must be in [0, 1]")
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        n_cores: int,
+        rng: np.random.Generator | None = None,
+    ) -> "WorkloadCharacterization":
+        """Characterize a workload by statically analyzing one build."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        processes = workload.build(n_cores, rng)
+        threads = [t for p in processes for t in p.threads]
+        n = len(threads)
+        compute = 0.0
+        mem_weighted = 0.0
+        kernel_weighted = 0.0
+        io_time = 0.0
+        irqs = 0.0
+        comm = 0.0
+        ws = 0.0
+        for t in threads:
+            ws += t.working_set_bytes
+            for seg in t.program:
+                if isinstance(seg, ComputeSegment):
+                    compute += seg.work
+                    mem_weighted += seg.work * seg.mem_intensity
+                    kernel_weighted += seg.work * seg.kernel_share
+                elif isinstance(seg, IoSegment):
+                    io_time += seg.device_time
+                    irqs += seg.irqs
+                elif isinstance(seg, CommSegment):
+                    comm += seg.base_latency
+                    compute += seg.cpu_work
+        return cls(
+            n_threads=n,
+            compute_per_thread=compute / n,
+            mem_intensity=mem_weighted / compute if compute > 0 else 0.0,
+            kernel_share=kernel_weighted / compute if compute > 0 else 0.0,
+            io_time_per_thread=io_time / n,
+            irqs_per_thread=irqs / n,
+            comm_time_per_thread=comm / n,
+            working_set_bytes=ws / n,
+            duty_cycle=workload.profile().cpu_duty_cycle,
+        )
+
+
+@dataclass(frozen=True)
+class PredictedTime:
+    """Predicted per-thread service-time decomposition (seconds)."""
+
+    compute: float
+    io: float
+    comm: float
+
+    @property
+    def total(self) -> float:
+        """Total predicted per-thread service time."""
+        return self.compute + self.io + self.comm
+
+
+def predict_time(
+    char: WorkloadCharacterization,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration | None = None,
+) -> PredictedTime:
+    """Predict the per-thread service time on one platform deployment."""
+    calib = calib or Calibration()
+    overhead = OverheadModel(
+        host,
+        platform,
+        calib,
+        cpu_duty_cycle=char.duty_cycle,
+        working_set_bytes=char.working_set_bytes,
+    )
+    cores = platform.instance.cores
+    runnable = max(1.0, char.n_threads * char.duty_cycle)
+    osr = runnable / cores
+
+    penalty = platform.compute_penalty(calib, char.mem_intensity, char.kernel_share)
+    contention = 1.0 + (
+        calib.cache_contention_gamma
+        * char.mem_intensity
+        * min(1.0, max(0.0, osr - 1.0) / calib.cache_contention_osr_ref)
+    )
+    share = min(1.0, cores / runnable)
+    wake_work = char.irqs_per_thread * overhead.wake_extra_work()
+    compute = (
+        (char.compute_per_thread + wake_work)
+        * penalty
+        * contention
+        * overhead.migration_slowdown(osr)
+        / (share * overhead.efficiency(osr))
+    )
+
+    io = (
+        char.io_time_per_thread * platform.io_device_factor(calib)
+        + char.irqs_per_thread * overhead.irq_latency()
+    )
+    comm = char.comm_time_per_thread * overhead.comm_factor
+    return PredictedTime(compute=compute, io=io, comm=comm)
+
+
+def predict_overhead_ratio(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Predict a platform's overhead ratio versus bare-metal.
+
+    This is the paper's future-work quantity: the expected execution-time
+    multiplier of a (platform, provisioning, size) choice for a given
+    application, derived without running the experiment.
+    """
+    calib = calib or Calibration()
+    char = WorkloadCharacterization.from_workload(
+        workload, platform.instance.cores, rng
+    )
+    baseline = BareMetalPlatform(
+        instance=platform.instance, mode=ProvisioningMode.VANILLA
+    )
+    t_platform = predict_time(char, platform, host, calib).total
+    t_baseline = predict_time(char, baseline, host, calib).total
+    if t_baseline <= 0:
+        raise AnalysisError("baseline prediction is non-positive")
+    return t_platform / t_baseline

@@ -1,0 +1,130 @@
+"""Overhead ratios and the paper's PTO / PSO classification.
+
+Section III-A defines the **overhead ratio** of a virtualized platform as
+"the average execution time offered by a given virtualized platform to
+the average execution time of bare-metal".  Section IV then distinguishes:
+
+* **Platform-Type Overhead (PTO)** — a ratio that "remains constant,
+  irrespective of the instance type" (the VM abstraction-layer tax);
+* **Platform-Size Overhead (PSO)** — a ratio that "is diminished by
+  increasing the number of cores assigned" (the vanilla-container
+  cgroups tax).
+
+:func:`classify_overhead` applies that taxonomy to a measured series: it
+fits the ratio trend across instance sizes and labels it PTO-like
+(flat), PSO-like (decaying), or negligible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.run.results import SweepResult
+
+__all__ = [
+    "overhead_ratio",
+    "overhead_ratios",
+    "OverheadClass",
+    "OverheadClassification",
+    "classify_overhead",
+]
+
+
+def overhead_ratio(platform_mean: float, baseline_mean: float) -> float:
+    """Overhead ratio of one cell: platform time / bare-metal time."""
+    if baseline_mean <= 0:
+        raise AnalysisError(
+            f"baseline mean must be > 0, got {baseline_mean}"
+        )
+    if platform_mean < 0:
+        raise AnalysisError(f"platform mean must be >= 0, got {platform_mean}")
+    return platform_mean / baseline_mean
+
+
+def overhead_ratios(
+    sweep: SweepResult,
+    platform_label: str,
+    baseline_label: str = "Vanilla BM",
+) -> np.ndarray:
+    """Overhead ratios of one platform across the sweep's instance sizes."""
+    platform = sweep.means(platform_label)
+    baseline = sweep.means(baseline_label)
+    if np.any(baseline <= 0):
+        raise AnalysisError("baseline series contains non-positive means")
+    return platform / baseline
+
+
+class OverheadClass(enum.Enum):
+    """Taxonomy of Section IV."""
+
+    PTO = "platform-type overhead"  # constant ratio across sizes
+    PSO = "platform-size overhead"  # ratio decays as size grows
+    NEGLIGIBLE = "negligible overhead"
+
+
+@dataclass(frozen=True)
+class OverheadClassification:
+    """Result of classifying one platform's overhead trend.
+
+    Attributes
+    ----------
+    kind:
+        The assigned class.
+    mean_ratio:
+        Average overhead ratio across sizes.
+    small_ratio / large_ratio:
+        Ratio at the smallest and largest instance.
+    decay:
+        ``small_ratio - large_ratio``: the PSO magnitude.
+    """
+
+    kind: OverheadClass
+    mean_ratio: float
+    small_ratio: float
+    large_ratio: float
+
+    @property
+    def decay(self) -> float:
+        """How much of the ratio vanishes from the smallest to the
+        largest size."""
+        return self.small_ratio - self.large_ratio
+
+
+def classify_overhead(
+    ratios: np.ndarray | list[float],
+    *,
+    negligible_threshold: float = 1.10,
+    decay_threshold: float = 0.25,
+) -> OverheadClassification:
+    """Classify an overhead-ratio series as PTO, PSO, or negligible.
+
+    Parameters
+    ----------
+    ratios:
+        Overhead ratios ordered from smallest to largest instance type.
+    negligible_threshold:
+        A series whose mean ratio stays below this is negligible.
+    decay_threshold:
+        A series whose small-to-large decay exceeds this (and whose
+        small-size excess is real) is PSO; otherwise flat excess is PTO.
+    """
+    arr = np.asarray(ratios, dtype=float).ravel()
+    if arr.size == 0:
+        raise AnalysisError("cannot classify an empty ratio series")
+    if np.any(~np.isfinite(arr)) or np.any(arr <= 0):
+        raise AnalysisError("ratios must be finite and positive")
+    small, large = float(arr[0]), float(arr[-1])
+    mean = float(arr.mean())
+    if mean < negligible_threshold and small < negligible_threshold + 0.1:
+        kind = OverheadClass.NEGLIGIBLE
+    elif (small - large) >= decay_threshold and small > negligible_threshold:
+        kind = OverheadClass.PSO
+    else:
+        kind = OverheadClass.PTO
+    return OverheadClassification(
+        kind=kind, mean_ratio=mean, small_ratio=small, large_ratio=large
+    )

@@ -1,0 +1,218 @@
+"""Placement optimization: pick the cheapest deployment meeting an SLO.
+
+The paper closes with qualitative best practices; combined with the
+analytical overhead model this module makes them *quantitative*: given a
+workload, enumerate every (platform kind, provisioning mode, instance
+size) the operator allows, predict its execution time from the closed
+form, price it with a per-core-hour cost model, and return the cheapest
+deployment whose predicted time meets the SLO.
+
+This is the tool a solution architect actually wants from the paper: not
+"pinned containers are good for IO", but "for *this* workload and *this*
+deadline, use a pinned 8xLarge CN and it will cost $0.41 per run".
+
+Caveat: the predicted seconds are *service-time* estimates from the
+closed form — they inherit its limits (no barrier-straggler or
+queueing-knee amplification, see :mod:`repro.analysis.model`).  Relative
+rankings are reliable; treat tight SLO margins as candidates for a
+confirming simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.model import WorkloadCharacterization, predict_time
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import HostTopology, r830_host
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+from repro.platforms.provisioning import INSTANCE_TYPES, InstanceType
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import Workload
+
+__all__ = ["CostModel", "PlacementCandidate", "PlacementOptimizer"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Instance pricing, AWS-style.
+
+    Parameters
+    ----------
+    dollars_per_core_hour:
+        Base compute price.
+    pinned_premium:
+        Multiplier for pinned (dedicated-placement) capacity — the
+        paper's Section I notes "extensive CPU pinning incurs a higher
+        cost".
+    vm_discount:
+        Multiplier for VM capacity relative to container capacity
+        (providers price multiplexable capacity lower).
+    """
+
+    dollars_per_core_hour: float = 0.05
+    pinned_premium: float = 1.25
+    vm_discount: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.dollars_per_core_hour <= 0:
+            raise AnalysisError("dollars_per_core_hour must be > 0")
+        if self.pinned_premium < 1.0:
+            raise AnalysisError("pinned_premium must be >= 1")
+        if not 0.0 < self.vm_discount <= 1.0:
+            raise AnalysisError("vm_discount must be in (0, 1]")
+
+    def rate(self, platform: ExecutionPlatform) -> float:
+        """Dollars per hour for one deployment."""
+        rate = self.dollars_per_core_hour * platform.instance.cores
+        if platform.pinned:
+            rate *= self.pinned_premium
+        if platform.kind in (PlatformKind.VM, PlatformKind.VMCN):
+            rate *= self.vm_discount
+        return rate
+
+    def cost_of_run(self, platform: ExecutionPlatform, seconds: float) -> float:
+        """Dollars to hold the deployment for ``seconds``."""
+        if seconds < 0:
+            raise AnalysisError("seconds must be >= 0")
+        return self.rate(platform) * seconds / 3600.0
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One evaluated deployment option."""
+
+    platform: ExecutionPlatform
+    predicted_seconds: float
+    predicted_ratio: float
+    cost_dollars: float
+    meets_slo: bool
+
+    @property
+    def label(self) -> str:
+        """Readable identity, e.g. ``"Pinned CN @ 8xLarge"``."""
+        return f"{self.platform.label()} @ {self.platform.instance.name}"
+
+
+class PlacementOptimizer:
+    """Searches the deployment grid for the cheapest SLO-meeting option.
+
+    Parameters
+    ----------
+    host:
+        Target host (bounds instance sizes and CHR denominators).
+    cost:
+        The pricing model.
+    calib:
+        Calibration constants for the predictor.
+    kinds / modes / instances:
+        The search space; defaults to every platform kind of the paper,
+        both provisioning modes, and all Table-II sizes that fit.
+    """
+
+    def __init__(
+        self,
+        host: HostTopology | None = None,
+        cost: CostModel | None = None,
+        calib: Calibration | None = None,
+        *,
+        kinds: tuple[PlatformKind, ...] = (
+            PlatformKind.VM,
+            PlatformKind.CN,
+            PlatformKind.VMCN,
+        ),
+        modes: tuple[ProvisioningMode, ...] = (
+            ProvisioningMode.VANILLA,
+            ProvisioningMode.PINNED,
+        ),
+        instances: tuple[InstanceType, ...] | None = None,
+    ) -> None:
+        self.host = host or r830_host()
+        self.cost = cost or CostModel()
+        self.calib = calib or Calibration()
+        self.kinds = kinds
+        self.modes = modes
+        self.instances = tuple(
+            i
+            for i in (instances or INSTANCE_TYPES)
+            if i.fits_on(self.host)
+        )
+        if not self.instances:
+            raise AnalysisError("no instance type fits on the host")
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, workload: Workload, slo_seconds: float
+    ) -> list[PlacementCandidate]:
+        """Predict every candidate; sorted by (meets SLO first, cost)."""
+        if slo_seconds <= 0:
+            raise AnalysisError(f"slo_seconds must be > 0, got {slo_seconds}")
+        candidates: list[PlacementCandidate] = []
+        for instance in self.instances:
+            char = WorkloadCharacterization.from_workload(
+                workload, instance.cores, np.random.default_rng(0)
+            )
+            bm = predict_time(
+                char,
+                make_platform(PlatformKind.BM, instance),
+                self.host,
+                self.calib,
+            ).total
+            for kind in self.kinds:
+                for mode in self.modes:
+                    platform = make_platform(kind, instance, mode)
+                    seconds = predict_time(
+                        char, platform, self.host, self.calib
+                    ).total
+                    candidates.append(
+                        PlacementCandidate(
+                            platform=platform,
+                            predicted_seconds=seconds,
+                            predicted_ratio=seconds / bm if bm > 0 else float("inf"),
+                            cost_dollars=self.cost.cost_of_run(platform, seconds),
+                            meets_slo=seconds <= slo_seconds,
+                        )
+                    )
+        candidates.sort(key=lambda c: (not c.meets_slo, c.cost_dollars))
+        return candidates
+
+    def best(self, workload: Workload, slo_seconds: float) -> PlacementCandidate:
+        """The cheapest candidate meeting the SLO.
+
+        Raises
+        ------
+        AnalysisError
+            If no candidate meets the SLO (the error names the fastest).
+        """
+        candidates = self.evaluate(workload, slo_seconds)
+        top = candidates[0]
+        if not top.meets_slo:
+            fastest = min(candidates, key=lambda c: c.predicted_seconds)
+            raise AnalysisError(
+                f"no deployment meets the {slo_seconds:.2f}s SLO; fastest is "
+                f"{fastest.label} at {fastest.predicted_seconds:.2f}s"
+            )
+        return top
+
+    def render(
+        self, workload: Workload, slo_seconds: float, top_n: int = 8
+    ) -> str:
+        """Readable ranking of the top candidates."""
+        candidates = self.evaluate(workload, slo_seconds)[:top_n]
+        lines = [
+            f"placement ranking for {workload.name} (SLO {slo_seconds:.2f}s):",
+            f"{'deployment':<26s} {'pred. time':>10s} {'vs BM':>7s} "
+            f"{'cost/run':>9s} SLO",
+        ]
+        for c in candidates:
+            lines.append(
+                f"{c.label:<26s} {c.predicted_seconds:9.2f}s "
+                f"{c.predicted_ratio:6.2f}x ${c.cost_dollars:8.4f} "
+                f"{'ok' if c.meets_slo else 'MISS'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Sensitivity analysis of the calibration constants.
+
+A reproduction whose conclusions hinge on a razor-edge constant is not a
+reproduction — it is a coincidence.  This module quantifies how robust
+each headline quantity (a platform's overhead ratio on a given workload
+and size) is to perturbations of the scalar calibration constants: each
+constant is varied by ±``perturbation`` (relative), the experiment
+re-run, and the *elasticity* reported::
+
+    elasticity = (d ratio / ratio) / (d constant / constant)
+
+Elasticities near zero mean the finding does not depend on that knob;
+elasticities ≫ 1 flag constants whose exact value matters and deserve
+justification (see ``docs/CALIBRATION.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import HostTopology, r830_host
+from repro.platforms.base import ExecutionPlatform
+from repro.platforms.baremetal import BareMetalPlatform
+from repro.rng import RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import run_once
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import Workload
+
+__all__ = ["SCALAR_CONSTANTS", "SensitivityResult", "sensitivity_analysis"]
+
+#: The scalar Calibration fields a sensitivity sweep perturbs (component
+#: models are structured and handled by the ablation benches instead).
+SCALAR_CONSTANTS: tuple[str, ...] = (
+    "ctx_switch_cost",
+    "cache_contention_gamma",
+    "vm_mem_penalty",
+    "vm_kernel_penalty",
+    "vm_exit_cost",
+    "virtio_overhead",
+    "vm_io_device_factor",
+    "vm_comm_small_coeff",
+    "vm_vcpu_migration_fraction",
+    "cn_comm_base",
+    "cn_comm_small_coeff",
+    "io_affinity_gain",
+    "vmcn_nested_core_equiv",
+    "vmcn_comm_extra",
+    "vmcn_io_discount",
+    "vmcn_page_cache_factor",
+)
+
+
+#: Domain bounds of constants whose valid range is narrower than [0, inf);
+#: perturbed values are clamped into these (open bounds nudged inward).
+_DOMAIN_BOUNDS: dict[str, tuple[float, float]] = {
+    "io_affinity_gain": (0.0, 1.0),
+    "vmcn_io_discount": (1e-6, 1.0),
+    "vmcn_page_cache_factor": (1e-6, 1.0),
+    "vm_io_device_factor": (1.0, float("inf")),
+    "min_efficiency": (1e-6, 1.0 - 1e-6),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Elasticity of one target quantity w.r.t. one constant."""
+
+    constant: str
+    base_value: float
+    base_ratio: float
+    ratio_low: float
+    ratio_high: float
+    perturbation: float
+    #: actually applied relative span after domain clamping,
+    #: (value_high - value_low) / (2 * base_value)
+    effective_perturbation: float = 0.0
+
+    @property
+    def elasticity(self) -> float:
+        """Central-difference elasticity of the ratio in the constant."""
+        pert = self.effective_perturbation or self.perturbation
+        if self.base_ratio == 0 or pert == 0:
+            return 0.0
+        d_ratio = (self.ratio_high - self.ratio_low) / (2 * self.base_ratio)
+        return d_ratio / pert
+
+    @property
+    def is_robust(self) -> bool:
+        """Whether a ±perturbation shift moves the ratio by < 10 %."""
+        span = abs(self.ratio_high - self.ratio_low)
+        return span < 0.10 * self.base_ratio * 2
+
+
+def _ratio(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration,
+    seed_label: str,
+) -> float:
+    factory = RngFactory()
+    baseline = BareMetalPlatform(
+        instance=platform.instance, mode=ProvisioningMode.VANILLA
+    )
+    bm = run_once(
+        workload, baseline, host, calib, rng=factory.fresh_stream(seed_label)
+    ).value
+    value = run_once(
+        workload, platform, host, calib, rng=factory.fresh_stream(seed_label)
+    ).value
+    return value / bm
+
+
+def sensitivity_analysis(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    *,
+    host: HostTopology | None = None,
+    calib: Calibration | None = None,
+    constants: tuple[str, ...] | None = None,
+    perturbation: float = 0.2,
+) -> list[SensitivityResult]:
+    """Perturb each constant by ±``perturbation`` and measure the effect
+    on the platform's overhead ratio.
+
+    Returns results sorted by descending absolute elasticity.
+    """
+    if not 0.0 < perturbation < 1.0:
+        raise AnalysisError(f"perturbation must be in (0, 1), got {perturbation}")
+    host = host or r830_host()
+    calib = calib or Calibration()
+    names = constants or SCALAR_CONSTANTS
+    field_names = {f.name for f in dataclasses.fields(Calibration)}
+    unknown = set(names) - field_names
+    if unknown:
+        raise AnalysisError(f"unknown calibration constants: {sorted(unknown)}")
+
+    label = f"sens/{workload.name}/{platform.label()}"
+    base_ratio = _ratio(workload, platform, host, calib, label)
+    results: list[SensitivityResult] = []
+    for name in names:
+        base_value = getattr(calib, name)
+        if not isinstance(base_value, (int, float)):
+            raise AnalysisError(f"{name} is not a scalar constant")
+        lo_bound, hi_bound = _DOMAIN_BOUNDS.get(name, (0.0, float("inf")))
+        v_low = max(base_value * (1 - perturbation), lo_bound)
+        v_high = min(base_value * (1 + perturbation), hi_bound)
+        low = calib.ablated(**{name: v_low})
+        high = calib.ablated(**{name: v_high})
+        effective = (
+            (v_high - v_low) / (2 * base_value) if base_value else 0.0
+        )
+        results.append(
+            SensitivityResult(
+                constant=name,
+                base_value=float(base_value),
+                base_ratio=base_ratio,
+                ratio_low=_ratio(workload, platform, host, low, label),
+                ratio_high=_ratio(workload, platform, host, high, label),
+                perturbation=perturbation,
+                effective_perturbation=effective,
+            )
+        )
+    results.sort(key=lambda r: abs(r.elasticity), reverse=True)
+    return results
+
+
+def render_sensitivity(results: list[SensitivityResult]) -> str:
+    """Plain-text table of a sensitivity sweep."""
+    if not results:
+        raise AnalysisError("no sensitivity results to render")
+    lines = [
+        f"base overhead ratio: x{results[0].base_ratio:.2f}",
+        f"{'constant':<28s} {'value':>10s} {'-20%':>7s} {'+20%':>7s} "
+        f"{'elast.':>7s} robust",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.constant:<28s} {r.base_value:>10.3g} {r.ratio_low:>7.2f} "
+            f"{r.ratio_high:>7.2f} {r.elasticity:>7.2f} "
+            f"{'yes' if r.is_robust else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Renderers for the paper's Tables I, II and III.
+
+These tables are configuration inventories rather than measurements; the
+renderers regenerate them from the library's own source of truth (the
+workload classes, the instance-type registry, the platform kinds), so a
+drift between code and documentation is impossible.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import PlatformKind
+from repro.platforms.provisioning import INSTANCE_TYPES
+from repro.workloads.base import Workload
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.ffmpeg import FfmpegWorkload
+from repro.workloads.mpi import MpiSearchWorkload
+from repro.workloads.wordpress import WordPressWorkload
+
+__all__ = ["render_table1", "render_table2", "render_table3", "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str) -> str:
+    """Plain-text table with a title, padded columns and a rule."""
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, rule, fmt(headers), rule]
+    lines.extend(fmt(r) for r in rows)
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _table1_workloads() -> list[Workload]:
+    return [
+        FfmpegWorkload(),
+        MpiSearchWorkload(),
+        WordPressWorkload(),
+        CassandraWorkload(),
+    ]
+
+
+def render_table1(workloads: list[Workload] | None = None) -> str:
+    """Table I: specifications of the application types."""
+    rows = [
+        [w.name, w.version, w.profile().description]
+        for w in (workloads or _table1_workloads())
+    ]
+    return format_table(
+        ["Type", "Version", "Characteristic"],
+        rows,
+        "TABLE I: Specifications of application types used for evaluation.",
+    )
+
+
+def render_table2() -> str:
+    """Table II: instance types (cores and memory)."""
+    rows = [
+        [t.name, str(t.cores), f"{t.memory_gb:.0f}"] for t in INSTANCE_TYPES
+    ]
+    return format_table(
+        ["Instance Type", "No. of Cores", "Memory (GB)"],
+        rows,
+        "TABLE II: List of instance types used for evaluation.",
+    )
+
+
+def render_table3() -> str:
+    """Table III: execution platforms and their software stacks."""
+    rows = [
+        [k.value, k.description, k.software_stack]
+        for k in (
+            PlatformKind.BM,
+            PlatformKind.VM,
+            PlatformKind.CN,
+            PlatformKind.VMCN,
+        )
+    ]
+    return format_table(
+        ["Abbr.", "Platform", "Specifications"],
+        rows,
+        "TABLE III: Characteristics of different execution platforms.",
+    )

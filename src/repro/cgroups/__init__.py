@@ -1,0 +1,25 @@
+"""Control-group (cgroups) kernel-module model.
+
+Section II-C of the paper: a container is "the coupling of namespace and
+cgroups modules of the host OS", and *"the way cgroups enforces
+constraints is a decisive factor from the performance overhead
+perspective"*.  Section IV-B then attributes the Platform-Size Overhead of
+small vanilla containers to cgroups resource-usage tracking: an **atomic
+kernel-space process** whose invocations suspend the container while the
+per-CPU usage of the container's (widely spread) footprint is aggregated.
+
+Three cooperating models:
+
+* :mod:`repro.cgroups.cpuacct` -- usage-tracking cost, growing with the
+  number of host CPUs the container's threads touch;
+* :mod:`repro.cgroups.cpuset` -- the pinning mechanism (bounds the
+  footprint);
+* :mod:`repro.cgroups.quota` -- CFS quota/period enforcement (what caps a
+  vanilla container at its instance-type core count).
+"""
+
+from repro.cgroups.cpuacct import CpuAccountingModel
+from repro.cgroups.cpuset import CpusetSpec
+from repro.cgroups.quota import CfsQuota
+
+__all__ = ["CpuAccountingModel", "CpusetSpec", "CfsQuota"]

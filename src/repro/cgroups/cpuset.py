@@ -1,0 +1,61 @@
+"""``cpuset`` cgroup: the pinning mechanism.
+
+Pinning a container (``docker run --cpuset-cpus``) or a VM (``vcpupin`` in
+the libvirt/QEMU domain definition) installs a cpuset: the host scheduler
+may only place the platform's threads on the listed CPUs.  The paper's
+"pinned" mode corresponds to a cpuset of exactly the instance-type's core
+count, packed contiguously (Section II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AffinityError
+from repro.hostmodel.topology import HostTopology
+
+__all__ = ["CpusetSpec"]
+
+
+@dataclass(frozen=True)
+class CpusetSpec:
+    """An allowed-CPU set for one platform instance.
+
+    Parameters
+    ----------
+    cpus:
+        The allowed logical CPUs.
+    """
+
+    cpus: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.cpus:
+            raise AffinityError("a cpuset must contain at least one CPU")
+        if any(c < 0 for c in self.cpus):
+            raise AffinityError("cpuset contains negative CPU ids")
+
+    @property
+    def size(self) -> int:
+        """Number of CPUs in the set."""
+        return len(self.cpus)
+
+    def validate_against(self, host: HostTopology) -> None:
+        """Raise :class:`AffinityError` if the set names CPUs the host lacks."""
+        bad = [c for c in self.cpus if c >= host.logical_cpus]
+        if bad:
+            raise AffinityError(
+                f"cpuset CPUs {sorted(bad)} do not exist on host "
+                f"{host.name!r} ({host.logical_cpus} CPUs)"
+            )
+
+    @classmethod
+    def pinned(cls, host: HostTopology, n_cpus: int) -> "CpusetSpec":
+        """The operator's pinning choice: ``n_cpus`` contiguous CPUs packed
+        from CPU 0, filling as few sockets as possible."""
+        return cls(cpus=host.contiguous_cpuset(n_cpus))
+
+    @classmethod
+    def unrestricted(cls, host: HostTopology) -> "CpusetSpec":
+        """Vanilla mode: the whole host is allowed."""
+        return cls(cpus=host.all_cpus())

@@ -1,0 +1,76 @@
+"""CFS bandwidth (quota/period) enforcement.
+
+A *vanilla* container of an N-core instance type is not pinned; instead
+``cpu.cfs_quota_us = N * cpu.cfs_period_us`` caps its aggregate CPU usage
+at N cores per period while leaving placement to the host scheduler.  This
+is the "CPU-quota" provisioning model of Section II-D, and the reason a
+2-core vanilla container's threads can be observed on all 112 host CPUs
+(Section IV-B) while still averaging 2 cores of throughput.
+
+The simulation enforces the quota as a capacity cap in the processor-
+sharing allocation; this module carries the specification, the validity
+checks, and the *throttle-rate* estimate used by the accounting model
+(each period in which the quota is exhausted adds throttle/unthrottle
+bookkeeping, and a bursty workload that hits the cap mid-period waits for
+the next period boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CgroupError
+from repro.units import MS
+
+__all__ = ["CfsQuota"]
+
+
+@dataclass(frozen=True)
+class CfsQuota:
+    """CFS bandwidth controller configuration for one container.
+
+    Parameters
+    ----------
+    cores:
+        Quota expressed in cores (quota_us / period_us).
+    period:
+        Enforcement period in seconds (kernel default 100 ms).
+    """
+
+    cores: float
+    period: float = 100 * MS
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise CgroupError(f"quota cores must be > 0, got {self.cores}")
+        if self.period <= 0:
+            raise CgroupError(f"period must be > 0, got {self.period}")
+
+    @property
+    def quota_us(self) -> float:
+        """Equivalent ``cpu.cfs_quota_us`` value."""
+        return self.cores * self.period / 1e-6
+
+    @property
+    def period_us(self) -> float:
+        """Equivalent ``cpu.cfs_period_us`` value."""
+        return self.period / 1e-6
+
+    def capacity(self) -> float:
+        """Average core capacity the controller allows."""
+        return self.cores
+
+    def throttle_events_per_second(self, demand_cores: float) -> float:
+        """Expected throttle events per second at a given demand.
+
+        When the group's runnable demand exceeds its quota, it is throttled
+        once per period (and unthrottled at the refill); below the cap no
+        throttling occurs.  A demand right at the cap throttles in a
+        fraction of periods proportional to how hard it pushes.
+        """
+        if demand_cores < 0:
+            raise CgroupError(f"demand_cores must be >= 0, got {demand_cores}")
+        if demand_cores <= self.cores:
+            return 0.0
+        pressure = min(1.0, (demand_cores - self.cores) / self.cores)
+        return pressure / self.period

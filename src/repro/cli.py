@@ -1,0 +1,548 @@
+"""Command-line interface: ``repro-pinning`` / ``python -m repro``.
+
+Subcommands mirror the paper's artifacts:
+
+``tables``
+    Print Tables I, II and III.
+``run``
+    Run one (workload, platform, instance) configuration and print the
+    measured time plus the overhead breakdown.
+``figure``
+    Regenerate one of the paper's result figures (3-8) as a text chart
+    and optionally save the raw sweep as JSON.
+``chr``
+    Estimate the suitable-CHR band for a workload (Section IV-A).
+``advise``
+    Apply the Section-VI best practices to an application profile.
+``predict``
+    Closed-form overhead-ratio prediction (the paper's future-work
+    mathematical model) without running the simulation.
+``colocate``
+    Consolidation study: co-locate several tenants on one host and
+    report interference factors.
+``place``
+    Cost/SLO placement optimization over the whole deployment grid.
+``report``
+    Run the full campaign and write a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bestpractices import BestPracticeAdvisor
+from repro.analysis.chr import estimate_suitable_chr_range
+from repro.analysis.model import predict_overhead_ratio
+from repro.analysis.placement import CostModel, PlacementOptimizer
+from repro.analysis.report import generate_report
+from repro.analysis.figures import figure_from_sweep, render_figure
+from repro.analysis.overhead import overhead_ratios
+from repro.analysis.tables import render_table1, render_table2, render_table3
+from repro.errors import ReproError
+from repro.hostmodel.topology import r830_host, small_host
+from repro.platforms.provisioning import (
+    instance_type,
+    instance_type_names,
+    instance_types_upto,
+)
+from repro.platforms.registry import make_platform
+from repro.rng import DEFAULT_SEED, RngFactory
+from repro.run.campaign import Campaign, run_campaign
+from repro.run.colocation import Tenant, run_colocated
+from repro.run.execution import run_once
+from repro.run.experiment import run_platform_sweep
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.ffmpeg import FfmpegWorkload
+from repro.workloads.mpi import MpiPrimeWorkload, MpiSearchWorkload
+from repro.workloads.wordpress import WordPressWorkload
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS: dict[str, type[Workload]] = {
+    "ffmpeg": FfmpegWorkload,
+    "mpi": MpiSearchWorkload,
+    "mpi-prime": MpiPrimeWorkload,
+    "wordpress": WordPressWorkload,
+    "cassandra": CassandraWorkload,
+}
+
+_FIGURES = {
+    "3": ("ffmpeg", "Fig. 3: FFmpeg execution time (s)"),
+    "4": ("mpi", "Fig. 4: MPI Search execution time (s)"),
+    "5": ("wordpress", "Fig. 5: WordPress mean response time (s)"),
+    "6": ("cassandra", "Fig. 6: Cassandra mean response time (s)"),
+    "7": (None, "Fig. 7: CHR effect across hosts"),
+    "8": (None, "Fig. 8: multitasking effect"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pinning",
+        description=(
+            "Reproduction of 'The Art of CPU-Pinning' (ICPP 2020): simulated "
+            "virtualization/containerization pinning studies."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="root random seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I-III")
+
+    run_p = sub.add_parser("run", help="run one configuration")
+    run_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    run_p.add_argument(
+        "--platform", default="CN", choices=["BM", "VM", "CN", "VMCN"]
+    )
+    run_p.add_argument(
+        "--mode", default="vanilla", choices=["vanilla", "pinned"]
+    )
+    run_p.add_argument(
+        "--instance", default="xLarge", choices=instance_type_names()
+    )
+    run_p.add_argument(
+        "--host-cpus",
+        type=int,
+        default=0,
+        help="simulate a host with this many CPUs (default: the 112-CPU R830)",
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", choices=sorted(_FIGURES))
+    fig_p.add_argument("--reps", type=int, default=3)
+    fig_p.add_argument("--save", metavar="PATH", help="save raw sweep JSON")
+    fig_p.add_argument(
+        "--svg", metavar="PATH", help="also render the figure as an SVG file"
+    )
+
+    chr_p = sub.add_parser("chr", help="estimate the suitable-CHR band")
+    chr_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    chr_p.add_argument("--reps", type=int, default=2)
+
+    adv_p = sub.add_parser("advise", help="apply the Section-VI best practices")
+    adv_p.add_argument(
+        "--cpu-duty", type=float, default=0.5, help="CPU duty cycle in [0,1]"
+    )
+    adv_p.add_argument(
+        "--io-intensity", type=float, default=0.5, help="IO intensity in [0,1]"
+    )
+    adv_p.add_argument("--no-pinning", action="store_true")
+    adv_p.add_argument("--no-containers", action="store_true")
+    adv_p.add_argument("--require-vm", action="store_true")
+
+    pred_p = sub.add_parser(
+        "predict", help="closed-form overhead prediction (no simulation)"
+    )
+    pred_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    pred_p.add_argument(
+        "--platform", default="CN", choices=["BM", "VM", "CN", "VMCN", "SG"]
+    )
+    pred_p.add_argument(
+        "--mode", default="vanilla", choices=["vanilla", "pinned"]
+    )
+    pred_p.add_argument(
+        "--instance", default="xLarge", choices=instance_type_names()
+    )
+    pred_p.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the simulation and report the prediction error",
+    )
+
+    colo_p = sub.add_parser(
+        "colocate", help="co-locate tenants and report interference"
+    )
+    colo_p.add_argument(
+        "tenant",
+        nargs="+",
+        metavar="WORKLOAD:PLATFORM:MODE:INSTANCE",
+        help="e.g. cassandra:CN:pinned:8xLarge",
+    )
+
+    place_p = sub.add_parser(
+        "place", help="cheapest deployment meeting an SLO (predictor-based)"
+    )
+    place_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    place_p.add_argument(
+        "--slo", type=float, required=True, help="deadline in seconds"
+    )
+    place_p.add_argument("--top", type=int, default=8)
+    place_p.add_argument(
+        "--core-hour", type=float, default=0.05, help="$ per core-hour"
+    )
+
+    sens_p = sub.add_parser(
+        "sensitivity", help="elasticity of a finding in the calibration"
+    )
+    sens_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    sens_p.add_argument(
+        "--platform", default="CN", choices=["VM", "CN", "VMCN", "SG"]
+    )
+    sens_p.add_argument(
+        "--mode", default="vanilla", choices=["vanilla", "pinned"]
+    )
+    sens_p.add_argument(
+        "--instance", default="xLarge", choices=instance_type_names()
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="run one configuration with BCC-style tracing"
+    )
+    trace_p.add_argument("workload", choices=sorted(_WORKLOADS))
+    trace_p.add_argument(
+        "--platform", default="CN", choices=["BM", "VM", "CN", "VMCN", "SG"]
+    )
+    trace_p.add_argument(
+        "--mode", default="vanilla", choices=["vanilla", "pinned"]
+    )
+    trace_p.add_argument(
+        "--instance", default="Large", choices=instance_type_names()
+    )
+    trace_p.add_argument(
+        "--timeline", action="store_true", help="also print the Gantt view"
+    )
+
+    rep_p = sub.add_parser(
+        "report", help="run the full campaign and write a markdown report"
+    )
+    rep_p.add_argument("--out", default="REPORT.md", help="output path")
+    rep_p.add_argument("--reps-fast", type=int, default=5)
+    rep_p.add_argument("--reps-io", type=int, default=2)
+    rep_p.add_argument(
+        "--only",
+        nargs="*",
+        choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8"],
+        help="restrict to these experiments",
+    )
+    return parser
+
+
+def _cmd_tables() -> int:
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    host = small_host(args.host_cpus) if args.host_cpus else r830_host()
+    workload = _WORKLOADS[args.workload]()
+    platform = make_platform(
+        args.platform, instance_type(args.instance), args.mode
+    )
+    rng = RngFactory(seed=args.seed).fresh_stream("cli-run")
+    result = run_once(workload, platform, host, rng=rng)
+    print(f"workload : {workload.name} {workload.version}")
+    print(f"platform : {platform.label()} @ {args.instance} on {host.name}")
+    print(f"metric   : {result.metric_name}")
+    flag = "  (THRASHED: out of range)" if result.thrashed else ""
+    print(f"value    : {result.value:.3f} s{flag}")
+    c = result.counters
+    if c is not None:
+        print(
+            f"counters : {c.sched_events:.0f} sched events, "
+            f"{c.migrations:.0f} migrations, {c.irqs} IRQs, "
+            f"{c.overhead_fraction:.1%} capacity overhead"
+        )
+    return 0
+
+
+def _instances_for(workload_key: str):
+    if workload_key == "ffmpeg":
+        return instance_types_upto(16)
+    return [
+        instance_type(n)
+        for n in ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+    ]
+
+
+def _cmd_figure_7(args: argparse.Namespace) -> int:
+    factory = RngFactory(seed=args.seed)
+    inst = instance_type("4xLarge")
+    print("Fig. 7: FFmpeg on a 4xLarge CN at different CHR values\n")
+    for host, chr_label in ((small_host(16), "1.00"), (r830_host(), "0.14")):
+        print(f"host {host.name} (CHR = {chr_label}):")
+        for kind, mode in (("CN", "vanilla"), ("CN", "pinned"), ("BM", "vanilla")):
+            values = [
+                run_once(
+                    FfmpegWorkload(),
+                    make_platform(kind, inst, mode),
+                    host,
+                    rng=factory.fresh_stream("cli-fig7", rep=rep),
+                ).value
+                for rep in range(args.reps)
+            ]
+            mean = sum(values) / len(values)
+            print(f"  {mode.capitalize()} {kind:<4s} {mean:7.2f}s")
+    return 0
+
+
+def _cmd_figure_8(args: argparse.Namespace) -> int:
+    factory = RngFactory(seed=args.seed)
+    inst = instance_type("4xLarge")
+    print("Fig. 8: FFmpeg on a 4xLarge CN, multitasking effect\n")
+    for label, wl in (
+        ("1 Large Task", FfmpegWorkload()),
+        ("30 Small Tasks", FfmpegWorkload().split(30)),
+    ):
+        for mode in ("vanilla", "pinned"):
+            values = [
+                run_once(
+                    wl,
+                    make_platform("CN", inst, mode),
+                    r830_host(),
+                    rng=factory.fresh_stream(f"cli-fig8/{label}", rep=rep),
+                ).value
+                for rep in range(args.reps)
+            ]
+            mean = sum(values) / len(values)
+            print(f"  {label:<15s} {mode.capitalize():<8s} {mean:6.2f}s")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "7":
+        return _cmd_figure_7(args)
+    if args.number == "8":
+        return _cmd_figure_8(args)
+    workload_key, title = _FIGURES[args.number]
+    workload = _WORKLOADS[workload_key]()
+    sweep = run_platform_sweep(
+        workload, _instances_for(workload_key), reps=args.reps, seed=args.seed
+    )
+    print(render_figure(figure_from_sweep(sweep), title=title))
+    print("\noverhead ratios vs Vanilla BM:")
+    for label in sweep.platform_order:
+        if label == "Vanilla BM":
+            continue
+        ratios = " ".join(f"{r:5.2f}" for r in overhead_ratios(sweep, label))
+        print(f"  {label:<14s} {ratios}")
+    if args.save:
+        sweep.save(args.save)
+        print(f"\nsaved raw sweep to {args.save}")
+    if args.svg:
+        from repro.viz.svg import save_sweep_svg
+
+        save_sweep_svg(sweep, args.svg, title=title)
+        print(f"rendered SVG to {args.svg}")
+    return 0
+
+
+def _cmd_chr(args: argparse.Namespace) -> int:
+    workload = _WORKLOADS[args.workload]()
+    host = r830_host()
+    sweep = run_platform_sweep(
+        workload, _instances_for(args.workload), reps=args.reps, seed=args.seed
+    )
+    band = estimate_suitable_chr_range(sweep, host)
+    ratios = overhead_ratios(sweep, "Vanilla CN")
+    print(f"workload          : {workload.name}")
+    print(
+        "vanilla-CN ratios : "
+        + " ".join(
+            f"{i}={r:.2f}x" for i, r in zip(sweep.instance_order, ratios)
+        )
+    )
+    print(f"suitable CHR band : {band} (PSO vanishes at {band.vanish_instance})")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    profile = WorkloadProfile(
+        cpu_duty_cycle=args.cpu_duty,
+        io_intensity=args.io_intensity,
+        description="user-described application",
+    )
+    advisor = BestPracticeAdvisor(
+        host=r830_host(),
+        pinning_available=not args.no_pinning,
+        containers_allowed=not args.no_containers,
+        vms_required=args.require_vm,
+    )
+    rec = advisor.recommend(profile)
+    print(f"recommendation : {rec.mode.value} {rec.platform.value}")
+    if rec.suggested_cores:
+        print(f"sizing         : {rec.suggested_cores} cores ({rec.chr_range})")
+    print(f"paper rules    : {list(rec.rules_applied) or '-'}")
+    for line in rec.rationale:
+        print(f"  . {line}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    host = r830_host()
+    workload = _WORKLOADS[args.workload]()
+    platform = make_platform(
+        args.platform, instance_type(args.instance), args.mode
+    )
+    pred = predict_overhead_ratio(workload, platform, host)
+    print(f"workload   : {workload.name}")
+    print(f"platform   : {platform.label()} @ {args.instance}")
+    print(f"predicted  : x{pred:.2f} vs Vanilla BM")
+    if args.check:
+        factory = RngFactory(seed=args.seed)
+        bm = run_once(
+            workload,
+            make_platform("BM", instance_type(args.instance)),
+            host,
+            rng=factory.fresh_stream("cli-predict"),
+        ).value
+        sim = (
+            run_once(
+                workload, platform, host, rng=factory.fresh_stream("cli-predict")
+            ).value
+            / bm
+        )
+        print(f"simulated  : x{sim:.2f}")
+        print(f"rel. error : {abs(pred - sim) / sim:.1%}")
+    return 0
+
+
+def _parse_tenant(spec: str, index: int) -> Tenant:
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise ReproError(
+            f"tenant spec {spec!r} must be WORKLOAD:PLATFORM:MODE:INSTANCE"
+        )
+    wl_name, platform, mode, inst = parts
+    if wl_name not in _WORKLOADS:
+        raise ReproError(
+            f"unknown workload {wl_name!r}; known: {sorted(_WORKLOADS)}"
+        )
+    return Tenant(
+        workload=_WORKLOADS[wl_name](),
+        platform=make_platform(platform, instance_type(inst), mode),
+        label=f"{index}:{spec}",
+    )
+
+
+def _cmd_colocate(args: argparse.Namespace) -> int:
+    tenants = [_parse_tenant(spec, i) for i, spec in enumerate(args.tenant)]
+    result = run_colocated(tenants, host=r830_host())
+    width = max(len(t.label) for t in tenants)
+    print(f"{'tenant':<{width}s} {'isolated':>9s} {'colocated':>10s} {'slowdown':>9s}")
+    for label in result.colocated:
+        print(
+            f"{label:<{width}s} {result.isolated[label]:8.2f}s "
+            f"{result.colocated[label]:9.2f}s {result.interference(label):8.2f}x"
+        )
+    worst, factor = result.worst_interference()
+    print(f"\nworst interference: {worst} (x{factor:.2f})")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    optimizer = PlacementOptimizer(
+        cost=CostModel(dollars_per_core_hour=args.core_hour)
+    )
+    workload = _WORKLOADS[args.workload]()
+    print(optimizer.render(workload, slo_seconds=args.slo, top_n=args.top))
+    try:
+        best = optimizer.best(workload, slo_seconds=args.slo)
+        print(f"\nrecommended: {best.label} (${best.cost_dollars:.4f}/run)")
+    except ReproError as exc:
+        print(f"\n{exc}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import render_sensitivity, sensitivity_analysis
+
+    workload = _WORKLOADS[args.workload]()
+    platform = make_platform(
+        args.platform, instance_type(args.instance), args.mode
+    )
+    print(
+        f"sensitivity of {platform.label()} @ {args.instance} overhead "
+        f"ratio on {workload.name} (+/-20% per constant):\n"
+    )
+    print(render_sensitivity(sensitivity_analysis(workload, platform)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine.tracing import ListTraceSink
+    from repro.trace.cpudist import CpuDist
+    from repro.trace.offcputime import OffCpuReport
+    from repro.trace.timeline import Timeline
+
+    workload = _WORKLOADS[args.workload]()
+    platform = make_platform(
+        args.platform, instance_type(args.instance), args.mode
+    )
+    sink = ListTraceSink() if args.timeline else None
+    rng = RngFactory(seed=args.seed).fresh_stream("cli-trace")
+    result = run_once(workload, platform, r830_host(), rng=rng, trace=sink)
+    print(
+        f"{workload.name} on {platform.label()} @ {args.instance}: "
+        f"{result.value:.2f}s\n"
+    )
+    print("offcputime attribution:")
+    print(OffCpuReport.from_counters(result.counters).render())
+    print("\ncpudist:")
+    print(CpuDist.from_counters(result.counters).render(width=30))
+    if sink is not None:
+        print("\ntimeline:")
+        print(Timeline.from_events(sink.events).render(width=70))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    campaign = Campaign(
+        reps_fast=args.reps_fast,
+        reps_io=args.reps_io,
+        seed=args.seed,
+        include=tuple(args.only)
+        if args.only
+        else ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8"),
+    )
+    print(f"running campaign {campaign.include} ...")
+    result = run_campaign(campaign)
+    text = generate_report(result)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.out} ({len(text)} chars)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "tables":
+            return _cmd_tables()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "chr":
+            return _cmd_chr(args)
+        if args.command == "advise":
+            return _cmd_advise(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        if args.command == "colocate":
+            return _cmd_colocate(args)
+        if args.command == "place":
+            return _cmd_place(args)
+        if args.command == "sensitivity":
+            return _cmd_sensitivity(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

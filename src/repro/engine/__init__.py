@@ -1,0 +1,37 @@
+"""Fluid discrete-event simulation engine.
+
+The engine advances a population of threads (built from
+:class:`repro.workloads.base.ProcessSpec`) under processor sharing on the
+instance's core capacity, charging overheads from an
+:class:`repro.sched.accounting.OverheadModel`.  State changes only at
+*events* — segment boundaries, IO wake-ups, arrivals, barrier releases —
+so the event-driven advance is exact, and thread state lives in numpy
+arrays so each step is vectorized.
+
+* :mod:`repro.engine.events` -- event kinds and trace records;
+* :mod:`repro.engine.simulator` -- the engine;
+* :mod:`repro.engine.tracing` -- optional per-event trace sinks.
+"""
+
+from repro.engine.events import EventKind, TraceEvent
+from repro.engine.simulator import (
+    EngineConfig,
+    EngineResult,
+    GroupResult,
+    InstanceDeployment,
+    Simulator,
+)
+from repro.engine.tracing import ListTraceSink, NullTraceSink, TraceSink
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "Simulator",
+    "EngineConfig",
+    "EngineResult",
+    "GroupResult",
+    "InstanceDeployment",
+    "TraceSink",
+    "NullTraceSink",
+    "ListTraceSink",
+]

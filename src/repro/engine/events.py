@@ -1,0 +1,46 @@
+"""Event kinds and trace records emitted by the engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "TraceEvent"]
+
+
+class EventKind(enum.Enum):
+    """What happened at an engine event."""
+
+    ARRIVAL = "arrival"  # thread became runnable for the first time
+    COMPUTE_DONE = "compute-done"  # a compute segment finished
+    IO_ISSUE = "io-issue"  # thread blocked on an IO segment
+    IO_WAKE = "io-wake"  # IRQ woke a blocked thread
+    COMM_ISSUE = "comm-issue"  # thread entered a communication segment
+    COMM_DONE = "comm-done"  # communication completed
+    BARRIER_WAIT = "barrier-wait"  # thread parked at a barrier
+    BARRIER_RELEASE = "barrier-release"  # last arriver released a barrier
+    THREAD_DONE = "thread-done"  # program exhausted
+    OP_COMPLETE = "op-complete"  # a marked user operation completed
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine event, as delivered to a trace sink.
+
+    Parameters
+    ----------
+    time:
+        Simulation time of the event.
+    kind:
+        The event kind.
+    thread:
+        Engine-global thread index.
+    detail:
+        Kind-specific payload (e.g. barrier id, IO duration, response
+        time), kept as a float to stay allocation-light.
+    """
+
+    time: float
+    kind: EventKind
+    thread: int
+    detail: float = 0.0

@@ -1,0 +1,768 @@
+"""The fluid discrete-event simulator.
+
+Semantics
+---------
+Threads execute straight-line segment programs.  Between events the set
+of runnable threads is fixed, so the engine advances all of them under
+**two-level processor sharing**: each *instance* (a platform deployment
+with its own quota and overhead model) splits its capacity equally among
+its runnable threads, and the host scales every instance down when their
+combined demand exceeds the host's cores.  A thread's progress rate is::
+
+    rate = share * efficiency(osr_g) / (platform_penalty * contention
+                                        * migration_slowdown * thrash)
+
+where ``osr_g`` is the instance's oversubscription ratio (runnable
+threads per quota core), ``efficiency`` folds in the steady
+cgroup-accounting tax, platform background machinery and per-scheduling-
+event costs (:class:`repro.sched.accounting.OverheadModel`),
+``platform_penalty`` is the abstraction-layer slowdown of the current
+compute segment, ``contention`` is the host-wide cache-pressure factor,
+and ``thrash`` the instance's memory-pressure factor.
+
+The paper evaluates every configuration in isolation ("there is no other
+coexisting workload in the system", Section III-A) — that is the
+single-instance :class:`EngineConfig` path.  The multi-instance path
+(:meth:`Simulator.colocated`) models the very contention the paper
+excluded, enabling consolidation studies on top of the reproduction.
+
+State changes only at events — a segment completing, an IO/communication
+wake-up, an arrival, a barrier release — so jumping straight to the next
+event is exact, and identical threads finishing together are handled in
+one step.  Thread state lives in numpy arrays; each step is O(threads)
+vectorized work.
+
+Overheads are charged **in expectation** (probability x penalty per
+event); run-to-run variance comes from the workload builders' seeded
+jitter, mirroring how the paper's confidence intervals capture measured
+noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.events import EventKind, TraceEvent
+from repro.engine.tracing import NullTraceSink, TraceSink
+from repro.errors import SimulationError
+from repro.hostmodel.irq import IrqKind
+from repro.hostmodel.network import NetworkModel
+from repro.hostmodel.storage import StorageModel
+from repro.sched.accounting import OverheadModel
+from repro.trace.counters import PerfCounters
+from repro.workloads.base import ProcessSpec
+from repro.workloads.segments import (
+    BarrierSegment,
+    CommSegment,
+    ComputeSegment,
+    IoSegment,
+)
+
+__all__ = [
+    "EngineConfig",
+    "EngineResult",
+    "GroupResult",
+    "InstanceDeployment",
+    "Simulator",
+]
+
+# thread states
+_PRE = 0  # not yet arrived
+_RUN = 1  # runnable (in a compute segment)
+_BLOCK = 2  # waiting on IO or communication
+_BARRIER = 3  # parked at a barrier
+_DONE = 4
+
+# blocked causes
+_CAUSE_IO = 1
+_CAUSE_COMM = 2
+
+_EPS = 1e-12
+
+
+def _barrier_key(pidx: int, seg: BarrierSegment) -> tuple[int, int]:
+    """Rendezvous key: global barriers share one namespace (-1)."""
+    return (-1 if seg.scope == "global" else pidx, seg.barrier_id)
+
+
+def _waterfill(weights: np.ndarray, capacity: float) -> np.ndarray:
+    """Weighted fair shares with a per-thread cap of one core.
+
+    Allocates ``capacity`` cores proportionally to ``weights``; threads
+    whose proportional share exceeds one core are capped and the excess
+    is redistributed among the rest (CFS group-weight semantics).
+    """
+    n = weights.size
+    share = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    remaining = capacity
+    # converges in at most n rounds; in practice a couple
+    for _ in range(n):
+        w_sum = float(weights[active].sum())
+        if w_sum <= 0 or remaining <= 0 or not active.any():
+            break
+        prop = remaining * weights / w_sum
+        over = active & (prop >= 1.0)
+        if not over.any():
+            share[active] = prop[active]
+            break
+        share[over] = 1.0
+        remaining -= int(over.sum())
+        active &= ~over
+    return np.minimum(share, 1.0)
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level configuration for one isolated run.
+
+    Parameters
+    ----------
+    capacity:
+        Core capacity of the instance (quota or vCPU count).
+    overhead:
+        Precomputed overhead model of the deployment.
+    storage:
+        Shared-disk contention model.
+    thrash_factor:
+        Memory-pressure factor (>= 1): divides compute rates, multiplies
+        IO durations.
+    max_time:
+        Simulation-time guard; exceeding it raises
+        :class:`~repro.errors.SimulationError`.
+    max_steps:
+        Event-loop step guard against livelock.
+    trace:
+        Optional event sink.
+    """
+
+    capacity: float
+    overhead: OverheadModel
+    storage: StorageModel = field(default_factory=StorageModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    thrash_factor: float = 1.0
+    max_time: float = 1e6
+    max_steps: int = 5_000_000
+    trace: TraceSink = field(default_factory=NullTraceSink)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {self.capacity}")
+        if self.thrash_factor < 1.0:
+            raise SimulationError(
+                f"thrash_factor must be >= 1, got {self.thrash_factor}"
+            )
+
+
+@dataclass
+class InstanceDeployment:
+    """One platform instance in a (possibly co-located) simulation.
+
+    Parameters
+    ----------
+    processes:
+        The workload processes running inside this instance.
+    capacity:
+        Quota/vCPU cores of the instance.
+    overhead:
+        Overhead model of the instance's deployment.
+    thrash_factor:
+        Memory-pressure factor of the instance.
+    label:
+        Name used in per-group results.
+    """
+
+    processes: list[ProcessSpec]
+    capacity: float
+    overhead: OverheadModel
+    thrash_factor: float = 1.0
+    label: str = "instance"
+
+    def __post_init__(self) -> None:
+        if not self.processes:
+            raise SimulationError(
+                f"deployment {self.label!r} has no processes"
+            )
+        if self.capacity <= 0:
+            raise SimulationError(
+                f"deployment {self.label!r} capacity must be > 0"
+            )
+        if self.thrash_factor < 1.0:
+            raise SimulationError(
+                f"deployment {self.label!r} thrash_factor must be >= 1"
+            )
+
+
+@dataclass
+class GroupResult:
+    """Per-instance outcome of a co-located run."""
+
+    label: str
+    makespan: float
+    op_responses: np.ndarray
+
+    @property
+    def mean_response(self) -> float:
+        """Mean marked-operation response time; NaN when none."""
+        if self.op_responses.size == 0:
+            return float("nan")
+        return float(self.op_responses.mean())
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    makespan:
+        Time from t=0 to the last thread completion (host-wide).
+    thread_finish_times:
+        Completion time of every thread.
+    op_responses:
+        Response times of all marked operations (all instances).
+    counters:
+        Aggregate perf counters (all instances).
+    groups:
+        Per-instance results, in deployment order.
+    """
+
+    makespan: float
+    thread_finish_times: np.ndarray
+    op_responses: np.ndarray
+    counters: PerfCounters
+    groups: list[GroupResult] = field(default_factory=list)
+
+    @property
+    def mean_response(self) -> float:
+        """Mean operation response time; NaN when nothing was marked."""
+        if self.op_responses.size == 0:
+            return float("nan")
+        return float(self.op_responses.mean())
+
+    def group(self, label: str) -> GroupResult:
+        """Per-instance result by deployment label."""
+        for g in self.groups:
+            if g.label == label:
+                return g
+        raise SimulationError(f"no instance labelled {label!r} in this run")
+
+
+class Simulator:
+    """Runs one population of processes to completion.
+
+    Parameters
+    ----------
+    processes:
+        The workload's process specs (single isolated instance).
+    config:
+        Engine configuration for the isolated-instance case.
+
+    For consolidation studies use :meth:`colocated` instead.
+    """
+
+    def __init__(self, processes: list[ProcessSpec], config: EngineConfig) -> None:
+        if not processes:
+            raise SimulationError("cannot simulate an empty process list")
+        deployment = InstanceDeployment(
+            processes=processes,
+            capacity=config.capacity,
+            overhead=config.overhead,
+            thrash_factor=config.thrash_factor,
+            label="instance",
+        )
+        self._init_common(
+            [deployment],
+            host_capacity=config.capacity,
+            storage=config.storage,
+            network=config.network,
+            max_time=config.max_time,
+            max_steps=config.max_steps,
+            trace=config.trace,
+        )
+
+    @classmethod
+    def colocated(
+        cls,
+        deployments: list[InstanceDeployment],
+        host_capacity: float,
+        *,
+        storage: StorageModel | None = None,
+        network: NetworkModel | None = None,
+        max_time: float = 1e6,
+        max_steps: int = 5_000_000,
+        trace: TraceSink | None = None,
+    ) -> "Simulator":
+        """Build a simulator with several instances sharing one host.
+
+        ``host_capacity`` caps the combined core usage; the shared
+        ``storage`` model couples the instances' disk IO.
+        """
+        if not deployments:
+            raise SimulationError("colocated() needs at least one deployment")
+        if host_capacity <= 0:
+            raise SimulationError("host_capacity must be > 0")
+        self = cls.__new__(cls)
+        self._init_common(
+            deployments,
+            host_capacity=host_capacity,
+            storage=storage or StorageModel(),
+            network=network or NetworkModel(),
+            max_time=max_time,
+            max_steps=max_steps,
+            trace=trace or NullTraceSink(),
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _init_common(
+        self,
+        deployments: list[InstanceDeployment],
+        *,
+        host_capacity: float,
+        storage: StorageModel,
+        network: NetworkModel,
+        max_time: float,
+        max_steps: int,
+        trace: TraceSink,
+    ) -> None:
+        self.deployments = deployments
+        self.host_capacity = float(host_capacity)
+        self.storage = storage
+        self.network = network
+        self.max_time = max_time
+        self.max_steps = max_steps
+        self.trace = trace
+        self.n_groups = len(deployments)
+
+        programs = []
+        proc_of = []
+        group_of_list = []
+        weights = []
+        arrivals = []
+        op_marks: dict[int, dict[int, float]] = {}
+        barrier_participants: dict[tuple[int, int], int] = {}
+        tid = 0
+        pidx = 0
+        for gidx, dep in enumerate(deployments):
+            for proc in dep.processes:
+                for th in proc.threads:
+                    programs.append(th.program)
+                    proc_of.append(pidx)
+                    group_of_list.append(gidx)
+                    weights.append(proc.weight)
+                    arrivals.append(th.arrival_time)
+                    if th.op_marks:
+                        op_marks[tid] = {
+                            m.seg_index: m.submitted_at for m in th.op_marks
+                        }
+                    for seg in th.program:
+                        if isinstance(seg, BarrierSegment):
+                            key = _barrier_key(pidx, seg)
+                            barrier_participants[key] = (
+                                barrier_participants.get(key, 0) + 1
+                            )
+                    tid += 1
+                pidx += 1
+
+        n = tid
+        self.n_threads = n
+        self.programs = programs
+        self.proc_of = proc_of
+        self.op_marks = op_marks
+        self.barrier_participants = barrier_participants
+
+        self.state = np.full(n, _PRE, dtype=np.int8)
+        self.remaining = np.zeros(n)
+        self.wake = np.asarray(arrivals, dtype=float)
+        self.seg_ptr = np.full(n, -1, dtype=np.int64)
+        self.mem_int = np.zeros(n)
+        self.platform_penalty = np.ones(n)
+        self.finish = np.full(n, np.nan)
+        self.blocked_cause = np.zeros(n, dtype=np.int8)
+        self.is_disk_io = np.zeros(n, dtype=bool)
+        self.barrier_enter = np.zeros(n)
+        self.pending_extra = np.zeros(n)
+        self.group_of = np.asarray(group_of_list, dtype=np.int64)
+        self.thread_weight = np.asarray(weights, dtype=float)
+        self._uniform_weights = bool(
+            np.all(self.thread_weight == self.thread_weight[0])
+        )
+
+        self.barrier_remaining = dict(self.barrier_participants)
+        self.barrier_waiters: dict[tuple[int, int], list[int]] = {}
+
+        self.outstanding_disk = 0
+        self.counters = PerfCounters()
+        self.op_responses: list[float] = []
+        self.op_group: list[int] = []
+        self.t = 0.0
+        self.n_done = 0
+
+        # per-group precomputed overhead scalars
+        self._g_capacity = np.array([d.capacity for d in deployments])
+        self._g_thrash = np.array([d.thrash_factor for d in deployments])
+        self._g_steady = np.array(
+            [d.overhead.steady_cgroup_fraction for d in deployments]
+        )
+        self._g_background = np.array(
+            [d.overhead.background_fraction for d in deployments]
+        )
+        self._g_p_mig = np.array(
+            [d.overhead.sched_migration_probability for d in deployments]
+        )
+        self._g_p_wake = np.array(
+            [d.overhead.wake_migration_probability for d in deployments]
+        )
+        self._g_irq_latency = np.array(
+            [d.overhead.irq_latency() for d in deployments]
+        )
+        self._g_wake_extra = np.array(
+            [d.overhead.wake_extra_work() for d in deployments]
+        )
+        self._g_comm_factor = np.array(
+            [d.overhead.comm_factor for d in deployments]
+        )
+        self._g_net_factor = np.array(
+            [
+                d.overhead.platform.net_stack_factor(d.overhead.calib)
+                for d in deployments
+            ]
+        )
+        self._g_io_factor = np.array(
+            [
+                d.overhead.platform.io_device_factor(d.overhead.calib)
+                for d in deployments
+            ]
+        )
+        # calibration shared per run; take it from the first deployment
+        calib = deployments[0].overhead.calib
+        self._cfs = calib.cfs
+        self._ctx_cost = calib.ctx_switch_cost
+        self._gamma = calib.cache_contention_gamma
+        self._osr_ref = calib.cache_contention_osr_ref
+        self._g_cgroup_switch = np.array(
+            [d.overhead.cgroup_switch_cost for d in deployments]
+        )
+
+    # ------------------------------------------------------------------
+    # segment transitions
+
+    def _record_mark(self, i: int, t: float) -> None:
+        marks = self.op_marks.get(i)
+        if marks is None:
+            return
+        submitted = marks.get(int(self.seg_ptr[i]))
+        if submitted is not None:
+            response = t - submitted
+            self.op_responses.append(response)
+            self.op_group.append(int(self.group_of[i]))
+            self.trace.emit(TraceEvent(t, EventKind.OP_COMPLETE, i, response))
+
+    def _advance(self, i: int, t: float) -> None:
+        """Move thread ``i`` past its just-completed segment at time ``t``.
+
+        Handles cascades (barrier releases) iteratively via a work queue.
+        """
+        queue = [i]
+        while queue:
+            j = queue.pop()
+            self._advance_one(j, t, queue)
+
+    def _advance_one(self, j: int, t: float, queue: list[int]) -> None:
+        if self.seg_ptr[j] >= 0:
+            self._record_mark(j, t)
+        program = self.programs[j]
+        g = int(self.group_of[j])
+        dep = self.deployments[g]
+        while True:
+            self.seg_ptr[j] += 1
+            ptr = int(self.seg_ptr[j])
+            if ptr >= len(program):
+                self.state[j] = _DONE
+                self.finish[j] = t
+                self.n_done += 1
+                self.trace.emit(TraceEvent(t, EventKind.THREAD_DONE, j))
+                return
+            seg = program[ptr]
+            if isinstance(seg, ComputeSegment):
+                self.state[j] = _RUN
+                # re-warm work owed from preceding IRQ wake-ups executes
+                # at the head of the next compute burst
+                self.remaining[j] = seg.work + self.pending_extra[j]
+                self.pending_extra[j] = 0.0
+                self.mem_int[j] = seg.mem_intensity
+                self.platform_penalty[j] = dep.overhead.platform.compute_penalty(
+                    dep.overhead.calib, seg.mem_intensity, seg.kernel_share
+                )
+                self.wake[j] = np.inf
+                return
+            if isinstance(seg, IoSegment):
+                duration = self._io_duration(seg, g)
+                self.state[j] = _BLOCK
+                self.blocked_cause[j] = _CAUSE_IO
+                disk = seg.kind is IrqKind.DISK
+                self.is_disk_io[j] = disk
+                if disk:
+                    self.outstanding_disk += 1
+                self.wake[j] = t + duration
+                self.pending_extra[j] += seg.irqs * self._g_wake_extra[g]
+                self.counters.irqs += seg.irqs
+                self.counters.wake_migrations += seg.irqs * self._g_p_wake[g]
+                self.counters.io_blocked_seconds += duration
+                self.trace.emit(TraceEvent(t, EventKind.IO_ISSUE, j, duration))
+                return
+            if isinstance(seg, CommSegment):
+                if seg.remote:
+                    # network path: the whole exchange rides the (virtual)
+                    # NIC stack, not the in-host communication path
+                    duration = (
+                        seg.base_latency * self._g_net_factor[g]
+                        + seg.cpu_work
+                        + self.network.transfer_time(
+                            seg.message_bytes,
+                            stack_factor=self._g_net_factor[g],
+                        )
+                    )
+                else:
+                    duration = (
+                        seg.base_latency * self._g_comm_factor[g] + seg.cpu_work
+                    )
+                self.state[j] = _BLOCK
+                self.blocked_cause[j] = _CAUSE_COMM
+                self.is_disk_io[j] = False
+                self.wake[j] = t + duration
+                self.counters.comm_blocked_seconds += duration
+                self.trace.emit(TraceEvent(t, EventKind.COMM_ISSUE, j, duration))
+                return
+            # BarrierSegment
+            key = _barrier_key(self.proc_of[j], seg)
+            self.barrier_remaining[key] -= 1
+            if self.barrier_remaining[key] > 0:
+                self.state[j] = _BARRIER
+                self.barrier_enter[j] = t
+                self.wake[j] = np.inf
+                self.barrier_waiters.setdefault(key, []).append(j)
+                self.trace.emit(
+                    TraceEvent(t, EventKind.BARRIER_WAIT, j, seg.barrier_id)
+                )
+                return
+            # last arriver: release everyone else, then continue own program
+            waiters = self.barrier_waiters.pop(key, [])
+            for w in waiters:
+                self.counters.barrier_blocked_seconds += t - self.barrier_enter[w]
+                queue.append(w)
+            self.trace.emit(
+                TraceEvent(t, EventKind.BARRIER_RELEASE, j, seg.barrier_id)
+            )
+            # fall through: loop to this thread's next segment
+
+    def _io_duration(self, seg: IoSegment, g: int) -> float:
+        """Wall-time of one IO segment under current disk load."""
+        if seg.kind is IrqKind.DISK:
+            device = self.storage.device_time(
+                seg.device_time,
+                is_write=seg.is_write,
+                outstanding_ios=self.outstanding_disk + 1,
+            )
+        else:
+            device = seg.device_time
+        device *= self._g_io_factor[g] * self._g_thrash[g]
+        return device + seg.irqs * self._g_irq_latency[g]
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def run(self) -> EngineResult:
+        """Simulate to completion and return the results."""
+        steps = 0
+        while self.n_done < self.n_threads:
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded {self.max_steps} engine steps at t={self.t:.3f}s"
+                )
+
+            # 1. deliver due wake-ups / arrivals
+            due = np.flatnonzero(
+                (self.wake <= self.t + _EPS)
+                & ((self.state == _PRE) | (self.state == _BLOCK))
+            )
+            if due.size:
+                for j in due:
+                    j = int(j)
+                    if self.state[j] == _PRE:
+                        self.trace.emit(TraceEvent(self.t, EventKind.ARRIVAL, j))
+                    elif self.blocked_cause[j] == _CAUSE_IO:
+                        if self.is_disk_io[j]:
+                            self.outstanding_disk -= 1
+                        self.trace.emit(TraceEvent(self.t, EventKind.IO_WAKE, j))
+                    else:
+                        self.trace.emit(TraceEvent(self.t, EventKind.COMM_DONE, j))
+                    self.wake[j] = np.inf
+                    self._advance(j, self.t)
+                continue
+
+            run_idx = np.flatnonzero(self.state == _RUN)
+            n_run = run_idx.size
+
+            # 2. nothing runnable: jump to the next wake-up
+            if n_run == 0:
+                pending = self.wake[self.state != _DONE]
+                next_wake = float(pending.min()) if pending.size else math.inf
+                if not math.isfinite(next_wake):
+                    raise SimulationError(
+                        "deadlock: no runnable threads and no pending wake-ups "
+                        f"({self.n_done}/{self.n_threads} done; barriers "
+                        f"waiting: "
+                        f"{sum(len(v) for v in self.barrier_waiters.values())})"
+                    )
+                self.t = max(self.t, next_wake)
+                continue
+
+            # 3. two-level processor-sharing rates
+            groups_run = self.group_of[run_idx]
+            n_g = np.bincount(groups_run, minlength=self.n_groups).astype(float)
+            active = n_g > 0
+            # nominal cores each instance would occupy
+            alloc = np.minimum(n_g, self._g_capacity)
+            total_alloc = float(alloc.sum())
+            host_scale = min(1.0, self.host_capacity / total_alloc)
+
+            osr_g = np.divide(
+                n_g, self._g_capacity, out=np.zeros_like(n_g), where=active
+            )
+            osr_host = n_run / self.host_capacity
+            share_g = (
+                np.minimum(1.0, np.divide(
+                    self._g_capacity, n_g, out=np.ones_like(n_g), where=active
+                ))
+                * host_scale
+            )
+            eff_g = np.ones(self.n_groups)
+            mig_g = np.ones(self.n_groups)
+            event_rate_g = np.zeros(self.n_groups)
+            timeslice_g = np.zeros(self.n_groups)
+            for g in range(self.n_groups):
+                if not active[g]:
+                    continue
+                ov = self.deployments[g].overhead
+                eff_g[g] = ov.efficiency(float(osr_g[g]))
+                mig_g[g] = ov.migration_slowdown(float(osr_g[g]))
+                event_rate_g[g] = self._cfs.event_rate(float(osr_g[g]))
+                timeslice_g[g] = self._cfs.timeslice(float(osr_g[g]))
+
+            contention = 1.0 + self._gamma * self.mem_int[run_idx] * min(
+                1.0, max(0.0, osr_host - 1.0) / self._osr_ref
+            )
+            slowdown = (
+                self.platform_penalty[run_idx]
+                * contention
+                * mig_g[groups_run]
+                * self._g_thrash[groups_run]
+            )
+            if self._uniform_weights:
+                thread_share = share_g[groups_run]
+            else:
+                # CFS group weights: water-fill each instance's capacity
+                # proportionally to the runnable threads' weights
+                thread_share = np.empty(n_run)
+                for g in range(self.n_groups):
+                    mask = groups_run == g
+                    if not mask.any():
+                        continue
+                    cap = float(self._g_capacity[g]) * host_scale
+                    thread_share[mask] = _waterfill(
+                        self.thread_weight[run_idx[mask]], cap
+                    )
+            rate = (thread_share * eff_g[groups_run]) / slowdown
+
+            ttf = self.remaining[run_idx] / rate
+            dt_finish = float(ttf.min())
+            blocked = (self.state == _BLOCK) | (self.state == _PRE)
+            next_wake = (
+                float(self.wake[blocked].min()) if blocked.any() else math.inf
+            )
+            dt = min(dt_finish, next_wake - self.t)
+            if dt < 0:
+                dt = 0.0
+
+            # 4. advance and account
+            if dt > 0:
+                self.remaining[run_idx] -= rate * dt
+                busy_g = n_g * share_g
+                events_g = event_rate_g * busy_g * dt
+                busy_total = float(busy_g.sum()) * dt
+                self.counters.busy_core_seconds += busy_total
+                self.counters.useful_core_seconds += float(
+                    (busy_g * eff_g).sum()
+                ) * dt
+                self.counters.sched_events += float(events_g.sum())
+                self.counters.migrations += float(
+                    (events_g * self._g_p_mig).sum()
+                )
+                self.counters.ctx_switch_time += (
+                    float(events_g.sum()) * self._ctx_cost
+                )
+                self.counters.cgroup_time += float(
+                    (self._g_steady * busy_g).sum() * dt
+                    + (events_g * self._g_cgroup_switch).sum()
+                )
+                self.counters.migration_time += float(
+                    (busy_g * dt * (1.0 - 1.0 / mig_g)).sum()
+                )
+                self.counters.background_time += float(
+                    (self._g_background * busy_g).sum() * dt
+                )
+                for g in range(self.n_groups):
+                    if active[g]:
+                        self.counters.add_timeslice(
+                            float(timeslice_g[g]), float(busy_g[g] * dt)
+                        )
+                self.t += dt
+                if self.t > self.max_time:
+                    raise SimulationError(
+                        f"exceeded max simulation time {self.max_time}s "
+                        f"({self.n_done}/{self.n_threads} threads done)"
+                    )
+
+            # 5. complete finished compute segments (grouped waves)
+            finished = run_idx[ttf <= dt + _EPS]
+            for j in finished:
+                j = int(j)
+                self.remaining[j] = 0.0
+                self.trace.emit(TraceEvent(self.t, EventKind.COMPUTE_DONE, j))
+                self._advance(j, self.t)
+
+        return self._build_result()
+
+    def _build_result(self) -> EngineResult:
+        finish = self.finish
+        makespan = float(np.nanmax(finish)) if finish.size else 0.0
+        responses = np.asarray(self.op_responses, dtype=float)
+        op_groups = np.asarray(self.op_group, dtype=np.int64)
+        groups: list[GroupResult] = []
+        for g, dep in enumerate(self.deployments):
+            mask = self.group_of == g
+            g_finish = finish[mask]
+            g_makespan = float(np.nanmax(g_finish)) if g_finish.size else 0.0
+            g_resp = (
+                responses[op_groups == g] if responses.size else responses
+            )
+            groups.append(
+                GroupResult(
+                    label=dep.label, makespan=g_makespan, op_responses=g_resp
+                )
+            )
+        return EngineResult(
+            makespan=makespan,
+            thread_finish_times=finish,
+            op_responses=responses,
+            counters=self.counters,
+            groups=groups,
+        )

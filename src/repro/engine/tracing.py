@@ -1,0 +1,56 @@
+"""Trace sinks: optional observers of engine events.
+
+The default :class:`NullTraceSink` costs one no-op call per event;
+:class:`ListTraceSink` records everything for test assertions and
+debugging.  The BCC-analog tools in :mod:`repro.trace` do *not* use these
+sinks — they read the cheap aggregate :class:`repro.trace.counters.PerfCounters`
+instead — so tracing stays strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.engine.events import EventKind, TraceEvent
+
+__all__ = ["TraceSink", "NullTraceSink", "ListTraceSink"]
+
+
+class TraceSink(Protocol):
+    """Anything that accepts engine events."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Receive one event."""
+        ...  # pragma: no cover - protocol
+
+
+class NullTraceSink:
+    """Discards all events (the default)."""
+
+    __slots__ = ()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Discard the event."""
+
+
+class ListTraceSink:
+    """Stores every event in order; useful in tests.
+
+    Parameters
+    ----------
+    kinds:
+        Optional filter; when given, only those kinds are kept.
+    """
+
+    def __init__(self, kinds: set[EventKind] | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self._kinds = kinds
+
+    def emit(self, event: TraceEvent) -> None:
+        """Store the event if it passes the filter."""
+        if self._kinds is None or event.kind in self._kinds:
+            self.events.append(event)
+
+    def count(self, kind: EventKind) -> int:
+        """Number of stored events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are scoped by subsystem so
+that an experiment harness can distinguish a mis-specified platform from a
+simulation-engine invariant violation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "AffinityError",
+    "PlatformError",
+    "WorkloadError",
+    "SimulationError",
+    "CgroupError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or calibration parameter is out of its valid domain."""
+
+
+class TopologyError(ConfigurationError):
+    """A host topology specification is inconsistent (e.g. zero cores)."""
+
+
+class AffinityError(ConfigurationError):
+    """A CPU-affinity (pinning) request cannot be satisfied by the host."""
+
+
+class PlatformError(ConfigurationError):
+    """An execution-platform specification is invalid or unsupported."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload specification is invalid (e.g. negative work)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine detected a broken invariant at run time."""
+
+
+class CgroupError(ConfigurationError):
+    """A control-group (quota / cpuset) specification is invalid."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """Post-processing was asked to analyze inconsistent result sets."""

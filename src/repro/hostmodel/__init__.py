@@ -1,0 +1,46 @@
+"""Host-machine substrate models.
+
+This subpackage models the physical server under the execution platforms:
+
+* :mod:`repro.hostmodel.topology` -- sockets / cores / SMT threads / memory,
+  including a preset for the paper's DELL PowerEdge R830 testbed;
+* :mod:`repro.hostmodel.cache` -- cache hierarchy and the cost of re-warming
+  caches after a process migration;
+* :mod:`repro.hostmodel.irq` -- interrupt-request service-cost model;
+* :mod:`repro.hostmodel.storage` -- a simple shared-disk contention model
+  (the testbed used RAID1 of two HDDs);
+* :mod:`repro.hostmodel.contention` -- memory-pressure (thrashing) model.
+"""
+
+from repro.hostmodel.cache import CacheLevel, CacheModel, MigrationScope
+from repro.hostmodel.contention import MemoryPressureModel
+from repro.hostmodel.irq import IrqCostModel, IrqKind
+from repro.hostmodel.network import NetworkModel
+from repro.hostmodel.presets import HOST_PRESETS, host_preset, host_preset_names
+from repro.hostmodel.storage import StorageModel
+from repro.hostmodel.topology import (
+    R830_PRESET,
+    HostTopology,
+    make_host,
+    r830_host,
+    small_host,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CacheModel",
+    "MigrationScope",
+    "MemoryPressureModel",
+    "IrqCostModel",
+    "IrqKind",
+    "NetworkModel",
+    "HOST_PRESETS",
+    "host_preset",
+    "host_preset_names",
+    "StorageModel",
+    "HostTopology",
+    "R830_PRESET",
+    "make_host",
+    "r830_host",
+    "small_host",
+]

@@ -1,0 +1,104 @@
+"""Cache-hierarchy model: the cost of losing cache warmth on migration.
+
+Section III of the paper attributes a large part of the scheduling-event
+overhead to "redundant memory access due to cache miss" when a process is
+moved between cores, and Section IV-C adds the cost of "reload[ing] L1 and
+L2 caches" after an interrupt resumes a thread on a different core.
+
+The model prices one migration as the time to re-stream the thread's
+working set through the memory hierarchy::
+
+    penalty = scope_factor * working_set_bytes / reload_bandwidth
+
+A 64 MB Cassandra worker re-warms for milliseconds; a 4 KB PHP worker for
+microseconds — which is exactly why the paper finds pinning matters most
+for IO-intensive applications with fat state.  ``scope_factor`` discounts
+intra-socket moves (the shared L3 and local NUMA node survive); the
+penalty is capped because a thread only re-loads what actually fits in
+the lost cache levels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology
+
+__all__ = ["MigrationScope", "CacheLevel", "CacheModel"]
+
+
+class MigrationScope(enum.Enum):
+    """How far a thread moved at a migration event."""
+
+    SAME_CPU = "same-cpu"  # no move: no penalty
+    SAME_SOCKET = "same-socket"  # lose L1/L2, keep L3 + NUMA locality
+    CROSS_SOCKET = "cross-socket"  # lose L1/L2/L3 and NUMA locality
+
+
+class CacheLevel(enum.Enum):
+    """Named cache levels, for the trace counters."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Migration cache-penalty model.
+
+    Parameters
+    ----------
+    reload_bandwidth:
+        Effective bytes/second at which a cold working set re-streams
+        into the cache hierarchy (well below peak DRAM bandwidth: the
+        re-warm happens through demand misses).
+    same_socket_factor:
+        Discount for intra-socket moves: the shared L3 slice and the NUMA
+        node stay warm, only L1/L2 re-load.
+    max_penalty:
+        Cap in seconds: beyond this, the working set did not fit in the
+        lost cache levels anyway.
+    """
+
+    reload_bandwidth: float = 8e9
+    same_socket_factor: float = 0.5
+    max_penalty: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.reload_bandwidth <= 0:
+            raise ConfigurationError("reload_bandwidth must be > 0")
+        if not 0.0 <= self.same_socket_factor <= 1.0:
+            raise ConfigurationError("same_socket_factor must be in [0, 1]")
+        if self.max_penalty <= 0:
+            raise ConfigurationError("max_penalty must be > 0")
+
+    def penalty(self, scope: MigrationScope, working_set_bytes: float) -> float:
+        """Seconds of lost progress for one migration of the given scope."""
+        if working_set_bytes < 0:
+            raise ConfigurationError("working_set_bytes must be >= 0")
+        if scope is MigrationScope.SAME_CPU:
+            return 0.0
+        base = working_set_bytes / self.reload_bandwidth
+        if scope is MigrationScope.SAME_SOCKET:
+            base *= self.same_socket_factor
+        return min(base, self.max_penalty)
+
+    def expected_penalty(
+        self,
+        host: HostTopology,
+        cpuset: frozenset[int],
+        working_set_bytes: float,
+    ) -> float:
+        """Expected penalty of one migration to a uniform CPU of ``cpuset``.
+
+        Mixes the intra- and cross-socket penalties by the probability
+        that a uniformly random move within ``cpuset`` crosses a socket
+        boundary (see :meth:`HostTopology.cross_socket_fraction`).
+        """
+        xf = host.cross_socket_fraction(cpuset)
+        same = self.penalty(MigrationScope.SAME_SOCKET, working_set_bytes)
+        cross = self.penalty(MigrationScope.CROSS_SOCKET, working_set_bytes)
+        return (1.0 - xf) * same + xf * cross

@@ -1,0 +1,66 @@
+"""Memory-pressure (thrashing) model.
+
+Section III-B4 of the paper: "for the Large instance type, the system is
+overloaded and thrashed and the results are out of range" when Cassandra
+runs on 2 cores / 8 GB.  We model thrashing as a superlinear slowdown that
+kicks in when the resident demand of the workload exceeds the instance's
+memory allowance: every page touched competes for residency, so both
+compute and IO stretch.
+
+The model returns a multiplicative *thrash factor* >= 1 applied to compute
+rates (as ``1/factor``) and to IO durations (as ``factor``); results from
+runs whose factor exceeds :attr:`MemoryPressureModel.flag_threshold` are
+flagged ``thrashed`` so the analysis layer can exclude them exactly as the
+paper excluded the Cassandra/Large bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MemoryPressureModel"]
+
+
+@dataclass(frozen=True)
+class MemoryPressureModel:
+    """Thrashing slowdown as a function of memory over-commitment.
+
+    Parameters
+    ----------
+    slowdown_per_overcommit:
+        Slope of the slowdown: a demand of ``(1 + x)`` times the allowance
+        yields a factor of ``1 + slowdown_per_overcommit * x**2`` (quadratic:
+        mild over-commit is absorbed by the page cache, heavy over-commit
+        collapses).
+    flag_threshold:
+        Factor above which a run is flagged as thrashed/out-of-range.
+    """
+
+    slowdown_per_overcommit: float = 30.0
+    flag_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown_per_overcommit < 0:
+            raise ConfigurationError("slowdown_per_overcommit must be >= 0")
+        if self.flag_threshold < 1.0:
+            raise ConfigurationError("flag_threshold must be >= 1.0")
+
+    def factor(self, demand_bytes: float, allowance_bytes: float) -> float:
+        """Thrash factor for ``demand_bytes`` resident demand on an
+        instance with ``allowance_bytes`` of memory."""
+        if allowance_bytes <= 0:
+            raise ConfigurationError(
+                f"allowance_bytes must be > 0, got {allowance_bytes}"
+            )
+        if demand_bytes < 0:
+            raise ConfigurationError(f"demand_bytes must be >= 0, got {demand_bytes}")
+        over = demand_bytes / allowance_bytes - 1.0
+        if over <= 0:
+            return 1.0
+        return 1.0 + self.slowdown_per_overcommit * over * over
+
+    def is_thrashing(self, demand_bytes: float, allowance_bytes: float) -> bool:
+        """Whether this demand/allowance pair is flagged out-of-range."""
+        return self.factor(demand_bytes, allowance_bytes) >= self.flag_threshold

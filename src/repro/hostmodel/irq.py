@@ -1,0 +1,77 @@
+"""Interrupt-request (IRQ) service-cost model.
+
+Section IV-C of the paper: each IO operation of an IO-bound application
+raises at least one IRQ; serving an IRQ implies "a set of scheduling
+actions (to enqueue, dequeue, and pick the next task) and transitioning to
+the kernel mode".  If the interrupted thread is then resumed on a
+*different* CPU, the OS additionally pays to re-establish IO channels and
+reload caches — the mechanism by which pinning (which preserves IO/cache
+affinity) beats vanilla placement for IO-bound workloads, and by which a
+pinned container can even beat bare-metal (Section III-B4-ii).
+
+This module prices a single IRQ; *how often* IRQs fire is decided by the
+workload models, and *whether* the resume migrates is decided by the
+scheduler's migration model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IrqKind", "IrqCostModel"]
+
+
+class IrqKind(enum.Enum):
+    """Device class raising the interrupt."""
+
+    DISK = "disk"
+    NET = "net"
+    TIMER = "timer"
+
+
+@dataclass(frozen=True)
+class IrqCostModel:
+    """Fixed per-IRQ CPU costs (seconds), before platform multipliers.
+
+    Parameters
+    ----------
+    service_cost:
+        Kernel time to field the interrupt itself (mode switch, handler,
+        softirq) on any platform.
+    resched_cost:
+        Scheduler work to wake the blocked thread (enqueue / dequeue / pick
+        next task).
+    channel_reestablish_cost:
+        Extra cost paid when the woken thread lands on a CPU different from
+        the one its IO channel / IRQ line affinity pointed at.  This is the
+        IO-affinity term that pinning removes.
+    """
+
+    service_cost: float = 6e-6
+    resched_cost: float = 6e-6
+    channel_reestablish_cost: float = 120e-6
+
+    def __post_init__(self) -> None:
+        for name in ("service_cost", "resched_cost", "channel_reestablish_cost"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def base_cost(self) -> float:
+        """Cost of one IRQ whose thread resumes on the same CPU."""
+        return self.service_cost + self.resched_cost
+
+    def cost(self, migrated: bool) -> float:
+        """Cost of one IRQ; ``migrated`` says whether the resume moved CPU."""
+        extra = self.channel_reestablish_cost if migrated else 0.0
+        return self.base_cost() + extra
+
+    def expected_cost(self, migration_probability: float) -> float:
+        """Expected cost of one IRQ under a resume-migration probability."""
+        if not 0.0 <= migration_probability <= 1.0:
+            raise ConfigurationError(
+                f"migration_probability must be in [0, 1], got {migration_probability}"
+            )
+        return self.base_cost() + migration_probability * self.channel_reestablish_cost

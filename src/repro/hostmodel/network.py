@@ -1,0 +1,68 @@
+"""Inter-node network model — the paper's first future-work item.
+
+Section VI: *"In the future, we plan to extend the study to incorporate
+the impact of network overhead."*  This model provides that extension's
+substrate: a switched datacenter network connecting instances, with
+
+* a per-message one-way latency (NIC + top-of-rack switch),
+* a serialization time from message size over the link bandwidth,
+* and a platform-dependent multiplier on the latency term — the virtual
+  NIC path (virtio-net/vhost for VMs, veth bridges for containers) adds
+  per-packet kernel transitions that a bare-metal NIC does not pay.
+
+Co-located instances (VMs on the same host) still traverse the virtual
+switch, so the latency term applies to them too; only the wire/bandwidth
+term could be cheaper, which this model conservatively ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import US
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A flat switched network between instances.
+
+    Parameters
+    ----------
+    latency:
+        One-way per-message latency on the physical path (NIC, ToR).
+    bandwidth:
+        Link bandwidth in bytes/second (default 10 GbE).
+    """
+
+    latency: float = 40 * US
+    bandwidth: float = 10e9 / 8
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0, got {self.bandwidth}"
+            )
+
+    def transfer_time(
+        self, message_bytes: float, *, stack_factor: float = 1.0
+    ) -> float:
+        """Seconds to deliver one message.
+
+        ``stack_factor`` (>= 1) multiplies the latency term for virtualized
+        network stacks; the serialization term is bandwidth-bound and does
+        not depend on the stack.
+        """
+        if message_bytes < 0:
+            raise ConfigurationError(
+                f"message_bytes must be >= 0, got {message_bytes}"
+            )
+        if stack_factor < 1.0:
+            raise ConfigurationError(
+                f"stack_factor must be >= 1, got {stack_factor}"
+            )
+        return self.latency * stack_factor + message_bytes / self.bandwidth

@@ -1,0 +1,76 @@
+"""Catalog of host presets.
+
+The paper's testbed is the DELL R830 (:data:`repro.hostmodel.topology.R830_PRESET`);
+this module adds comparable servers so studies can ask "would the
+findings move on different iron?" — the CHR denominators, socket counts
+and memory sizes are the host-side inputs to every result.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import R830_PRESET, HostTopology
+from repro.units import GIB, MIB
+
+__all__ = ["HOST_PRESETS", "host_preset", "host_preset_names"]
+
+#: Known hosts by name.
+HOST_PRESETS: dict[str, HostTopology] = {
+    # the paper's testbed
+    "dell-r830": R830_PRESET,
+    # a common 2-socket Xeon pizza box of the same era
+    "dell-r740xd": HostTopology(
+        name="dell-r740xd",
+        sockets=2,
+        cores_per_socket=20,
+        threads_per_core=2,
+        base_clock_ghz=2.40,
+        memory_bytes=192 * GIB,
+        l3_bytes_per_socket=27 * MIB,
+    ),
+    # a dense single-socket EPYC node (big CHR denominators, one NUMA hop)
+    "epyc-7742": HostTopology(
+        name="epyc-7742",
+        sockets=1,
+        cores_per_socket=64,
+        threads_per_core=2,
+        base_clock_ghz=2.25,
+        memory_bytes=512 * GIB,
+        l3_bytes_per_socket=256 * MIB,
+    ),
+    # an AWS-style bare-metal instance (i3.metal shape)
+    "cloud-metal-72": HostTopology(
+        name="cloud-metal-72",
+        sockets=2,
+        cores_per_socket=18,
+        threads_per_core=2,
+        base_clock_ghz=2.30,
+        memory_bytes=512 * GIB,
+        l3_bytes_per_socket=45 * MIB,
+    ),
+    # a small edge box
+    "edge-16": HostTopology(
+        name="edge-16",
+        sockets=1,
+        cores_per_socket=16,
+        threads_per_core=1,
+        base_clock_ghz=2.0,
+        memory_bytes=64 * GIB,
+        l3_bytes_per_socket=24 * MIB,
+    ),
+}
+
+
+def host_preset(name: str) -> HostTopology:
+    """Look up a preset host by name (case-insensitive)."""
+    try:
+        return HOST_PRESETS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown host preset {name!r}; known: {host_preset_names()}"
+        ) from None
+
+
+def host_preset_names() -> list[str]:
+    """All preset names."""
+    return sorted(HOST_PRESETS)

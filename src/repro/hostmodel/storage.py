@@ -1,0 +1,73 @@
+"""Shared storage-contention model.
+
+The testbed stores data on RAID1 of two 900 GB HDDs.  A single spinning
+mirror sustains a limited number of effectively-concurrent IOs (the page
+cache and request-queue merging absorb some concurrency).  When more IOs
+are outstanding than the device can absorb, each IO's latency inflates in
+proportion to the excess — the standard processor-sharing view of a disk.
+
+The model is used by the simulation engine to stretch IO-segment durations
+under concurrency; it is what makes Cassandra (1 000 operations from 100
+stress threads) feel qualitatively different from WordPress (short page
+reads) even at equal IRQ counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StorageModel"]
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Latency-inflation model for a shared disk.
+
+    Parameters
+    ----------
+    effective_concurrency:
+        Number of IOs the device + page cache serve at full speed
+        simultaneously.  Outstanding IOs beyond this share the device.
+    write_penalty:
+        Multiplier on the *device time* of write IOs relative to reads
+        (RAID1 mirrors every write to both disks and HDD writes defeat
+        read-ahead).
+    """
+
+    effective_concurrency: int = 48
+    write_penalty: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.effective_concurrency < 1:
+            raise ConfigurationError(
+                f"effective_concurrency must be >= 1, got {self.effective_concurrency}"
+            )
+        if self.write_penalty < 1.0:
+            raise ConfigurationError(
+                f"write_penalty must be >= 1.0, got {self.write_penalty}"
+            )
+
+    def slowdown(self, outstanding_ios: int) -> float:
+        """Latency multiplier when ``outstanding_ios`` IOs are in flight.
+
+        Returns 1.0 up to the effective concurrency, then grows linearly:
+        with 2x the sustainable concurrency, each IO takes ~2x as long.
+        """
+        if outstanding_ios < 0:
+            raise ConfigurationError(
+                f"outstanding_ios must be >= 0, got {outstanding_ios}"
+            )
+        if outstanding_ios <= self.effective_concurrency:
+            return 1.0
+        return outstanding_ios / self.effective_concurrency
+
+    def device_time(
+        self, base_seconds: float, *, is_write: bool, outstanding_ios: int
+    ) -> float:
+        """Actual device time of one IO under current load."""
+        if base_seconds < 0:
+            raise ConfigurationError(f"base_seconds must be >= 0, got {base_seconds}")
+        t = base_seconds * (self.write_penalty if is_write else 1.0)
+        return t * self.slowdown(outstanding_ios)

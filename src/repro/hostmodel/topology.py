@@ -1,0 +1,246 @@
+"""Host CPU/memory topology.
+
+The paper's testbed is a DELL PowerEdge R830 with four Intel Xeon
+E5-4628Lv4 processors: 4 sockets x 14 physical cores x 2 SMT threads =
+112 logical CPUs at 1.80 GHz with 35 MB of L3 per socket, 384 GB of DRAM
+(Section III-A, Table II context).  :func:`r830_host` builds exactly that
+host; :func:`make_host` builds arbitrary homogeneous hosts (the CHR
+experiment of Fig. 7 also uses a 16-core host).
+
+The topology is the ground truth for
+
+* how many logical CPUs a *vanilla* (non-pinned) platform can be spread
+  over (the denominator of the paper's CHR metric), and
+* which migrations stay within a socket (cheap cache re-warm) versus
+  cross socket (expensive, includes L3/NUMA effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.units import GIB, MIB
+
+__all__ = ["HostTopology", "R830_PRESET", "make_host", "r830_host", "small_host"]
+
+
+@dataclass(frozen=True)
+class HostTopology:
+    """An immutable description of one homogeneous multi-socket host.
+
+    Parameters
+    ----------
+    name:
+        Human-readable host label used in reports.
+    sockets:
+        Number of CPU packages.
+    cores_per_socket:
+        Physical cores per package.
+    threads_per_core:
+        SMT threads per physical core (2 on the R830).
+    base_clock_ghz:
+        Nominal core clock; only used for documentation/reporting, the
+        simulation works in core-seconds of a reference core.
+    memory_bytes:
+        Installed DRAM.
+    l3_bytes_per_socket:
+        Shared last-level cache per package.
+    """
+
+    name: str = "generic-host"
+    sockets: int = 1
+    cores_per_socket: int = 8
+    threads_per_core: int = 1
+    base_clock_ghz: float = 2.0
+    memory_bytes: int = 64 * GIB
+    l3_bytes_per_socket: int = 16 * MIB
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise TopologyError(f"sockets must be >= 1, got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise TopologyError(
+                f"cores_per_socket must be >= 1, got {self.cores_per_socket}"
+            )
+        if self.threads_per_core < 1:
+            raise TopologyError(
+                f"threads_per_core must be >= 1, got {self.threads_per_core}"
+            )
+        if self.base_clock_ghz <= 0:
+            raise TopologyError(
+                f"base_clock_ghz must be > 0, got {self.base_clock_ghz}"
+            )
+        if self.memory_bytes <= 0:
+            raise TopologyError(f"memory_bytes must be > 0, got {self.memory_bytes}")
+        if self.l3_bytes_per_socket <= 0:
+            raise TopologyError(
+                f"l3_bytes_per_socket must be > 0, got {self.l3_bytes_per_socket}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def logical_cpus(self) -> int:
+        """Total logical CPUs (physical cores x SMT threads)."""
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def cpus_per_socket(self) -> int:
+        """Logical CPUs per socket."""
+        return self.cores_per_socket * self.threads_per_core
+
+    def socket_of(self, cpu: int) -> int:
+        """Return the socket index owning logical CPU ``cpu``.
+
+        Logical CPUs are numbered socket-major: CPUs ``[0, cpus_per_socket)``
+        are on socket 0, and so on (this matches how contiguous pinned sets
+        are allocated by :meth:`contiguous_cpuset`).
+        """
+        if not 0 <= cpu < self.logical_cpus:
+            raise TopologyError(
+                f"cpu {cpu} out of range for host with {self.logical_cpus} CPUs"
+            )
+        return cpu // self.cpus_per_socket
+
+    def contiguous_cpuset(self, n_cpus: int, first: int = 0) -> frozenset[int]:
+        """Return a contiguous set of ``n_cpus`` logical CPUs starting at ``first``.
+
+        This is the placement a careful operator uses for pinning: pack the
+        allocation onto as few sockets as possible so that the pinned
+        platform keeps cache and NUMA locality.
+
+        Raises
+        ------
+        TopologyError
+            If the request does not fit on the host.
+        """
+        if n_cpus < 1:
+            raise TopologyError(f"cpuset size must be >= 1, got {n_cpus}")
+        if first < 0 or first + n_cpus > self.logical_cpus:
+            raise TopologyError(
+                f"cpuset [{first}, {first + n_cpus}) does not fit on "
+                f"{self.logical_cpus}-CPU host {self.name!r}"
+            )
+        return frozenset(range(first, first + n_cpus))
+
+    def all_cpus(self) -> frozenset[int]:
+        """Return the set of all logical CPUs."""
+        return frozenset(range(self.logical_cpus))
+
+    def sockets_spanned(self, cpuset: frozenset[int]) -> int:
+        """Number of distinct sockets a CPU set touches."""
+        if not cpuset:
+            raise TopologyError("cannot compute span of an empty cpuset")
+        return len({self.socket_of(c) for c in cpuset})
+
+    def cross_socket_fraction(self, cpuset: frozenset[int]) -> float:
+        """Fraction of random CPU-pair transitions within ``cpuset`` that
+        cross a socket boundary.
+
+        Used by the migration model: when a thread is migrated to a uniformly
+        chosen CPU of its allowed set, this is the probability the new CPU
+        sits on a different socket than a uniformly chosen old CPU.
+        """
+        n = len(cpuset)
+        if n <= 1:
+            return 0.0
+        per_socket: dict[int, int] = {}
+        for c in cpuset:
+            s = self.socket_of(c)
+            per_socket[s] = per_socket.get(s, 0) + 1
+        same = sum(k * (k - 1) for k in per_socket.values())
+        return 1.0 - same / (n * (n - 1))
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in reports."""
+        return (
+            f"{self.name}: {self.sockets}x{self.cores_per_socket}c"
+            f"x{self.threads_per_core}t = {self.logical_cpus} CPUs @ "
+            f"{self.base_clock_ghz:.2f} GHz, "
+            f"{self.memory_bytes / GIB:.0f} GiB RAM"
+        )
+
+
+#: The paper's testbed: DELL PowerEdge R830, 4x Xeon E5-4628Lv4
+#: (14 cores / 28 threads each, 1.80 GHz, 35 MB cache), 384 GB DRAM.
+R830_PRESET = HostTopology(
+    name="dell-r830",
+    sockets=4,
+    cores_per_socket=14,
+    threads_per_core=2,
+    base_clock_ghz=1.80,
+    memory_bytes=384 * GIB,
+    l3_bytes_per_socket=35 * MIB,
+)
+
+
+def r830_host() -> HostTopology:
+    """Return the paper's 112-logical-CPU DELL R830 testbed host."""
+    return R830_PRESET
+
+
+def small_host(logical_cpus: int = 16, memory_gib: int = 64) -> HostTopology:
+    """Return a small single/dual-socket host.
+
+    Fig. 7 of the paper compares a 16-core host against the 112-core R830 to
+    isolate the CHR effect; this builds the 16-core side.  The CPU count is
+    split over two sockets once it exceeds 14 physical cores to mirror
+    commodity hardware.
+    """
+    if logical_cpus < 1:
+        raise TopologyError(f"logical_cpus must be >= 1, got {logical_cpus}")
+    if logical_cpus <= 14:
+        sockets, cps = 1, logical_cpus
+    elif logical_cpus % 2 == 0:
+        sockets, cps = 2, logical_cpus // 2
+    else:
+        sockets, cps = 1, logical_cpus
+    return HostTopology(
+        name=f"small-host-{logical_cpus}",
+        sockets=sockets,
+        cores_per_socket=cps,
+        threads_per_core=1,
+        base_clock_ghz=1.80,
+        memory_bytes=memory_gib * GIB,
+        l3_bytes_per_socket=20 * MIB,
+    )
+
+
+def make_host(
+    logical_cpus: int,
+    *,
+    name: str | None = None,
+    sockets: int = 1,
+    threads_per_core: int = 1,
+    memory_gib: int = 128,
+    base_clock_ghz: float = 1.80,
+    l3_mib_per_socket: int = 35,
+) -> HostTopology:
+    """Build a homogeneous host with ``logical_cpus`` logical CPUs.
+
+    Raises
+    ------
+    TopologyError
+        If ``logical_cpus`` is not divisible by ``sockets * threads_per_core``.
+    """
+    denom = sockets * threads_per_core
+    if logical_cpus < 1 or logical_cpus % denom != 0:
+        raise TopologyError(
+            f"logical_cpus={logical_cpus} must be a positive multiple of "
+            f"sockets*threads_per_core={denom}"
+        )
+    return HostTopology(
+        name=name or f"host-{logical_cpus}",
+        sockets=sockets,
+        cores_per_socket=logical_cpus // denom,
+        threads_per_core=threads_per_core,
+        base_clock_ghz=base_clock_ghz,
+        memory_bytes=memory_gib * GIB,
+        l3_bytes_per_socket=l3_mib_per_socket * MIB,
+    )

@@ -1,0 +1,52 @@
+"""Execution-platform models (Fig. 2 / Table III of the paper).
+
+Four platforms, each instantiable at any Table-II instance type and in
+either provisioning mode:
+
+* **BM** (:class:`~repro.platforms.baremetal.BareMetalPlatform`) —
+  Ubuntu 18.04.3, kernel 5.4.5, application directly on the host; sized
+  by limiting the online CPUs via GRUB.
+* **VM** (:class:`~repro.platforms.vm.VmPlatform`) — QEMU 2.11.1 /
+  libvirt 4 KVM guest.
+* **CN** (:class:`~repro.platforms.container.ContainerPlatform`) —
+  Docker 19.03.6 container on bare-metal.
+* **VMCN** (:class:`~repro.platforms.vmcn.VmContainerPlatform`) — the
+  same Docker container inside the KVM guest.
+"""
+
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+from repro.platforms.baremetal import BareMetalPlatform
+from repro.platforms.container import ContainerPlatform
+from repro.platforms.provisioning import (
+    INSTANCE_TYPES,
+    InstanceType,
+    instance_type,
+    instance_type_names,
+)
+from repro.platforms.singularity import SingularityPlatform
+from repro.platforms.registry import (
+    ALL_PLATFORM_LABELS,
+    make_platform,
+    paper_platform_set,
+)
+from repro.platforms.vm import VmPlatform
+from repro.platforms.vmcn import VmContainerPlatform
+from repro.sched.affinity import ProvisioningMode
+
+__all__ = [
+    "ExecutionPlatform",
+    "PlatformKind",
+    "ProvisioningMode",
+    "BareMetalPlatform",
+    "VmPlatform",
+    "ContainerPlatform",
+    "VmContainerPlatform",
+    "SingularityPlatform",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "instance_type",
+    "instance_type_names",
+    "make_platform",
+    "paper_platform_set",
+    "ALL_PLATFORM_LABELS",
+]

@@ -1,0 +1,31 @@
+"""Bare-metal (BM) execution platform — the paper's baseline.
+
+"Bare-metal execution platform only includes the host OS and the
+application" (Section III-A).  It has no abstraction-layer compute
+penalty, no cgroup tracking, and the native interrupt path.  Instance
+sizing is done the way the paper did it: "we modelled pinning via
+limiting the number of available CPU cores on the host using GRUB
+configuration" — so a BM instance of N cores behaves like a host with
+only N CPUs online, and the scheduler still shuffles threads *within*
+those CPUs obliviously to IO affinity (which is why pinned containers can
+beat BM for ultra-IO workloads, Section III-B4-ii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+
+__all__ = ["BareMetalPlatform"]
+
+
+@dataclass(frozen=True)
+class BareMetalPlatform(ExecutionPlatform):
+    """BM: the application directly on the (GRUB-limited) host OS."""
+
+    kind: ClassVar[PlatformKind] = PlatformKind.BM
+    cgroup_tracked: ClassVar[bool] = False
+    cgroup_in_guest: ClassVar[bool] = False
+    grub_limited: ClassVar[bool] = True

@@ -1,0 +1,188 @@
+"""Execution-platform abstraction.
+
+An :class:`ExecutionPlatform` binds an instance type (Table II) and a
+provisioning mode (vanilla / pinned, Section II-D) to a *platform kind*
+(Table III) and answers, for the overhead model:
+
+* how much slower compute segments run behind the platform's abstraction
+  layers (:meth:`compute_penalty`);
+* how much intra-platform communication costs relative to bare-metal
+  (:meth:`comm_factor`);
+* what each IRQ costs on top of the bare-metal interrupt path
+  (:meth:`irq_extra_latency`);
+* whether a cgroup tracks the platform's usage, and whether that tracking
+  runs inside a guest kernel (``cgroup_tracked`` / ``cgroup_in_guest``);
+* how much background capacity the platform's own machinery consumes
+  (:meth:`background_overhead_cores`, nonzero for VMCN);
+* which host CPUs the host scheduler may use (:meth:`allowed_cpus`).
+
+All magnitudes come from :class:`repro.run.calibration.Calibration` so the
+ablation benchmarks can switch individual mechanisms off.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.errors import PlatformError
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.provisioning import InstanceType
+from repro.sched.affinity import ProvisioningMode, allowed_cpus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.run.calibration import Calibration
+
+__all__ = ["PlatformKind", "ExecutionPlatform"]
+
+
+class PlatformKind(enum.Enum):
+    """The four execution platforms of Table III."""
+
+    BM = "BM"
+    VM = "VM"
+    CN = "CN"
+    VMCN = "VMCN"
+    SG = "SG"
+
+    @property
+    def description(self) -> str:
+        """Long name as used in Table III."""
+        return {
+            PlatformKind.BM: "Bare-Metal",
+            PlatformKind.VM: "Virtual Machine",
+            PlatformKind.CN: "Container on Bare-Metal",
+            PlatformKind.VMCN: "Container on VM",
+            PlatformKind.SG: "Singularity on Bare-Metal",
+        }[self]
+
+    @property
+    def software_stack(self) -> str:
+        """Software versions of the paper's testbed (Table III)."""
+        return {
+            PlatformKind.BM: "Ubuntu 18.04.3, Kernel 5.4.5",
+            PlatformKind.VM: "Qemu 2.11.1, Libvirt 4, Ubuntu 18.04.3, Kernel 5.4.5",
+            PlatformKind.CN: "Docker 19.03.6, Ubuntu 18.04 image",
+            PlatformKind.VMCN: "Docker 19.03.6 in Qemu 2.11.1 guest",
+            PlatformKind.SG: "Singularity 3.x, default (no cgroup limits)",
+        }[self]
+
+
+@dataclass(frozen=True)
+class ExecutionPlatform(abc.ABC):
+    """One deployable platform configuration.
+
+    Parameters
+    ----------
+    instance:
+        Table-II instance type giving cores and memory.
+    mode:
+        Vanilla or pinned CPU provisioning.
+    """
+
+    instance: InstanceType
+    mode: ProvisioningMode
+
+    #: The Table-III platform kind; set by each subclass.
+    kind: ClassVar[PlatformKind]
+    #: Whether a host cgroup tracks this platform's CPU usage.
+    cgroup_tracked: ClassVar[bool] = False
+    #: Whether the tracking cgroup lives in a guest kernel (VMCN).
+    cgroup_in_guest: ClassVar[bool] = False
+    #: Whether the platform is sized by booting the host with fewer CPUs.
+    grub_limited: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mode, ProvisioningMode):
+            raise PlatformError(f"mode must be a ProvisioningMode, got {self.mode!r}")
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def pinned(self) -> bool:
+        """True when CPU-set (pinning) provisioning is in effect."""
+        return self.mode is ProvisioningMode.PINNED
+
+    def label(self) -> str:
+        """Figure-legend label, e.g. ``"Pinned CN"`` or ``"Vanilla BM"``."""
+        return f"{self.mode.value.capitalize()} {self.kind.value}"
+
+    # -- scheduling geometry --------------------------------------------------
+
+    def allowed_cpus(self, host: HostTopology) -> CpusetSpec:
+        """Host CPUs the host scheduler may place this platform on."""
+        if not self.instance.fits_on(host):
+            raise PlatformError(
+                f"instance {self.instance.name} ({self.instance.cores} cores, "
+                f"{self.instance.memory_gb:.0f} GiB) does not fit on "
+                f"{host.describe()}"
+            )
+        return allowed_cpus(
+            host, self.instance.cores, self.mode, grub_limited=self.grub_limited
+        )
+
+    def migration_cpuset(self, host: HostTopology) -> CpusetSpec:
+        """CPU set within which the *application's threads* migrate.
+
+        For BM and CN this is the allowed set (the host scheduler places
+        the app's threads directly).  VM-based platforms override it: the
+        guest's threads are scheduled by the guest kernel onto the
+        guest's vCPUs, so they migrate within a ``cores``-sized domain
+        regardless of where the host puts the vCPU threads.
+        """
+        return self.allowed_cpus(host)
+
+    # -- overhead characteristics ---------------------------------------------
+
+    def vcpu_background_fraction(self, calib: "Calibration") -> float:
+        """Capacity fraction lost to host-level vCPU-thread migration.
+
+        Zero for non-VM platforms and for pinned VMs (``vcpupin`` holds
+        the vCPU threads still); vanilla VMs pay a small tax as the host
+        scheduler bounces whole vCPUs (guest state is a fat working set).
+        """
+        return 0.0
+
+    def compute_penalty(
+        self, calib: "Calibration", mem_intensity: float, kernel_share: float
+    ) -> float:
+        """Multiplier (>= 1) on the duration of a compute segment."""
+        return 1.0
+
+    def comm_factor(self, calib: "Calibration") -> float:
+        """Multiplier (>= 1) on intra-platform communication latency."""
+        return 1.0
+
+    def irq_extra_latency(self, calib: "Calibration") -> float:
+        """Seconds added to each IRQ beyond the bare-metal interrupt path."""
+        return 0.0
+
+    def net_stack_factor(self, calib: "Calibration") -> float:
+        """Per-message latency multiplier of this platform's network
+        stack relative to a bare-metal NIC (>= 1)."""
+        return 1.0
+
+    def io_device_factor(self, calib: "Calibration") -> float:
+        """Multiplier on IO device times through this platform's IO stack
+        (virtio/QEMU block layer for guests, possibly discounted by the
+        container layer's page-cache batching for VMCN)."""
+        return 1.0
+
+    def background_overhead_cores(
+        self, calib: "Calibration", cpu_duty_cycle: float
+    ) -> float:
+        """Core-equivalents of platform-internal machinery (daemons, guest
+        kernel bookkeeping) stolen from the instance's capacity."""
+        return 0.0
+
+    def io_affinity_gain(self, calib: "Calibration") -> float:
+        """Fractional discount on IO-channel re-establishment costs.
+
+        Pinning lets the operator align the platform with IRQ/IO affinity
+        (Section III-B3-ii), so pinned platforms get the calibrated gain;
+        vanilla placements get none.
+        """
+        return calib.io_affinity_gain if self.pinned else 0.0

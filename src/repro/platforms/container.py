@@ -1,0 +1,50 @@
+"""Docker container (CN) execution platform.
+
+A container "is an abstraction created by the coupling of namespace and
+cgroups modules of the host OS"; its processes "are visible to the host
+OS as native processes" (Section II-C).  Consequences for the model:
+
+* **no compute penalty** — container code runs natively;
+* **cgroup tracking on the host** (``cgroup_tracked``): the cpuacct /
+  quota machinery of :mod:`repro.cgroups.cpuacct` applies, with the
+  footprint spanning the whole host in vanilla mode — the source of the
+  Platform-Size Overhead;
+* **communication through the host OS**: "communications within cores of
+  a container involve host OS intervention, thus imply a higher
+  overhead" than the hypervisor-mediated path of a VM (Section
+  III-B2-ii).  Modelled as a constant host-intervention term plus a
+  small-instance wake-IPI locality term, which keeps the container's
+  overhead *ratio* roughly constant across sizes as the paper observed
+  for MPI (Fig. 4-i);
+* **native IRQ path** — no extra per-interrupt latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.run.calibration import Calibration
+
+__all__ = ["ContainerPlatform"]
+
+
+@dataclass(frozen=True)
+class ContainerPlatform(ExecutionPlatform):
+    """CN: Docker container directly on the bare-metal host."""
+
+    kind: ClassVar[PlatformKind] = PlatformKind.CN
+    cgroup_tracked: ClassVar[bool] = True
+    cgroup_in_guest: ClassVar[bool] = False
+    grub_limited: ClassVar[bool] = False
+
+    def net_stack_factor(self, calib: "Calibration") -> float:
+        return calib.cn_net_stack_factor
+
+    def comm_factor(self, calib: "Calibration") -> float:
+        n = self.instance.cores
+        small = min(1.0, (calib.vm_comm_ref_cores / n) ** 2)
+        return 1.0 + calib.cn_comm_base + calib.cn_comm_small_coeff * small

@@ -1,0 +1,112 @@
+"""Instance types (Table II of the paper).
+
+The paper evaluates every platform at AWS-style instance sizes on the
+112-CPU R830 host:
+
+====================  ============  ============
+Instance Type         No. of Cores  Memory (GB)
+====================  ============  ============
+Large                 2             8
+xLarge                4             16
+2xLarge               8             32
+4xLarge               16            64
+8xLarge               32            128
+16xLarge              64            256
+====================  ============  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology
+from repro.units import GIB
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "instance_type",
+    "instance_type_names",
+    "instance_types_upto",
+]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One row of Table II.
+
+    Parameters
+    ----------
+    name:
+        Instance-type label, e.g. ``"4xLarge"``.
+    cores:
+        CPU cores provisioned to the platform.
+    memory_bytes:
+        Memory allowance of the instance.
+    """
+
+    name: str
+    cores: int
+    memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("instance type name must be non-empty")
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be > 0")
+
+    @property
+    def memory_gb(self) -> float:
+        """Memory allowance in GiB (Table II lists GB figures)."""
+        return self.memory_bytes / GIB
+
+    def chr_on(self, host: HostTopology) -> float:
+        """Container-to-Host core Ratio of this size on ``host``
+        (Section IV-A): assigned cores / total host CPUs."""
+        return self.cores / host.logical_cpus
+
+    def fits_on(self, host: HostTopology) -> bool:
+        """Whether the host can supply the cores and memory."""
+        return (
+            self.cores <= host.logical_cpus
+            and self.memory_bytes <= host.memory_bytes
+        )
+
+
+#: Table II, in the paper's order.
+INSTANCE_TYPES: tuple[InstanceType, ...] = (
+    InstanceType("Large", 2, 8 * GIB),
+    InstanceType("xLarge", 4, 16 * GIB),
+    InstanceType("2xLarge", 8, 32 * GIB),
+    InstanceType("4xLarge", 16, 64 * GIB),
+    InstanceType("8xLarge", 32, 128 * GIB),
+    InstanceType("16xLarge", 64, 256 * GIB),
+)
+
+_BY_NAME = {t.name.lower(): t for t in INSTANCE_TYPES}
+
+
+def instance_type(name: str) -> InstanceType:
+    """Look up a Table-II instance type by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; known: {instance_type_names()}"
+        ) from None
+
+
+def instance_type_names() -> list[str]:
+    """Names of all Table-II instance types, smallest first."""
+    return [t.name for t in INSTANCE_TYPES]
+
+
+def instance_types_upto(max_cores: int) -> list[InstanceType]:
+    """Table-II types with at most ``max_cores`` cores (e.g. FFmpeg's
+    16-thread limit restricts Fig. 3 to Large..4xLarge)."""
+    if max_cores < 1:
+        raise ConfigurationError(f"max_cores must be >= 1, got {max_cores}")
+    return [t for t in INSTANCE_TYPES if t.cores <= max_cores]

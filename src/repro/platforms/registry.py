@@ -1,0 +1,82 @@
+"""Platform factory and the paper's standard platform set.
+
+The figures of the paper chart seven configurations per instance type:
+``Vanilla VM``, ``Pinned VM``, ``Vanilla VMCN``, ``Pinned VMCN``,
+``Vanilla CN``, ``Pinned CN``, and ``Vanilla BM`` (the baseline; BM has
+no separate pinned series because sizing *is* pinning for bare-metal).
+:func:`paper_platform_set` builds exactly that set for one instance type,
+in the figures' legend order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+from repro.platforms.baremetal import BareMetalPlatform
+from repro.platforms.container import ContainerPlatform
+from repro.platforms.provisioning import InstanceType
+from repro.platforms.singularity import SingularityPlatform
+from repro.platforms.vm import VmPlatform
+from repro.platforms.vmcn import VmContainerPlatform
+from repro.sched.affinity import ProvisioningMode
+
+__all__ = ["make_platform", "paper_platform_set", "ALL_PLATFORM_LABELS"]
+
+_PLATFORM_CLASSES: dict[PlatformKind, type[ExecutionPlatform]] = {
+    PlatformKind.BM: BareMetalPlatform,
+    PlatformKind.VM: VmPlatform,
+    PlatformKind.CN: ContainerPlatform,
+    PlatformKind.VMCN: VmContainerPlatform,
+    PlatformKind.SG: SingularityPlatform,
+}
+
+#: Legend order of the paper's figures.
+ALL_PLATFORM_LABELS: tuple[str, ...] = (
+    "Vanilla VM",
+    "Pinned VM",
+    "Vanilla VMCN",
+    "Pinned VMCN",
+    "Vanilla CN",
+    "Pinned CN",
+    "Vanilla BM",
+)
+
+
+def make_platform(
+    kind: PlatformKind | str,
+    instance: InstanceType,
+    mode: ProvisioningMode | str = ProvisioningMode.VANILLA,
+) -> ExecutionPlatform:
+    """Build a platform from a kind, an instance type and a mode.
+
+    ``kind`` and ``mode`` accept the enum values or their string names
+    (case-insensitive), so CLI layers can pass user input directly.
+    """
+    if isinstance(kind, str):
+        try:
+            kind = PlatformKind[kind.upper()]
+        except KeyError:
+            raise PlatformError(
+                f"unknown platform kind {kind!r}; known: "
+                f"{[k.value for k in PlatformKind]}"
+            ) from None
+    if isinstance(mode, str):
+        try:
+            mode = ProvisioningMode[mode.upper()]
+        except KeyError:
+            raise PlatformError(
+                f"unknown provisioning mode {mode!r}; known: "
+                f"{[m.value for m in ProvisioningMode]}"
+            ) from None
+    cls = _PLATFORM_CLASSES[kind]
+    return cls(instance=instance, mode=mode)
+
+
+def paper_platform_set(instance: InstanceType) -> list[ExecutionPlatform]:
+    """The seven figure configurations for one instance type, legend order."""
+    platforms: list[ExecutionPlatform] = []
+    for kind in (PlatformKind.VM, PlatformKind.VMCN, PlatformKind.CN):
+        for mode in (ProvisioningMode.VANILLA, ProvisioningMode.PINNED):
+            platforms.append(make_platform(kind, instance, mode))
+    platforms.append(make_platform(PlatformKind.BM, instance))
+    return platforms

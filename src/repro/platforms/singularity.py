@@ -1,0 +1,51 @@
+"""Singularity container (SG) execution platform — an extrapolation.
+
+Section II-C of the paper: *"we believe that our findings can be
+extrapolated to other containerization techniques that operate based on
+cgroups (e.g., Singularity)"*, and the related work (Rudyy et al.,
+IPDPS'19) found Singularity "the suitable container solution for HPC
+workloads that provides the same execution time as Bare-Metal".
+
+This platform makes that extrapolation executable.  Singularity differs
+from Docker in ways that matter for this model:
+
+* **no daemon stack** (no dockerd/containerd shim chain) and, in its
+  default HPC configuration, **no cgroup resource limits** — the job is
+  a native process under the batch scheduler, so the cpuacct tax that
+  drives Docker's Platform-Size Overhead is absent;
+* **native communication path**: MPI runs with host libraries, so the
+  container surcharge on intra-job exchange shrinks to namespace-setup
+  noise (``sg_comm_base``);
+* like Docker, it is a native process for the scheduler: vanilla
+  placements still migrate across the host, so pinning retains its
+  IO-affinity value.
+
+The ``rudyy-finding`` test asserts the IPDPS'19 observation: Singularity
+at HPC sizes runs MPI at bare-metal speed where Docker pays ~1.4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.run.calibration import Calibration
+
+__all__ = ["SingularityPlatform"]
+
+
+@dataclass(frozen=True)
+class SingularityPlatform(ExecutionPlatform):
+    """SG: Singularity container in its default (no-cgroup-limit) mode."""
+
+    kind: ClassVar[PlatformKind] = PlatformKind.SG
+    #: default HPC deployment applies no cgroup limits -> no cpuacct tax
+    cgroup_tracked: ClassVar[bool] = False
+    cgroup_in_guest: ClassVar[bool] = False
+    grub_limited: ClassVar[bool] = False
+
+    def comm_factor(self, calib: "Calibration") -> float:
+        return 1.0 + calib.sg_comm_base

@@ -1,0 +1,88 @@
+"""KVM/QEMU virtual-machine (VM) execution platform.
+
+The paper's VM platform is a QEMU 2.11.1 / libvirt 4 guest running Ubuntu
+18.04.3 on the KVM hypervisor (Table III).  Three overhead channels:
+
+**Compute** — the guest executes behind "several abstraction layers"
+(Section I): two-dimensional paging (EPT) and virtualized privileged
+state tax memory-bound and kernel-heavy code.  The paper measured the
+effect at roughly a *constant factor two* for FFmpeg's memory-streaming
+codec work, independent of instance size and of pinning (Fig. 3-ii) —
+the archetypal Platform-Type Overhead.  We model the penalty as::
+
+    1 + vm_mem_penalty * mem_intensity + vm_kernel_penalty * kernel_share
+
+so register-bound code is barely taxed while cache-streaming code
+approaches the measured 2x.
+
+**Communication** — "the hypervisor (KVM) provides an abstraction layer
+to facilitate inter-core communication between VM's cores" (Section
+III-B2-ii): intra-VM exchange approaches bare-metal speed in *large*
+guests, while small guests pay halt-exits and virtualized IPIs on every
+rendezvous.  Modelled as ``1 + vm_comm_small_coeff * min(1, (4/n)^2)``:
+a strong penalty at 4 vCPUs vanishing quadratically with guest size.
+
+**IO** — each IRQ traverses virtio and costs VM exits
+(``vm_exit_cost`` + ``virtio_overhead`` per interrupt).
+
+Pinning a VM (``vcpupin``) fixes vCPU-thread placement on the host; it
+helps IO affinity but cannot remove the abstraction-layer compute
+penalty — the paper's Best Practice #3 ("do not bother pinning VMs for
+CPU-bound applications") falls out of exactly this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.run.calibration import Calibration
+
+__all__ = ["VmPlatform"]
+
+
+@dataclass(frozen=True)
+class VmPlatform(ExecutionPlatform):
+    """VM: QEMU/KVM guest with one vCPU per instance core."""
+
+    kind: ClassVar[PlatformKind] = PlatformKind.VM
+    cgroup_tracked: ClassVar[bool] = False
+    cgroup_in_guest: ClassVar[bool] = False
+    grub_limited: ClassVar[bool] = False
+
+    def migration_cpuset(self, host: HostTopology) -> CpusetSpec:
+        """Guest threads migrate within the guest's vCPUs, not the host."""
+        return CpusetSpec.pinned(host, self.instance.cores)
+
+    def vcpu_background_fraction(self, calib: "Calibration") -> float:
+        if self.pinned:
+            return 0.0
+        return calib.vm_vcpu_migration_fraction
+
+    def compute_penalty(
+        self, calib: "Calibration", mem_intensity: float, kernel_share: float
+    ) -> float:
+        return (
+            1.0
+            + calib.vm_mem_penalty * mem_intensity
+            + calib.vm_kernel_penalty * kernel_share
+        )
+
+    def net_stack_factor(self, calib: "Calibration") -> float:
+        return calib.vm_net_stack_factor
+
+    def comm_factor(self, calib: "Calibration") -> float:
+        n = self.instance.cores
+        small = min(1.0, (calib.vm_comm_ref_cores / n) ** 2)
+        return 1.0 + calib.vm_comm_small_coeff * small
+
+    def irq_extra_latency(self, calib: "Calibration") -> float:
+        return calib.vm_exit_cost + calib.virtio_overhead
+
+    def io_device_factor(self, calib: "Calibration") -> float:
+        return calib.vm_io_device_factor

@@ -1,0 +1,99 @@
+"""Container-inside-VM (VMCN) execution platform.
+
+"VMCN platform refers to an execution platform where a Docker container
+is instantiated within a VM" (Section III-A).  It stacks the VM's
+abstraction layers with a container whose cgroup machinery now runs *in
+the guest kernel*:
+
+* **compute** — the full VM penalty applies (the guest's instructions do
+  not care that a namespace wraps them);
+* **guest-kernel container machinery** — dockerd/containerd bookkeeping
+  and the guest's cgroup accounting are privileged-state-heavy work that
+  virtualization amplifies; it consumes a roughly fixed core-equivalent
+  budget (``vmcn_nested_core_equiv``), scaled by how hard the workload
+  actually drives the CPU (an idle, IO-blocked container generates little
+  accounting traffic).  On a 2-core guest this fixed cost is a large
+  *fraction* of capacity; on 16 cores it is noise — reproducing Fig. 3-iii,
+  where VMCN starts at 4x bare-metal and converges to the VM's 2x as the
+  instance grows;
+* **communication** — the VM's small-guest term (slightly damped: the
+  container shares the guest kernel) plus a constant container layer;
+  the paper places VMCN between VM and CN for MPI (Fig. 4-i);
+* **IO** — virtio path like the VM, *discounted* by the container
+  layer's batching of guest kernel transitions (overlay page-cache
+  absorbs repeated file operations), matching the paper's observation
+  that VMCN imposes slightly *lower* overhead than VM for IO-intensive
+  applications (Fig. 5-ii, Best Practice #4);
+* **cgroup tracking** happens in the guest with the footprint bounded by
+  the guest's vCPUs (inner CHR = 1), so host-side pinning barely changes
+  VMCN — as the paper found (Fig. 3-i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.run.calibration import Calibration
+
+__all__ = ["VmContainerPlatform"]
+
+
+@dataclass(frozen=True)
+class VmContainerPlatform(ExecutionPlatform):
+    """VMCN: Docker container inside the QEMU/KVM guest."""
+
+    kind: ClassVar[PlatformKind] = PlatformKind.VMCN
+    cgroup_tracked: ClassVar[bool] = True
+    cgroup_in_guest: ClassVar[bool] = True
+    grub_limited: ClassVar[bool] = False
+
+    def migration_cpuset(self, host: HostTopology) -> CpusetSpec:
+        """Container threads migrate within the guest's vCPUs."""
+        return CpusetSpec.pinned(host, self.instance.cores)
+
+    def vcpu_background_fraction(self, calib: "Calibration") -> float:
+        if self.pinned:
+            return 0.0
+        return calib.vm_vcpu_migration_fraction
+
+    def compute_penalty(
+        self, calib: "Calibration", mem_intensity: float, kernel_share: float
+    ) -> float:
+        return (
+            1.0
+            + calib.vm_mem_penalty * mem_intensity
+            + calib.vm_kernel_penalty * kernel_share
+        )
+
+    def net_stack_factor(self, calib: "Calibration") -> float:
+        return calib.vmcn_net_stack_factor
+
+    def comm_factor(self, calib: "Calibration") -> float:
+        n = self.instance.cores
+        small = min(1.0, (calib.vm_comm_ref_cores / n) ** 2)
+        return (
+            1.0
+            + calib.vmcn_comm_extra
+            + 0.9 * calib.vm_comm_small_coeff * small
+        )
+
+    def irq_extra_latency(self, calib: "Calibration") -> float:
+        return (calib.vm_exit_cost + calib.virtio_overhead) * calib.vmcn_io_discount
+
+    def io_device_factor(self, calib: "Calibration") -> float:
+        return calib.vm_io_device_factor * calib.vmcn_page_cache_factor
+
+    def background_overhead_cores(
+        self, calib: "Calibration", cpu_duty_cycle: float
+    ) -> float:
+        # the guest-kernel container machinery works in proportion to how
+        # hard the container drives the vCPUs: an IO-blocked container
+        # generates little accounting traffic, so the duty cycle enters
+        # quadratically (activity x per-activity accounting)
+        return calib.vmcn_nested_core_equiv * cpu_duty_cycle**2

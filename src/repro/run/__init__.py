@@ -1,0 +1,46 @@
+"""Experiment orchestration: calibration, single runs, sweeps, results.
+
+* :mod:`repro.run.calibration` -- every tunable constant of the testbed
+  model, documented and ablatable;
+* :mod:`repro.run.execution` -- run one (workload, platform, host) tuple
+  through the simulation engine;
+* :mod:`repro.run.experiment` -- repetitions, platform/instance sweeps;
+* :mod:`repro.run.colocation` -- consolidation (multi-tenant) studies;
+* :mod:`repro.run.distributed` -- multi-node MPI cluster runs;
+* :mod:`repro.run.campaign` -- full-paper campaigns (import directly from
+  ``repro.run.campaign`` or the top-level package; see note below);
+* :mod:`repro.run.persistence` -- content-addressed sweep caching;
+* :mod:`repro.run.results` -- result containers and (de)serialization.
+"""
+
+from repro.run.calibration import Calibration
+from repro.run.colocation import ColocationResult, Tenant, run_colocated
+from repro.run.distributed import ClusterRunResult, run_mpi_cluster
+from repro.run.execution import run_once
+from repro.run.experiment import (
+    ExperimentSpec,
+    run_experiment,
+    run_platform_sweep,
+)
+from repro.run.results import ExperimentResult, RunResult, SweepResult
+
+# NOTE: repro.run.campaign is intentionally NOT imported here — it sits on
+# top of repro.analysis, which itself imports repro.run.results; importing
+# it at package-init time would create a cycle.  Use
+# ``from repro.run.campaign import Campaign, run_campaign`` (also re-exported
+# at the top-level ``repro`` package).
+__all__ = [
+    "Calibration",
+    "Tenant",
+    "ColocationResult",
+    "run_colocated",
+    "ClusterRunResult",
+    "run_mpi_cluster",
+    "run_once",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_platform_sweep",
+    "RunResult",
+    "ExperimentResult",
+    "SweepResult",
+]

@@ -1,0 +1,196 @@
+"""Full-paper campaigns: run every experiment in one call.
+
+A :class:`Campaign` bundles the complete evaluation of the paper —
+Figs. 3-6 sweeps, the Fig. 7 CHR hosts, the Fig. 8 multitasking pair,
+and the Section IV-A CHR bands — with one knob for fidelity (repetition
+counts).  :func:`run_campaign` executes it and returns a
+:class:`CampaignResult` that the report generator
+(:func:`repro.analysis.report.generate_report`) turns into a standalone
+markdown document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
+from repro.analysis.stats import StatSummary, summarize
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology, r830_host, small_host
+from repro.platforms.provisioning import instance_type, instance_types_upto
+from repro.platforms.registry import make_platform
+from repro.rng import DEFAULT_SEED, RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import run_once
+from repro.run.experiment import run_platform_sweep
+from repro.run.results import SweepResult
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.ffmpeg import FfmpegWorkload
+from repro.workloads.mpi import MpiSearchWorkload
+from repro.workloads.wordpress import WordPressWorkload
+
+__all__ = ["Campaign", "CampaignResult", "run_campaign"]
+
+_BIG = ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+
+
+@dataclass
+class Campaign:
+    """What to run and at what fidelity.
+
+    Parameters
+    ----------
+    reps_fast / reps_io:
+        Repetitions for the fast (FFmpeg, MPI) and the heavy IO
+        (WordPress, Cassandra) sweeps.  The paper used 20 and 6-20; the
+        defaults trade a few percent of CI width for minutes of runtime.
+    host:
+        The testbed host.
+    calib:
+        Calibration constants.
+    seed:
+        Root random seed.
+    include:
+        Which experiment ids to run; defaults to all.
+    """
+
+    reps_fast: int = 5
+    reps_io: int = 2
+    host: HostTopology = field(default_factory=r830_host)
+    calib: Calibration = field(default_factory=Calibration)
+    seed: int = DEFAULT_SEED
+    include: tuple[str, ...] = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
+
+    def __post_init__(self) -> None:
+        if self.reps_fast < 1 or self.reps_io < 1:
+            raise ConfigurationError("repetition counts must be >= 1")
+        known = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+        bad = set(self.include) - known
+        if bad:
+            raise ConfigurationError(
+                f"unknown experiment ids {sorted(bad)}; known: {sorted(known)}"
+            )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a full campaign measured."""
+
+    sweeps: dict[str, SweepResult]
+    chr_bands: dict[str, ChrRange]
+    fig7: dict[tuple[str, str], StatSummary]
+    fig8: dict[tuple[str, str], StatSummary]
+
+    def sweep(self, fig: str) -> SweepResult:
+        """One figure's sweep; raises if it was not part of the campaign."""
+        try:
+            return self.sweeps[fig]
+        except KeyError:
+            raise ConfigurationError(
+                f"{fig!r} was not run; have {sorted(self.sweeps)}"
+            ) from None
+
+
+def _run_fig7(campaign: Campaign) -> dict[tuple[str, str], StatSummary]:
+    factory = RngFactory(seed=campaign.seed)
+    inst = instance_type("4xLarge")
+    out: dict[tuple[str, str], StatSummary] = {}
+    for host_label, host in (
+        ("16 cores", small_host(16)),
+        ("112 cores", campaign.host),
+    ):
+        for kind, mode in (("CN", "vanilla"), ("CN", "pinned"), ("BM", "vanilla")):
+            values = [
+                run_once(
+                    FfmpegWorkload(),
+                    make_platform(kind, inst, mode),
+                    host,
+                    campaign.calib,
+                    rng=factory.fresh_stream("campaign-fig7", rep=rep),
+                ).value
+                for rep in range(campaign.reps_fast)
+            ]
+            label = f"{mode.capitalize()} {kind}"
+            out[(host_label, label)] = summarize(values)
+    return out
+
+
+def _run_fig8(campaign: Campaign) -> dict[tuple[str, str], StatSummary]:
+    factory = RngFactory(seed=campaign.seed)
+    inst = instance_type("4xLarge")
+    out: dict[tuple[str, str], StatSummary] = {}
+    for task_label, wl in (
+        ("1 Large Task", FfmpegWorkload()),
+        ("30 Small Tasks", FfmpegWorkload().split(30)),
+    ):
+        for mode in ("vanilla", "pinned"):
+            values = [
+                run_once(
+                    wl,
+                    make_platform("CN", inst, mode),
+                    campaign.host,
+                    campaign.calib,
+                    rng=factory.fresh_stream(f"campaign-fig8/{task_label}", rep=rep),
+                ).value
+                for rep in range(campaign.reps_fast)
+            ]
+            out[(task_label, mode)] = summarize(values)
+    return out
+
+
+def run_campaign(campaign: Campaign | None = None) -> CampaignResult:
+    """Execute the full evaluation and return everything measured."""
+    campaign = campaign or Campaign()
+    big = [instance_type(n) for n in _BIG]
+    sweeps: dict[str, SweepResult] = {}
+
+    if "fig3" in campaign.include:
+        sweeps["fig3"] = run_platform_sweep(
+            FfmpegWorkload(),
+            instance_types_upto(16),
+            host=campaign.host,
+            reps=campaign.reps_fast,
+            calib=campaign.calib,
+            seed=campaign.seed,
+        )
+    if "fig4" in campaign.include:
+        sweeps["fig4"] = run_platform_sweep(
+            MpiSearchWorkload(),
+            big,
+            host=campaign.host,
+            reps=campaign.reps_fast,
+            calib=campaign.calib,
+            seed=campaign.seed,
+        )
+    if "fig5" in campaign.include:
+        sweeps["fig5"] = run_platform_sweep(
+            WordPressWorkload(),
+            big,
+            host=campaign.host,
+            reps=campaign.reps_io,
+            calib=campaign.calib,
+            seed=campaign.seed,
+        )
+    if "fig6" in campaign.include:
+        sweeps["fig6"] = run_platform_sweep(
+            CassandraWorkload(),
+            big,
+            host=campaign.host,
+            reps=campaign.reps_io,
+            calib=campaign.calib,
+            seed=campaign.seed,
+        )
+
+    chr_bands: dict[str, ChrRange] = {}
+    for fig, name in (("fig3", "FFmpeg"), ("fig5", "WordPress"), ("fig6", "Cassandra")):
+        if fig in sweeps:
+            chr_bands[name] = estimate_suitable_chr_range(
+                sweeps[fig], campaign.host
+            )
+
+    fig7 = _run_fig7(campaign) if "fig7" in campaign.include else {}
+    fig8 = _run_fig8(campaign) if "fig8" in campaign.include else {}
+
+    return CampaignResult(
+        sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8
+    )

@@ -1,0 +1,104 @@
+"""Run distributed MPI jobs across several platform instances.
+
+:func:`run_mpi_cluster` deploys a :class:`DistributedMpiWorkload` over
+``n_nodes`` identical instances and simulates the job with the
+co-located engine — the global barriers synchronize ranks across nodes,
+and the inter-node exchanges traverse the network model through each
+node platform's network stack.  This is the experiment the paper's
+Section VI names as future work: *"extend the study to incorporate the
+impact of network overhead."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.simulator import InstanceDeployment, Simulator
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology, r830_host
+from repro.platforms.base import PlatformKind
+from repro.platforms.provisioning import InstanceType
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.run.execution import assemble_overhead_model
+from repro.sched.affinity import ProvisioningMode
+from repro.units import GIB
+from repro.workloads.distributed import DistributedMpiWorkload
+
+__all__ = ["ClusterRunResult", "run_mpi_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterRunResult:
+    """Outcome of one distributed MPI run."""
+
+    makespan: float
+    n_nodes: int
+    total_ranks: int
+    platform_label: str
+
+
+def run_mpi_cluster(
+    workload: DistributedMpiWorkload,
+    total_ranks: int,
+    platform_kind: PlatformKind | str,
+    mode: ProvisioningMode | str = ProvisioningMode.VANILLA,
+    *,
+    host: HostTopology | None = None,
+    calib: Calibration | None = None,
+    rng: np.random.Generator | None = None,
+) -> ClusterRunResult:
+    """Run an MPI job of ``total_ranks`` ranks over the workload's nodes.
+
+    Each node gets an instance of ``total_ranks / n_nodes`` cores of the
+    requested platform kind; the nodes share the host's cores, disk and
+    network models.
+    """
+    host = host or r830_host()
+    calib = calib or Calibration()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    n_nodes = workload.n_nodes
+    if total_ranks % n_nodes != 0:
+        raise ConfigurationError(
+            f"{total_ranks} ranks do not divide over {n_nodes} nodes"
+        )
+    cores_per_node = total_ranks // n_nodes
+    node_instance = InstanceType(
+        name=f"node-{cores_per_node}c",
+        cores=cores_per_node,
+        memory_bytes=max(4, cores_per_node) * GIB,
+    )
+
+    node_processes = workload.build_nodes(total_ranks, rng)
+    deployments = []
+    label = ""
+    for node, processes in enumerate(node_processes):
+        platform = make_platform(platform_kind, node_instance, mode)
+        label = platform.label()
+        overhead = assemble_overhead_model(
+            host, platform, calib, workload, processes
+        )
+        deployments.append(
+            InstanceDeployment(
+                processes=processes,
+                capacity=float(cores_per_node),
+                overhead=overhead,
+                label=f"node{node}",
+            )
+        )
+
+    result = Simulator.colocated(
+        deployments,
+        host_capacity=float(host.logical_cpus),
+        storage=calib.storage,
+        network=calib.network,
+    ).run()
+    return ClusterRunResult(
+        makespan=result.makespan,
+        n_nodes=n_nodes,
+        total_ranks=total_ranks,
+        platform_label=label,
+    )

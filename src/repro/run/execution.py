@@ -1,0 +1,128 @@
+"""Run one (workload, platform, host) configuration through the engine.
+
+This is the glue the paper's shell scripts provided: deploy the platform,
+size it, start the workload, time it.  :func:`run_once` assembles the
+overhead model from the deployment geometry, evaluates memory pressure,
+selects the storage profile, runs the simulator, and packages a
+:class:`repro.run.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.engine.tracing import NullTraceSink, TraceSink
+from repro.errors import SimulationError
+from repro.hostmodel.storage import StorageModel
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import ExecutionPlatform
+from repro.run.calibration import Calibration
+from repro.run.results import RunResult
+from repro.sched.accounting import OverheadModel
+from repro.workloads.base import ProcessSpec, Workload
+
+__all__ = ["run_once", "assemble_overhead_model"]
+
+
+def assemble_overhead_model(
+    host: HostTopology,
+    platform: ExecutionPlatform,
+    calib: Calibration,
+    workload: Workload,
+    processes: list[ProcessSpec],
+) -> OverheadModel:
+    """Build the overhead model for one deployment.
+
+    The thread-weighted mean working set of the built processes feeds the
+    migration cache-penalty expectation; the workload profile's CPU duty
+    cycle scales platform background machinery.
+    """
+    working_sets = [t.working_set_bytes for p in processes for t in p.threads]
+    avg_ws = float(np.mean(working_sets)) if working_sets else 0.0
+    return OverheadModel(
+        host,
+        platform,
+        calib,
+        cpu_duty_cycle=workload.profile().cpu_duty_cycle,
+        working_set_bytes=avg_ws,
+    )
+
+
+def run_once(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    rep: int = 0,
+    trace: TraceSink | None = None,
+) -> RunResult:
+    """Execute one configuration once and return its result.
+
+    Parameters
+    ----------
+    workload:
+        The application model.
+    platform:
+        The execution platform (kind, instance type, provisioning mode).
+    host:
+        The physical host.
+    calib:
+        Calibration constants (default :class:`Calibration`).
+    rng:
+        Randomness source for the workload build; defaults to a fresh
+        deterministic generator.
+    rep:
+        Repetition index recorded in the result.
+    trace:
+        Optional engine event sink.
+    """
+    calib = calib or Calibration()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    instance = platform.instance
+    processes = workload.build(instance.cores, rng)
+    if not processes:
+        raise SimulationError(
+            f"workload {workload.name!r} built no processes for "
+            f"{instance.cores} cores"
+        )
+
+    # memory pressure of the whole deployment
+    demand = sum(p.memory_demand_bytes for p in processes)
+    thrash = calib.memory_pressure.factor(demand, instance.memory_bytes)
+    thrashed = calib.memory_pressure.is_thrashing(demand, instance.memory_bytes)
+
+    # workload-specific storage profile (Cassandra overrides the default)
+    storage: StorageModel = getattr(workload, "storage_model", lambda: calib.storage)()
+
+    overhead = assemble_overhead_model(host, platform, calib, workload, processes)
+    config = EngineConfig(
+        capacity=float(instance.cores),
+        overhead=overhead,
+        storage=storage,
+        thrash_factor=thrash,
+        trace=trace or NullTraceSink(),
+    )
+    result = Simulator(processes, config).run()
+
+    value = (
+        result.mean_response
+        if workload.metric == "mean_response"
+        else result.makespan
+    )
+    return RunResult(
+        workload=workload.name,
+        platform_label=platform.label(),
+        instance_name=instance.name,
+        host_name=host.name,
+        metric_name=workload.metric,
+        value=value,
+        makespan=result.makespan,
+        mean_response=result.mean_response,
+        thrashed=thrashed,
+        rep=rep,
+        counters=result.counters,
+    )

@@ -1,0 +1,141 @@
+"""Experiment sweeps: repetitions over platform x instance grids.
+
+The paper's protocol (Section III): run each configuration in isolation,
+repeat 6-20 times, report mean and 95 % confidence interval.
+:func:`run_experiment` executes an :class:`ExperimentSpec` cell by cell
+with independent deterministic random streams per repetition;
+:func:`run_platform_sweep` is the one-call version for the standard
+seven-platform figure layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology, r830_host
+from repro.platforms.base import ExecutionPlatform, PlatformKind
+from repro.platforms.provisioning import InstanceType
+from repro.platforms.registry import make_platform, paper_platform_set
+from repro.rng import DEFAULT_SEED, RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import run_once
+from repro.run.results import ExperimentResult, RunResult, SweepResult
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import Workload
+
+__all__ = ["ExperimentSpec", "run_experiment", "run_platform_sweep"]
+
+
+@dataclass
+class ExperimentSpec:
+    """A full sweep specification.
+
+    Parameters
+    ----------
+    workload:
+        The application model.
+    instances:
+        Instance types to sweep (the figure's x-axis).
+    platform_grid:
+        (kind, mode) pairs to evaluate at each instance type.
+    host:
+        Physical host (default: the paper's R830).
+    reps:
+        Repetitions per cell (paper: 20 for FFmpeg/MPI/Cassandra, 6 for
+        WordPress).
+    calib:
+        Calibration constants.
+    seed:
+        Root seed of the deterministic random streams.
+    """
+
+    workload: Workload
+    instances: list[InstanceType]
+    platform_grid: list[tuple[PlatformKind, ProvisioningMode]]
+    host: HostTopology = field(default_factory=r830_host)
+    reps: int = 20
+    calib: Calibration = field(default_factory=Calibration)
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ConfigurationError("instances must be non-empty")
+        if not self.platform_grid:
+            raise ConfigurationError("platform_grid must be non-empty")
+        if self.reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {self.reps}")
+
+
+def run_experiment(spec: ExperimentSpec) -> SweepResult:
+    """Execute a sweep specification and return the result grid.
+
+    Each repetition draws its workload randomness from an independent
+    stream keyed by (workload, instance, rep) — the *same* stream across
+    platforms, so platform comparisons at a given rep see identical
+    workload realizations (paired design, tighter overhead ratios).
+    """
+    factory = RngFactory(seed=spec.seed)
+    cells: dict[tuple[str, str], ExperimentResult] = {}
+    platform_order: list[str] = []
+
+    for instance in spec.instances:
+        platforms: list[ExecutionPlatform] = [
+            make_platform(kind, instance, mode)
+            for kind, mode in spec.platform_grid
+        ]
+        if not platform_order:
+            platform_order = [p.label() for p in platforms]
+        for platform in platforms:
+            runs: list[RunResult] = []
+            for rep in range(spec.reps):
+                rng = factory.fresh_stream(
+                    f"{spec.workload.name}/{instance.name}", rep=rep
+                )
+                runs.append(
+                    run_once(
+                        spec.workload,
+                        platform,
+                        spec.host,
+                        spec.calib,
+                        rng=rng,
+                        rep=rep,
+                    )
+                )
+            cells[(platform.label(), instance.name)] = ExperimentResult(runs)
+
+    return SweepResult(
+        workload=spec.workload.name,
+        cells=cells,
+        instance_order=[i.name for i in spec.instances],
+        platform_order=platform_order,
+    )
+
+
+def run_platform_sweep(
+    workload: Workload,
+    instances: list[InstanceType],
+    *,
+    host: HostTopology | None = None,
+    reps: int = 20,
+    calib: Calibration | None = None,
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """Run the standard seven-platform figure sweep.
+
+    Evaluates ``Vanilla/Pinned {VM, VMCN, CN}`` plus ``Vanilla BM`` —
+    the exact configuration set of Figs. 3-6.
+    """
+    grid: list[tuple[PlatformKind, ProvisioningMode]] = []
+    for p in paper_platform_set(instances[0]):
+        grid.append((p.kind, p.mode))
+    spec = ExperimentSpec(
+        workload=workload,
+        instances=instances,
+        platform_grid=grid,
+        host=host or r830_host(),
+        reps=reps,
+        calib=calib or Calibration(),
+        seed=seed,
+    )
+    return run_experiment(spec)

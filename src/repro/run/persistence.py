@@ -1,0 +1,127 @@
+"""Content-addressed caching of experiment sweeps.
+
+A full Fig-5 sweep takes half a minute; iterating on analysis code
+should not re-pay it.  :class:`SweepCache` stores
+:class:`~repro.run.results.SweepResult` JSON under a key derived from
+the experiment's *content*: workload identity and parameters, instance
+list, platform grid, host, repetition count, seed, and the calibration
+constants.  Any change to any ingredient changes the key, so a cache
+hit is always a faithful replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.run.calibration import Calibration
+from repro.run.experiment import ExperimentSpec, run_experiment
+from repro.run.results import SweepResult
+
+__all__ = ["SweepCache", "spec_fingerprint"]
+
+
+def _jsonable(value):
+    """Deterministic JSON-able projection of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if hasattr(value, "name"):  # enums, workload classes
+        return getattr(value, "name")
+    return repr(value)
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable hex digest of everything that determines a sweep's outcome."""
+    payload = {
+        "workload_type": type(spec.workload).__name__,
+        "workload": _jsonable(
+            spec.workload.__dict__
+            if not dataclasses.is_dataclass(spec.workload)
+            else spec.workload
+        ),
+        "instances": [
+            (i.name, i.cores, i.memory_bytes) for i in spec.instances
+        ],
+        "platform_grid": [
+            (k.value, m.value) for k, m in spec.platform_grid
+        ],
+        "host": _jsonable(spec.host),
+        "reps": spec.reps,
+        "seed": spec.seed,
+        "calibration": _jsonable(spec.calib),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class SweepCache:
+    """Directory-backed cache of sweep results.
+
+    Parameters
+    ----------
+    directory:
+        Where the JSON files live (created on first write).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Cache file path for a spec."""
+        return self.directory / f"sweep-{spec_fingerprint(spec)}.json"
+
+    def get(self, spec: ExperimentSpec) -> SweepResult | None:
+        """The cached sweep for ``spec``, or None."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            return SweepResult.load(path)
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"corrupt cache entry {path}: {exc}"
+            ) from exc
+
+    def put(self, spec: ExperimentSpec, sweep: SweepResult) -> Path:
+        """Store a sweep; returns the written path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        sweep.save(path)
+        return path
+
+    def get_or_run(
+        self,
+        spec: ExperimentSpec,
+        runner: Callable[[ExperimentSpec], SweepResult] = run_experiment,
+    ) -> SweepResult:
+        """Return the cached sweep or run (and cache) the experiment."""
+        cached = self.get(spec)
+        if cached is not None:
+            return cached
+        sweep = runner(spec)
+        self.put(spec, sweep)
+        return sweep
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        entries = list(self.directory.glob("sweep-*.json"))
+        for entry in entries:
+            entry.unlink()
+        return len(entries)

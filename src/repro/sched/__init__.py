@@ -1,0 +1,31 @@
+"""Host OS scheduler model.
+
+The paper's central claim is that *"irrespective of the execution
+platform, the host OS scheduler is the ultimate decision maker in
+allocating processes to CPU cores"* (Section III-A) and that per-
+scheduling-event costs — context switching, process migration with its
+cache and IO-channel consequences, and cgroups bookkeeping — explain the
+overhead differences between vanilla and pinned deployments.
+
+* :mod:`repro.sched.cfs` -- CFS-like timeslice / scheduling-event-rate
+  model (Completely Fair Scheduler, Section II-D);
+* :mod:`repro.sched.affinity` -- allowed-CPU sets per provisioning mode;
+* :mod:`repro.sched.migration` -- stochastic migration model: how often a
+  scheduling event or IRQ wake-up moves a thread, and what that costs;
+* :mod:`repro.sched.accounting` -- aggregation of all per-event costs
+  into the rate multipliers the simulation engine consumes.
+"""
+
+from repro.sched.accounting import OverheadBreakdown, OverheadModel
+from repro.sched.cfs import CfsModel
+from repro.sched.migration import MigrationModel
+from repro.sched.runqueue import RunQueueSimulator, RunQueueStats
+
+__all__ = [
+    "CfsModel",
+    "MigrationModel",
+    "OverheadModel",
+    "OverheadBreakdown",
+    "RunQueueSimulator",
+    "RunQueueStats",
+]

@@ -1,0 +1,286 @@
+"""Aggregation of per-event costs into engine-facing rate multipliers.
+
+:class:`OverheadModel` precomputes, for one (host, platform, calibration)
+triple, everything the simulation engine needs per time interval:
+
+* ``efficiency(osr)`` — the fraction of each granted core-second that
+  turns into application progress after the steady cgroup-accounting tax,
+  the platform's background machinery (guest container daemons, vanilla
+  vCPU bounce), and the per-scheduling-event costs (context switch +
+  cgroup usage update + expected migration re-warm, the latter capped at
+  a fraction of the effective timeslice) at oversubscription ratio
+  ``osr``;
+* ``compute_slowdown(mem_intensity, kernel_share, osr)`` — the
+  multiplicative duration factor of compute work: the platform's
+  abstraction-layer penalty times the cache-contention factor;
+* ``irq_latency()`` — seconds added to an IO segment per IRQ on the
+  platform's interrupt path (service + virtio surcharge + cgroup wake
+  accounting);
+* ``wake_extra_work()`` — expected core-seconds of *re-warm work* a
+  thread must execute after each IRQ because the wake may have landed it
+  on a cold CPU (Section IV-C: reload L1/L2, re-establish IO channels).
+  Pinning discounts this by the IO-affinity gain — the single most
+  important lever behind the paper's "pin your IO-bound containers"
+  recommendation;
+* ``comm_factor`` — the platform's communication multiplier.
+
+Migration geometry uses :meth:`ExecutionPlatform.migration_cpuset`: the
+domain the *application's* threads actually migrate in (guest vCPUs for
+VM-based platforms, the allowed host set otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import HostTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platforms.base import ExecutionPlatform
+    from repro.run.calibration import Calibration
+
+__all__ = ["OverheadModel", "OverheadBreakdown"]
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Per-mechanism decomposition of the overhead at one osr.
+
+    All ``*_fraction`` values are fractions of granted capacity lost;
+    the latency/cost fields are seconds per event.
+    """
+
+    oversubscription: float
+    steady_cgroup_fraction: float
+    background_fraction: float
+    sched_event_rate: float
+    ctx_switch_cost: float
+    cgroup_switch_cost: float
+    migration_slowdown: float
+    sched_events_fraction: float
+    efficiency: float
+    irq_latency: float
+    wake_extra_work: float
+    comm_factor: float
+
+    def dominant_mechanism(self) -> str:
+        """Name of the largest loss channel (for reports)."""
+        channels = {
+            "cgroup-accounting": self.steady_cgroup_fraction,
+            "platform-background": self.background_fraction,
+            "scheduling-events": self.sched_events_fraction,
+            "migration-cold-execution": 1.0 - 1.0 / self.migration_slowdown,
+        }
+        return max(channels, key=channels.get)  # type: ignore[arg-type]
+
+
+class OverheadModel:
+    """Engine-facing overhead calculator for one platform deployment.
+
+    Parameters
+    ----------
+    host:
+        Physical host the platform is deployed on.
+    platform:
+        The execution platform (kind + instance + provisioning mode).
+    calib:
+        Calibration constants.
+    cpu_duty_cycle:
+        Workload profile: fraction of thread wall time spent computing.
+    working_set_bytes:
+        Typical per-thread working set (drives migration cache penalties).
+    """
+
+    def __init__(
+        self,
+        host: HostTopology,
+        platform: "ExecutionPlatform",
+        calib: "Calibration",
+        *,
+        cpu_duty_cycle: float = 1.0,
+        working_set_bytes: float = 8e6,
+    ) -> None:
+        if not 0.0 <= cpu_duty_cycle <= 1.0:
+            raise ConfigurationError("cpu_duty_cycle must be in [0, 1]")
+        if working_set_bytes < 0:
+            raise ConfigurationError("working_set_bytes must be >= 0")
+
+        self.host = host
+        self.platform = platform
+        self.calib = calib
+        self.allowed = platform.allowed_cpus(host)
+        self.mig_domain = platform.migration_cpuset(host)
+        self.n_cores = platform.instance.cores
+
+        # --- steady fractions (osr-independent) ---------------------------
+        acct = calib.cpuacct
+        if platform.cgroup_tracked:
+            self._footprint = acct.footprint(
+                pinned=platform.pinned or platform.cgroup_in_guest,
+                cpuset_size=self.n_cores,
+                host_cpus=(
+                    self.n_cores
+                    if platform.cgroup_in_guest
+                    else host.logical_cpus
+                ),
+            )
+            self._steady_cgroup = acct.steady_fraction(
+                self._footprint,
+                self.n_cores,
+                in_guest=platform.cgroup_in_guest,
+            )
+            self._cgroup_switch_cost = acct.per_switch_cost(
+                self._footprint, in_guest=platform.cgroup_in_guest
+            )
+            self._cgroup_wake_cost = acct.per_wake_cost(
+                self._footprint, in_guest=platform.cgroup_in_guest
+            )
+        else:
+            self._footprint = 0
+            self._steady_cgroup = 0.0
+            self._cgroup_switch_cost = 0.0
+            self._cgroup_wake_cost = 0.0
+
+        self._background = (
+            platform.background_overhead_cores(calib, cpu_duty_cycle)
+            / self.n_cores
+            + platform.vcpu_background_fraction(calib)
+        )
+
+        # --- per-event migration expectation --------------------------------
+        mig = calib.migration
+        self._p_mig_sched = mig.sched_migration_probability(
+            self.mig_domain.size, self.n_cores
+        )
+        self._p_mig_wake = mig.wake_migration_probability(
+            self.mig_domain.size, self.n_cores
+        )
+        cache_penalty = calib.cache.expected_penalty(
+            host, self.mig_domain.cpus, working_set_bytes
+        )
+        self._mig_sched_penalty = self._p_mig_sched * cache_penalty
+
+        # --- IRQ path --------------------------------------------------------
+        gain = platform.io_affinity_gain(calib)
+        self._irq_latency = (
+            calib.irq.base_cost()
+            + platform.irq_extra_latency(calib)
+            + self._cgroup_wake_cost
+        )
+        self._wake_extra_work = self._p_mig_wake * (1.0 - gain) * (
+            cache_penalty + calib.irq.channel_reestablish_cost
+        )
+        self._comm_factor = platform.comm_factor(calib)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        """CPUs the cgroup accounting spans (0 when untracked)."""
+        return self._footprint
+
+    @property
+    def steady_cgroup_fraction(self) -> float:
+        """Capacity fraction lost to tick-driven cgroup accounting."""
+        return self._steady_cgroup
+
+    @property
+    def background_fraction(self) -> float:
+        """Capacity fraction lost to platform background machinery."""
+        return self._background
+
+    @property
+    def cgroup_switch_cost(self) -> float:
+        """Seconds of cgroup bookkeeping per scheduling event."""
+        return self._cgroup_switch_cost
+
+    @property
+    def sched_migration_probability(self) -> float:
+        """P(one scheduling event migrates a thread)."""
+        return self._p_mig_sched
+
+    @property
+    def wake_migration_probability(self) -> float:
+        """P(one IRQ wake-up migrates a thread)."""
+        return self._p_mig_wake
+
+    @property
+    def comm_factor(self) -> float:
+        """Communication-latency multiplier of the platform."""
+        return self._comm_factor
+
+    # ------------------------------------------------------------------
+
+    def per_event_cost(self, oversubscription: float) -> float:
+        """Seconds lost at one scheduling event (context switch + cgroup
+        usage update; migration enters via :meth:`migration_slowdown`)."""
+        return self.calib.ctx_switch_cost + self._cgroup_switch_cost
+
+    def efficiency(self, oversubscription: float) -> float:
+        """Usable fraction of a granted core-second at the given osr."""
+        events = self.calib.cfs.event_rate(oversubscription)
+        frac = (
+            self._steady_cgroup
+            + self._background
+            + events * self.per_event_cost(oversubscription)
+        )
+        return max(1.0 - frac, self.calib.min_efficiency)
+
+    def migration_slowdown(self, oversubscription: float) -> float:
+        """Multiplicative compute slowdown from migration re-warming.
+
+        Each scheduling event migrates the thread with probability ``p``
+        and costs ``rewarm_time`` of cold execution, so every second of
+        nominal progress stretches by ``p * rewarm_time * event_rate``.
+        Capped at ``mig_slowdown_cap`` (a thread running entirely cold
+        still makes DRAM-speed progress).
+        """
+        events = self.calib.cfs.event_rate(oversubscription)
+        stretch = self._mig_sched_penalty * events
+        return 1.0 + min(stretch, self.calib.mig_slowdown_cap - 1.0)
+
+    def compute_slowdown(
+        self, mem_intensity: float, kernel_share: float, oversubscription: float
+    ) -> float:
+        """Duration multiplier (>= 1) of compute work."""
+        platform_penalty = self.platform.compute_penalty(
+            self.calib, mem_intensity, kernel_share
+        )
+        osr_excess = max(0.0, oversubscription - 1.0)
+        contention = 1.0 + (
+            self.calib.cache_contention_gamma
+            * mem_intensity
+            * min(1.0, osr_excess / self.calib.cache_contention_osr_ref)
+        )
+        return platform_penalty * contention * self.migration_slowdown(
+            oversubscription
+        )
+
+    def irq_latency(self) -> float:
+        """Seconds added per IRQ on the platform's interrupt path."""
+        return self._irq_latency
+
+    def wake_extra_work(self) -> float:
+        """Expected core-seconds of re-warm work per IRQ wake-up."""
+        return self._wake_extra_work
+
+    def breakdown(self, oversubscription: float) -> OverheadBreakdown:
+        """Full decomposition at one osr, for tracing and reports."""
+        events = self.calib.cfs.event_rate(oversubscription)
+        per_event = self.per_event_cost(oversubscription)
+        return OverheadBreakdown(
+            oversubscription=oversubscription,
+            steady_cgroup_fraction=self._steady_cgroup,
+            background_fraction=self._background,
+            sched_event_rate=events,
+            ctx_switch_cost=self.calib.ctx_switch_cost,
+            cgroup_switch_cost=self._cgroup_switch_cost,
+            migration_slowdown=self.migration_slowdown(oversubscription),
+            sched_events_fraction=events * per_event,
+            efficiency=self.efficiency(oversubscription),
+            irq_latency=self._irq_latency,
+            wake_extra_work=self._wake_extra_work,
+            comm_factor=self._comm_factor,
+        )

@@ -1,0 +1,59 @@
+"""Allowed-CPU sets for the two CPU-provisioning models.
+
+Section II-D of the paper contrasts:
+
+* **vanilla** (CPU-quota) provisioning: the host scheduler may place the
+  platform's threads on *any* host CPU; a cgroup quota (containers) or
+  the vCPU count (VMs) caps the average usage at the instance size;
+* **pinned** (CPU-set) provisioning: a fixed set of CPUs, one per
+  instance core, packed for locality.
+
+Bare-metal is special: the paper "modelled pinning via limiting the
+number of available CPU cores on the host using GRUB", i.e. the BM
+baseline of an N-core instance is a host that *only has* N CPUs online.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.hostmodel.topology import HostTopology
+
+__all__ = ["ProvisioningMode", "allowed_cpus"]
+
+
+class ProvisioningMode(enum.Enum):
+    """How the instance's CPUs are provisioned (Section II-D)."""
+
+    VANILLA = "vanilla"
+    PINNED = "pinned"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def allowed_cpus(
+    host: HostTopology,
+    n_cores: int,
+    mode: ProvisioningMode,
+    *,
+    grub_limited: bool = False,
+) -> CpusetSpec:
+    """The CPU set the host scheduler may use for this instance.
+
+    Parameters
+    ----------
+    host:
+        The physical host.
+    n_cores:
+        Instance-type core count.
+    mode:
+        Vanilla (whole host allowed) or pinned (contiguous ``n_cores``).
+    grub_limited:
+        Bare-metal case: the host is booted with only ``n_cores`` CPUs
+        online, so the allowed set equals those CPUs in either mode.
+    """
+    if grub_limited or mode is ProvisioningMode.PINNED:
+        return CpusetSpec.pinned(host, n_cores)
+    return CpusetSpec.unrestricted(host)

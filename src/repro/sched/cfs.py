@@ -1,0 +1,84 @@
+"""CFS-like timeslice and scheduling-event-rate model.
+
+Linux's Completely Fair Scheduler (Section II-D of the paper) gives each
+runnable task a timeslice of roughly ``sched_latency / n_runnable``,
+bounded below by ``sched_min_granularity``.  Every timeslice expiry is a
+*scheduling event*: the task is dequeued, the next is picked, and — for
+virtualized platforms — resource usage is accounted.  When CPUs are not
+oversubscribed tasks mostly run until they block, and only periodic ticks
+and load balancing produce events.
+
+This module turns an oversubscription ratio (runnable threads per
+available core) into (a) the effective timeslice and (b) the rate of
+scheduling events experienced per busy core — the multiplier through
+which multitasking amplifies every per-event cost (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MS
+
+__all__ = ["CfsModel"]
+
+
+@dataclass(frozen=True)
+class CfsModel:
+    """Timeslice model of the host's Completely Fair Scheduler.
+
+    Parameters
+    ----------
+    target_latency:
+        ``sched_latency_ns``: the window within which every runnable task
+        should run once (Linux default 6 ms, scaled by CPU count; we keep
+        the base value).
+    min_granularity:
+        ``sched_min_granularity_ns``: the floor on a task's slice.
+    idle_event_rate:
+        Scheduling events per second per busy core when CPUs are *not*
+        oversubscribed (timer ticks that hit a running task plus periodic
+        load balancing).
+    """
+
+    target_latency: float = 6 * MS
+    min_granularity: float = 0.75 * MS
+    idle_event_rate: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.target_latency <= 0:
+            raise ConfigurationError("target_latency must be > 0")
+        if self.min_granularity <= 0:
+            raise ConfigurationError("min_granularity must be > 0")
+        if self.min_granularity > self.target_latency:
+            raise ConfigurationError(
+                "min_granularity must not exceed target_latency"
+            )
+        if self.idle_event_rate < 0:
+            raise ConfigurationError("idle_event_rate must be >= 0")
+
+    def timeslice(self, oversubscription: float) -> float:
+        """Effective timeslice at ``oversubscription`` runnable per core.
+
+        At or below 1.0 there is no preemption pressure and tasks get the
+        full target latency; beyond it the slice shrinks to the floor.
+        """
+        if oversubscription < 0:
+            raise ConfigurationError(
+                f"oversubscription must be >= 0, got {oversubscription}"
+            )
+        if oversubscription <= 1.0:
+            return self.target_latency
+        return max(self.min_granularity, self.target_latency / oversubscription)
+
+    def event_rate(self, oversubscription: float) -> float:
+        """Scheduling events per second per busy core.
+
+        The preemption-driven rate ``1 / timeslice`` applies only under
+        oversubscription; below it the idle event rate (ticks + load
+        balancing) dominates.
+        """
+        if oversubscription <= 1.0:
+            return self.idle_event_rate
+        return max(self.idle_event_rate, 1.0 / self.timeslice(oversubscription))

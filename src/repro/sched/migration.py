@@ -1,0 +1,137 @@
+"""Stochastic process-migration model.
+
+Section III-A of the paper: *"A process can potentially be assigned to a
+different set of cores at each scheduling event ... migrating a given
+process induces overheads for redundant memory access due to cache miss,
+reestablishing interrupts for IO operation, and context switching."*
+
+The model answers two questions for a thread whose allowed-CPU set has
+``s`` CPUs while its instance owns ``k`` cores:
+
+1. **How likely does one scheduling event (or IRQ wake-up) move the
+   thread to a different CPU?**  Two additive terms:
+
+   * a *within-set* term ``m_within * (1 - 1/s)`` — even a pinned or
+     GRUB-limited deployment shuffles threads among its own CPUs
+     (wake-balancing, idle stealing);
+   * a *spread* term ``m_spread * (1 - k/s)`` — when the allowed set is
+     far larger than the instance (a vanilla platform on a big host), the
+     scheduler has many idle placement choices and exploits them; this is
+     the term pinning eliminates.
+
+2. **What does one migration cost?**  The cache re-warm penalty of
+   :class:`repro.hostmodel.cache.CacheModel`, mixed over the probability
+   that the move crosses a socket within the allowed set, plus (for IRQ
+   wake-ups of IO threads) the IO-channel re-establishment charge of
+   :class:`repro.hostmodel.irq.IrqCostModel`.
+
+All probabilities are used in expectation (the engine charges
+``p * penalty`` per event) — run-to-run variance comes from workload
+jitter, matching how the paper's confidence intervals reflect measured
+noise rather than placement dice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.errors import ConfigurationError
+from repro.hostmodel.cache import CacheModel
+from repro.hostmodel.topology import HostTopology
+
+__all__ = ["MigrationModel"]
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """Per-event migration probabilities and expected penalties.
+
+    Parameters
+    ----------
+    within_coeff:
+        Weight of the within-set shuffle term at scheduling events.
+    spread_coeff:
+        Weight of the placement-choice term at scheduling events.
+    wake_within_coeff / wake_spread_coeff:
+        Same two weights for IRQ wake-up placement (wake balancing is more
+        aggressive than tick balancing, so these are typically higher).
+    max_probability:
+        Cap on any single migration probability.
+    """
+
+    within_coeff: float = 0.12
+    spread_coeff: float = 0.55
+    wake_within_coeff: float = 0.50
+    wake_spread_coeff: float = 0.70
+    max_probability: float = 0.95
+
+    def __post_init__(self) -> None:
+        for name in (
+            "within_coeff",
+            "spread_coeff",
+            "wake_within_coeff",
+            "wake_spread_coeff",
+        ):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {v}")
+        if not 0.0 < self.max_probability <= 1.0:
+            raise ConfigurationError("max_probability must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+
+    def _prob(self, within: float, spread: float, s: int, k: int) -> float:
+        if s < 1:
+            raise ConfigurationError(f"allowed-set size must be >= 1, got {s}")
+        if k < 1:
+            raise ConfigurationError(f"instance cores must be >= 1, got {k}")
+        k_eff = min(k, s)
+        p = within * (1.0 - 1.0 / s) + spread * (1.0 - k_eff / s)
+        return min(p, self.max_probability)
+
+    def sched_migration_probability(self, allowed_size: int, n_cores: int) -> float:
+        """P(a scheduling event moves the thread to another CPU)."""
+        return self._prob(self.within_coeff, self.spread_coeff, allowed_size, n_cores)
+
+    def wake_migration_probability(self, allowed_size: int, n_cores: int) -> float:
+        """P(an IRQ wake-up resumes the thread on another CPU)."""
+        return self._prob(
+            self.wake_within_coeff, self.wake_spread_coeff, allowed_size, n_cores
+        )
+
+    # ------------------------------------------------------------------
+
+    def expected_sched_penalty(
+        self,
+        host: HostTopology,
+        cache: CacheModel,
+        allowed: CpusetSpec,
+        n_cores: int,
+        working_set_bytes: float,
+    ) -> float:
+        """Expected seconds lost to migration per scheduling event."""
+        p = self.sched_migration_probability(allowed.size, n_cores)
+        if p == 0.0:
+            return 0.0
+        return p * cache.expected_penalty(host, allowed.cpus, working_set_bytes)
+
+    def expected_wake_penalty(
+        self,
+        host: HostTopology,
+        cache: CacheModel,
+        allowed: CpusetSpec,
+        n_cores: int,
+        working_set_bytes: float,
+        channel_reestablish_cost: float,
+    ) -> float:
+        """Expected seconds lost to migration per IRQ wake-up.
+
+        Includes both the cache re-warm and the IO-channel re-establishment
+        of a moved resume.
+        """
+        p = self.wake_migration_probability(allowed.size, n_cores)
+        if p == 0.0:
+            return 0.0
+        cache_cost = cache.expected_penalty(host, allowed.cpus, working_set_bytes)
+        return p * (cache_cost + channel_reestablish_cost)

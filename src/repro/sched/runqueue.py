@@ -1,0 +1,239 @@
+"""Discrete per-CPU run-queue simulation — validation of the CFS model.
+
+The fluid engine charges scheduling-event costs from the *analytical*
+:class:`repro.sched.cfs.CfsModel` (timeslice ≈ ``target_latency / n``,
+floored at ``min_granularity``).  This module provides the ground truth
+that model abstracts: a discrete simulation of per-CPU run queues with
+
+* vruntime-ordered picking (the leftmost-deadline rule of CFS),
+* per-queue timeslices ``max(min_granularity, target_latency / n_local)``,
+* periodic load balancing pulling threads from the longest to the
+  shortest queue,
+* optional random wake placement (a fraction of slice expiries re-enqueue
+  on a random allowed CPU — the vanilla-placement behaviour).
+
+It is used by the test suite to check that the analytical event rate and
+fairness assumptions hold (``tests/test_runqueue.py``), and is available
+for calibrating :class:`CfsModel` variants against other kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sched.cfs import CfsModel
+
+__all__ = ["RunQueueStats", "RunQueueSimulator"]
+
+
+@dataclass(frozen=True)
+class RunQueueStats:
+    """Aggregate outcome of one run-queue simulation.
+
+    Attributes
+    ----------
+    duration:
+        Simulated seconds.
+    context_switches:
+        Slice expiries that handed the CPU to a different thread.
+    migrations:
+        Re-enqueues on a CPU different from the previous one.
+    cpu_time:
+        Per-thread accumulated CPU seconds.
+    busy_cpu_seconds:
+        Total CPU seconds executed across all CPUs.
+    """
+
+    duration: float
+    context_switches: int
+    migrations: int
+    cpu_time: np.ndarray
+    busy_cpu_seconds: float
+
+    @property
+    def event_rate_per_busy_core(self) -> float:
+        """Scheduling events per busy-core second (the CfsModel quantity)."""
+        if self.busy_cpu_seconds <= 0:
+            return 0.0
+        return self.context_switches / self.busy_cpu_seconds
+
+    @property
+    def migration_fraction(self) -> float:
+        """Fraction of scheduling events that migrated the thread."""
+        if self.context_switches <= 0:
+            return 0.0
+        return self.migrations / self.context_switches
+
+    def fairness(self) -> float:
+        """Jain's fairness index of per-thread CPU time (1 = perfect)."""
+        total = float(self.cpu_time.sum())
+        if total <= 0:
+            return 1.0
+        n = self.cpu_time.size
+        return total**2 / (n * float((self.cpu_time**2).sum()))
+
+
+class RunQueueSimulator:
+    """Simulates always-runnable threads on per-CPU run queues.
+
+    Parameters
+    ----------
+    n_cpus:
+        CPUs (each with its own queue).
+    n_threads:
+        CPU-bound threads, initially distributed round-robin.
+    cfs:
+        The timeslice parameters being validated.
+    wake_spread_probability:
+        Probability that a slice expiry re-enqueues the thread on a
+        uniformly random CPU instead of its current one (models the
+        vanilla placement freedom; 0 = perfectly sticky).
+    balance_interval:
+        Seconds between load-balancer passes (longest queue donates to
+        shortest).
+    seed:
+        RNG seed for wake placement.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int,
+        n_threads: int,
+        cfs: CfsModel | None = None,
+        *,
+        wake_spread_probability: float = 0.0,
+        balance_interval: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if n_cpus < 1:
+            raise ConfigurationError(f"n_cpus must be >= 1, got {n_cpus}")
+        if n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+        if not 0.0 <= wake_spread_probability <= 1.0:
+            raise ConfigurationError(
+                "wake_spread_probability must be in [0, 1]"
+            )
+        if balance_interval <= 0:
+            raise ConfigurationError("balance_interval must be > 0")
+        self.n_cpus = n_cpus
+        self.n_threads = n_threads
+        self.cfs = cfs or CfsModel()
+        self.wake_spread_probability = wake_spread_probability
+        self.balance_interval = balance_interval
+        self.rng = np.random.default_rng(seed)
+
+    def run(self, duration: float) -> RunQueueStats:
+        """Simulate ``duration`` seconds and return the statistics."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+
+        # per-CPU priority queues of (vruntime, tiebreak, thread_id)
+        queues: list[list[tuple[float, int, int]]] = [
+            [] for _ in range(self.n_cpus)
+        ]
+        vruntime = np.zeros(self.n_threads)
+        cpu_time = np.zeros(self.n_threads)
+        cpu_of = np.zeros(self.n_threads, dtype=np.int64)
+        tiebreak = 0
+        for t in range(self.n_threads):
+            cpu = t % self.n_cpus
+            cpu_of[t] = cpu
+            heapq.heappush(queues[cpu], (0.0, tiebreak, t))
+            tiebreak += 1
+
+        # event queue of (time, kind, cpu); kinds: 0 = slice end, 1 = balance
+        events: list[tuple[float, int, int]] = []
+        running: list[int | None] = [None] * self.n_cpus
+        slice_start = np.zeros(self.n_cpus)
+        busy = 0.0
+        switches = 0
+        migrations = 0
+
+        def timeslice(cpu: int) -> float:
+            n_local = len(queues[cpu]) + (1 if running[cpu] is not None else 0)
+            return self.cfs.timeslice(max(1.0, float(n_local)))
+
+        def dispatch(cpu: int, now: float) -> None:
+            if running[cpu] is not None or not queues[cpu]:
+                return
+            _, _, t = heapq.heappop(queues[cpu])
+            running[cpu] = t
+            slice_start[cpu] = now
+            heapq.heappush(events, (now + timeslice(cpu), 0, cpu))
+
+        for cpu in range(self.n_cpus):
+            dispatch(cpu, 0.0)
+        heapq.heappush(events, (self.balance_interval, 1, -1))
+
+        while events:
+            now, kind, cpu = heapq.heappop(events)
+            if now > duration:
+                break
+            if kind == 1:
+                # load balance: longest queue donates one thread to shortest
+                lengths = [
+                    len(q) + (1 if running[c] is not None else 0)
+                    for c, q in enumerate(queues)
+                ]
+                src = int(np.argmax(lengths))
+                dst = int(np.argmin(lengths))
+                if lengths[src] - lengths[dst] > 1 and queues[src]:
+                    vr, tb, t = heapq.heappop(queues[src])
+                    heapq.heappush(queues[dst], (vr, tb, t))
+                    if cpu_of[t] != dst:
+                        migrations += 1
+                    cpu_of[t] = dst
+                heapq.heappush(
+                    events, (now + self.balance_interval, 1, -1)
+                )
+                continue
+
+            # slice expiry on `cpu`
+            t = running[cpu]
+            if t is None:
+                continue
+            ran = now - slice_start[cpu]
+            busy += ran
+            cpu_time[t] += ran
+            vruntime[t] += ran
+            running[cpu] = None
+
+            # choose where the thread is re-enqueued
+            if (
+                self.wake_spread_probability > 0.0
+                and self.rng.random() < self.wake_spread_probability
+            ):
+                target = int(self.rng.integers(0, self.n_cpus))
+            else:
+                target = cpu
+            if target != cpu_of[t]:
+                migrations += 1
+            cpu_of[t] = target
+            heapq.heappush(queues[target], (float(vruntime[t]), tiebreak, t))
+            tiebreak += 1
+
+            # a switch happened if someone else runs next on this cpu
+            switches += 1
+            dispatch(cpu, now)
+            if running[target] is None:
+                dispatch(target, now)
+
+        # drain: account partial slices of still-running threads
+        for cpu in range(self.n_cpus):
+            t = running[cpu]
+            if t is not None:
+                ran = max(0.0, duration - slice_start[cpu])
+                busy += ran
+                cpu_time[t] += ran
+
+        return RunQueueStats(
+            duration=duration,
+            context_switches=switches,
+            migrations=migrations,
+            cpu_time=cpu_time,
+            busy_cpu_seconds=busy,
+        )

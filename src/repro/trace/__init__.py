@@ -1,0 +1,21 @@
+"""Profiling tools over the simulator (the paper's BCC/perf analogs).
+
+The paper used ``top``/``htop``/``iostat``/``perf`` plus the BCC kernel-
+tracing tools ``cpudist`` and ``offcputime`` "to monitor and profile the
+instantaneous status of the processes in the OS scheduler" (Section
+III-A).  The same observability exists here over the simulated kernel:
+
+* :mod:`repro.trace.counters` -- perf-style event counters (scheduling
+  events, migrations, cgroup invocations, IRQs, ...);
+* :mod:`repro.trace.cpudist` -- distribution of on-CPU stretches
+  (BCC ``cpudist`` analog);
+* :mod:`repro.trace.offcputime` -- where threads spend their blocked time
+  (BCC ``offcputime`` analog).
+"""
+
+from repro.trace.counters import PerfCounters
+from repro.trace.cpudist import CpuDist
+from repro.trace.offcputime import OffCpuReport
+from repro.trace.timeline import Interval, Timeline
+
+__all__ = ["PerfCounters", "CpuDist", "OffCpuReport", "Timeline", "Interval"]

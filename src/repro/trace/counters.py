@@ -1,0 +1,126 @@
+"""Perf-style event counters accumulated by the simulation engine.
+
+Counts are accumulated in expectation (rate x time), matching how the
+engine charges overheads; they are the quantitative backbone of the
+Section-IV root-cause analysis (e.g. *"for small containers the overhead
+of cgroups tasks ... dominates the container process"* becomes a direct
+comparison of ``cgroup_time`` against ``busy_core_seconds``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Event and time counters for one simulated run.
+
+    Attributes
+    ----------
+    busy_core_seconds:
+        Core-seconds granted to application threads.
+    useful_core_seconds:
+        Core-seconds that became application progress (after efficiency).
+    sched_events:
+        Scheduling events experienced by the platform's threads.
+    migrations:
+        Expected thread migrations at scheduling events.
+    wake_migrations:
+        Expected migrations at IRQ wake-ups.
+    irqs:
+        Interrupts raised by IO segments.
+    cgroup_time:
+        Seconds of cgroup accounting work charged.
+    ctx_switch_time:
+        Seconds of direct context-switch cost charged.
+    migration_time:
+        Seconds of cache/IO re-warm cost charged at scheduling events.
+    background_time:
+        Seconds of platform background machinery charged.
+    io_blocked_seconds / comm_blocked_seconds / barrier_blocked_seconds:
+        Thread-seconds spent off-CPU by cause (the ``offcputime`` data).
+    timeslice_weight:
+        Histogram {timeslice_seconds: busy_core_seconds} (``cpudist`` data).
+    """
+
+    busy_core_seconds: float = 0.0
+    useful_core_seconds: float = 0.0
+    sched_events: float = 0.0
+    migrations: float = 0.0
+    wake_migrations: float = 0.0
+    irqs: int = 0
+    cgroup_time: float = 0.0
+    ctx_switch_time: float = 0.0
+    migration_time: float = 0.0
+    background_time: float = 0.0
+    io_blocked_seconds: float = 0.0
+    comm_blocked_seconds: float = 0.0
+    barrier_blocked_seconds: float = 0.0
+    timeslice_weight: dict[float, float] = field(default_factory=dict)
+
+    def add_timeslice(self, timeslice: float, weight: float) -> None:
+        """Accumulate ``weight`` busy core-seconds at a timeslice value
+        (bucketed to the microsecond)."""
+        key = round(timeslice, 6)
+        self.timeslice_weight[key] = self.timeslice_weight.get(key, 0.0) + weight
+
+    @property
+    def overhead_core_seconds(self) -> float:
+        """Granted-but-unproductive core-seconds."""
+        return self.busy_core_seconds - self.useful_core_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of granted capacity lost to overheads."""
+        if self.busy_core_seconds <= 0:
+            return 0.0
+        return self.overhead_core_seconds / self.busy_core_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready projection (timeslice histogram keys as strings)."""
+        out = {
+            "busy_core_seconds": self.busy_core_seconds,
+            "useful_core_seconds": self.useful_core_seconds,
+            "sched_events": self.sched_events,
+            "migrations": self.migrations,
+            "wake_migrations": self.wake_migrations,
+            "irqs": self.irqs,
+            "cgroup_time": self.cgroup_time,
+            "ctx_switch_time": self.ctx_switch_time,
+            "migration_time": self.migration_time,
+            "background_time": self.background_time,
+            "io_blocked_seconds": self.io_blocked_seconds,
+            "comm_blocked_seconds": self.comm_blocked_seconds,
+            "barrier_blocked_seconds": self.barrier_blocked_seconds,
+            "timeslice_weight": {
+                str(k): v for k, v in self.timeslice_weight.items()
+            },
+        }
+        return out
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Return the element-wise sum of two counter sets."""
+        merged = PerfCounters(
+            busy_core_seconds=self.busy_core_seconds + other.busy_core_seconds,
+            useful_core_seconds=self.useful_core_seconds + other.useful_core_seconds,
+            sched_events=self.sched_events + other.sched_events,
+            migrations=self.migrations + other.migrations,
+            wake_migrations=self.wake_migrations + other.wake_migrations,
+            irqs=self.irqs + other.irqs,
+            cgroup_time=self.cgroup_time + other.cgroup_time,
+            ctx_switch_time=self.ctx_switch_time + other.ctx_switch_time,
+            migration_time=self.migration_time + other.migration_time,
+            background_time=self.background_time + other.background_time,
+            io_blocked_seconds=self.io_blocked_seconds + other.io_blocked_seconds,
+            comm_blocked_seconds=self.comm_blocked_seconds
+            + other.comm_blocked_seconds,
+            barrier_blocked_seconds=self.barrier_blocked_seconds
+            + other.barrier_blocked_seconds,
+        )
+        merged.timeslice_weight = dict(self.timeslice_weight)
+        for k, v in other.timeslice_weight.items():
+            merged.timeslice_weight[k] = merged.timeslice_weight.get(k, 0.0) + v
+        return merged

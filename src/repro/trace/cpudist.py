@@ -1,0 +1,71 @@
+"""BCC ``cpudist`` analog: distribution of on-CPU stretches.
+
+The paper used ``cpudist`` "to monitor and profile the instantaneous
+status of the processes in the OS scheduler" (Section III-A) — concretely
+the histogram of how long tasks stay on a CPU between scheduling events.
+The simulator records, per step, the effective timeslice and the busy
+core-seconds spent at it; :class:`CpuDist` turns that into the familiar
+log2-bucketed histogram.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.trace.counters import PerfCounters
+
+__all__ = ["CpuDist"]
+
+
+@dataclass
+class CpuDist:
+    """Log2 histogram of on-CPU stretch durations (in microseconds).
+
+    Attributes
+    ----------
+    buckets:
+        Mapping ``bucket_floor_us -> weight`` where a stretch of ``d``
+        microseconds lands in bucket ``2**floor(log2(d))`` and the weight
+        is busy core-seconds observed at that stretch.
+    """
+
+    buckets: dict[int, float]
+
+    @classmethod
+    def from_counters(cls, counters: PerfCounters) -> "CpuDist":
+        """Build the histogram from a run's perf counters."""
+        buckets: dict[int, float] = {}
+        for timeslice, weight in counters.timeslice_weight.items():
+            if timeslice <= 0 or weight <= 0:
+                continue
+            us = timeslice * 1e6
+            floor = 2 ** int(math.floor(math.log2(us)))
+            buckets[floor] = buckets.get(floor, 0.0) + weight
+        return cls(buckets=buckets)
+
+    @property
+    def total_weight(self) -> float:
+        """Total busy core-seconds in the histogram."""
+        return sum(self.buckets.values())
+
+    def mean_stretch_us(self) -> float:
+        """Weight-averaged on-CPU stretch (bucket midpoints), in us."""
+        total = self.total_weight
+        if total <= 0:
+            raise AnalysisError("cpudist histogram is empty")
+        acc = sum(1.5 * floor * w for floor, w in self.buckets.items())
+        return acc / total
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering in the BCC style."""
+        if not self.buckets:
+            return "(empty)"
+        top = max(self.buckets.values())
+        lines = ["     usecs : weight     distribution"]
+        for floor in sorted(self.buckets):
+            w = self.buckets[floor]
+            bar = "*" * max(1, int(round(width * w / top)))
+            lines.append(f"{floor:>10d} : {w:>10.4f} |{bar}")
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""BCC ``offcputime`` analog: where threads spend their blocked time.
+
+``offcputime`` attributes off-CPU time to the stacks that caused the
+blocking; the simulator's equivalent attributes blocked thread-seconds to
+the three causes its kernel model distinguishes — IO waits,
+communication waits, and barrier (synchronization) waits — plus the
+decomposition of on-CPU time into useful work and overhead channels.
+Together with :class:`repro.trace.cpudist.CpuDist` this is the data
+behind the paper's Section-IV root-cause narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.counters import PerfCounters
+
+__all__ = ["OffCpuReport"]
+
+
+@dataclass(frozen=True)
+class OffCpuReport:
+    """Blocked-time and overhead attribution for one run.
+
+    All values in (thread- or core-) seconds.
+    """
+
+    io_wait: float
+    comm_wait: float
+    barrier_wait: float
+    useful_cpu: float
+    cgroup_overhead: float
+    ctx_switch_overhead: float
+    migration_overhead: float
+    background_overhead: float
+
+    @classmethod
+    def from_counters(cls, counters: PerfCounters) -> "OffCpuReport":
+        """Build the report from a run's perf counters."""
+        return cls(
+            io_wait=counters.io_blocked_seconds,
+            comm_wait=counters.comm_blocked_seconds,
+            barrier_wait=counters.barrier_blocked_seconds,
+            useful_cpu=counters.useful_core_seconds,
+            cgroup_overhead=counters.cgroup_time,
+            ctx_switch_overhead=counters.ctx_switch_time,
+            migration_overhead=counters.migration_time,
+            background_overhead=counters.background_time,
+        )
+
+    @property
+    def total_blocked(self) -> float:
+        """Total off-CPU thread-seconds."""
+        return self.io_wait + self.comm_wait + self.barrier_wait
+
+    @property
+    def total_overhead(self) -> float:
+        """Total charged overhead core-seconds."""
+        return (
+            self.cgroup_overhead
+            + self.ctx_switch_overhead
+            + self.migration_overhead
+            + self.background_overhead
+        )
+
+    def dominant_wait(self) -> str:
+        """The largest blocked-time cause."""
+        waits = {
+            "io": self.io_wait,
+            "comm": self.comm_wait,
+            "barrier": self.barrier_wait,
+        }
+        return max(waits, key=waits.get)  # type: ignore[arg-type]
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        rows = [
+            ("useful CPU", self.useful_cpu),
+            ("cgroup overhead", self.cgroup_overhead),
+            ("ctx-switch overhead", self.ctx_switch_overhead),
+            ("migration overhead", self.migration_overhead),
+            ("background overhead", self.background_overhead),
+            ("IO wait", self.io_wait),
+            ("comm wait", self.comm_wait),
+            ("barrier wait", self.barrier_wait),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}} : {val:12.6f} s" for name, val in rows)

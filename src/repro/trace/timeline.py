@@ -1,0 +1,143 @@
+"""Execution-timeline tool: per-thread Gantt views from trace events.
+
+Feed a :class:`repro.engine.tracing.ListTraceSink` into a run and build
+a :class:`Timeline` from its events: per-thread intervals labelled by
+activity (running, IO wait, communication, barrier wait).  The ASCII
+rendering makes scheduling behaviour visible at a glance — e.g. the
+convoying of FFmpeg's barrier phases, or Cassandra's IO-dominated
+workers — complementing the aggregate ``cpudist``/``offcputime`` views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.events import EventKind, TraceEvent
+from repro.errors import AnalysisError
+
+__all__ = ["Interval", "Timeline"]
+
+#: rendering glyphs per activity
+_GLYPHS = {
+    "run": "#",
+    "io": ".",
+    "comm": "~",
+    "barrier": "|",
+    "absent": " ",
+}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One activity interval of one thread."""
+
+    thread: int
+    start: float
+    end: float
+    activity: str  # run / io / comm / barrier
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Per-thread activity intervals reconstructed from trace events."""
+
+    def __init__(self, intervals: list[Interval], end_time: float) -> None:
+        if end_time < 0:
+            raise AnalysisError("end_time must be >= 0")
+        self.intervals = sorted(intervals, key=lambda i: (i.thread, i.start))
+        self.end_time = end_time
+
+    @classmethod
+    def from_events(cls, events: list[TraceEvent]) -> "Timeline":
+        """Reconstruct a timeline from an ordered trace-event list.
+
+        A thread is considered *running* between its arrival (or a wake /
+        release) and the next blocking or completion event; explicit
+        blocked intervals are labelled by cause.
+        """
+        if not events:
+            raise AnalysisError("no trace events to build a timeline from")
+        open_state: dict[int, tuple[float, str]] = {}
+        intervals: list[Interval] = []
+        end_time = max(e.time for e in events)
+
+        def close(thread: int, t: float) -> None:
+            if thread in open_state:
+                start, act = open_state.pop(thread)
+                if t > start:
+                    intervals.append(Interval(thread, start, t, act))
+
+        for e in events:
+            t, j = e.time, e.thread
+            if e.kind is EventKind.ARRIVAL:
+                open_state[j] = (t, "run")
+            elif e.kind is EventKind.IO_ISSUE:
+                close(j, t)
+                open_state[j] = (t, "io")
+            elif e.kind is EventKind.COMM_ISSUE:
+                close(j, t)
+                open_state[j] = (t, "comm")
+            elif e.kind is EventKind.BARRIER_WAIT:
+                close(j, t)
+                open_state[j] = (t, "barrier")
+            elif e.kind in (
+                EventKind.IO_WAKE,
+                EventKind.COMM_DONE,
+                EventKind.BARRIER_RELEASE,
+            ):
+                close(j, t)
+                open_state[j] = (t, "run")
+            elif e.kind is EventKind.THREAD_DONE:
+                close(j, t)
+        for j in list(open_state):
+            close(j, end_time)
+        return cls(intervals, end_time)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        """Number of distinct threads with intervals."""
+        return len({i.thread for i in self.intervals})
+
+    def thread_intervals(self, thread: int) -> list[Interval]:
+        """Intervals of one thread, in time order."""
+        return [i for i in self.intervals if i.thread == thread]
+
+    def activity_totals(self) -> dict[str, float]:
+        """Total thread-seconds per activity."""
+        totals: dict[str, float] = {}
+        for i in self.intervals:
+            totals[i.activity] = totals.get(i.activity, 0.0) + i.duration
+        return totals
+
+    def render(self, width: int = 80, max_threads: int = 24) -> str:
+        """ASCII Gantt: one row per thread, glyphs per activity.
+
+        ``#`` running, ``.`` IO wait, ``~`` communication, ``|`` barrier.
+        """
+        if self.end_time <= 0 or not self.intervals:
+            return "(empty timeline)"
+        threads = sorted({i.thread for i in self.intervals})[:max_threads]
+        scale = width / self.end_time
+        lines = [
+            f"t = 0 .. {self.end_time:.3f}s   "
+            "(# run, . io, ~ comm, | barrier)"
+        ]
+        for j in threads:
+            row = [" "] * width
+            for iv in self.thread_intervals(j):
+                a = min(width - 1, int(iv.start * scale))
+                b = min(width, max(a + 1, int(iv.end * scale)))
+                glyph = _GLYPHS.get(iv.activity, "?")
+                for k in range(a, b):
+                    row[k] = glyph
+            lines.append(f"T{j:<4d} {''.join(row)}")
+        skipped = len({i.thread for i in self.intervals}) - len(threads)
+        if skipped > 0:
+            lines.append(f"... ({skipped} more threads)")
+        return "\n".join(lines)

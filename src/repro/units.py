@@ -1,0 +1,67 @@
+"""Unit constants and conversion helpers.
+
+All simulation times are kept in **seconds** (float), work amounts in
+**core-seconds** (seconds of exclusive execution on one reference core at
+nominal speed), and sizes in **bytes**.  This module centralizes the
+multipliers so magnitudes stay readable at call sites, e.g.::
+
+    from repro.units import MS, US, GIB
+    quantum = 10 * MS
+    penalty = 60 * US
+    memory = 8 * GIB
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SECOND",
+    "MINUTE",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "seconds_to_ms",
+    "seconds_to_us",
+    "bytes_to_mib",
+    "bytes_to_gib",
+]
+
+# --- time (seconds) -------------------------------------------------------
+NS: float = 1e-9
+US: float = 1e-6
+MS: float = 1e-3
+SECOND: float = 1.0
+MINUTE: float = 60.0
+
+# --- sizes (bytes) --------------------------------------------------------
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+KIB: int = 2**10
+MIB: int = 2**20
+GIB: int = 2**30
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def bytes_to_mib(n_bytes: float) -> float:
+    """Convert a byte count to mebibytes."""
+    return n_bytes / MIB
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert a byte count to gibibytes."""
+    return n_bytes / GIB

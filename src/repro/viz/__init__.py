@@ -1,0 +1,13 @@
+"""Dependency-free visualization of experiment results.
+
+The environment ships no plotting library, so :mod:`repro.viz.svg`
+renders the paper's grouped-bar figures as standalone SVG documents
+(openable in any browser) directly from a
+:class:`~repro.run.results.SweepResult`, and
+:mod:`repro.trace.timeline` (in the trace package) provides execution
+timelines.  The ASCII renderers live in :mod:`repro.analysis.figures`.
+"""
+
+from repro.viz.svg import render_sweep_svg, save_sweep_svg
+
+__all__ = ["render_sweep_svg", "save_sweep_svg"]

@@ -1,0 +1,207 @@
+"""Standalone SVG rendering of grouped-bar figures.
+
+Produces self-contained SVG documents in the visual style of the paper's
+Figs. 3-6: instance types on the x-axis, one bar per platform
+configuration with the legend's color coding, error bars for the 95 %
+confidence intervals, and hatched/red-tinted "overhead" emphasis left to
+the color ramp.  No third-party dependency — the documents are built
+from string templates and open in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.analysis.figures import FigureSeries, figure_from_sweep
+from repro.errors import AnalysisError
+from repro.run.results import SweepResult
+
+__all__ = ["render_sweep_svg", "save_sweep_svg", "PALETTE"]
+
+#: Legend colors, one per platform configuration (paper legend order).
+PALETTE: dict[str, str] = {
+    "Vanilla VM": "#1f77b4",
+    "Pinned VM": "#aec7e8",
+    "Vanilla VMCN": "#ff7f0e",
+    "Pinned VMCN": "#ffbb78",
+    "Vanilla CN": "#d62728",
+    "Pinned CN": "#ff9896",
+    "Vanilla BM": "#2ca02c",
+    "Vanilla SG": "#9467bd",
+    "Pinned SG": "#c5b0d5",
+}
+_FALLBACK_COLORS = ("#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf")
+
+
+def _color(label: str, index: int) -> str:
+    return PALETTE.get(label, _FALLBACK_COLORS[index % len(_FALLBACK_COLORS)])
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round up to a 1/2/5 x 10^k grid value for the y-axis."""
+    if value <= 0:
+        return 1.0
+    import math
+
+    exp = math.floor(math.log10(value))
+    base = value / 10**exp
+    for step in (1.0, 2.0, 5.0, 10.0):
+        if base <= step:
+            return step * 10**exp
+    return 10.0 * 10**exp
+
+
+def render_sweep_svg(
+    sweep: SweepResult,
+    *,
+    title: str,
+    width: int = 860,
+    height: int = 420,
+    y_label: str = "Average Execution Time (s)",
+) -> str:
+    """Render a sweep as a grouped-bar SVG document (returned as text)."""
+    series = figure_from_sweep(sweep)
+    if not series:
+        raise AnalysisError("cannot render an empty sweep")
+    return _render(series, title=title, width=width, height=height, y_label=y_label)
+
+
+def _render(
+    series: list[FigureSeries],
+    *,
+    title: str,
+    width: int,
+    height: int,
+    y_label: str,
+) -> str:
+    margin_l, margin_r, margin_t, margin_b = 70, 180, 44, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    x_labels = [p.x_label for p in series[0].points]
+    n_groups = len(x_labels)
+    n_series = len(series)
+
+    chartable = [
+        p.ci_high
+        for s in series
+        for p in s.points
+        if not p.thrashed
+    ]
+    y_max = _nice_ceiling(max(chartable) * 1.05 if chartable else 1.0)
+
+    def x_of(group: int, k: int) -> float:
+        group_w = plot_w / n_groups
+        bar_w = group_w * 0.8 / n_series
+        return margin_l + group * group_w + group_w * 0.1 + k * bar_w
+
+    def y_of(v: float) -> float:
+        return margin_t + plot_h * (1.0 - min(v, y_max) / y_max)
+
+    bar_w = (plot_w / n_groups) * 0.8 / n_series
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>',
+    ]
+
+    # y axis: 5 gridlines with labels
+    for i in range(6):
+        v = y_max * i / 5
+        y = y_of(v)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{v:g}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2:.1f}" font-size="12" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2:.1f})" '
+        f'text-anchor="middle">{escape(y_label)}</text>'
+    )
+
+    # bars + error whiskers
+    for k, s in enumerate(series):
+        color = _color(s.label, k)
+        for g, point in enumerate(s.points):
+            x = x_of(g, k)
+            if point.thrashed:
+                parts.append(
+                    f'<text x="{x + bar_w / 2:.1f}" '
+                    f'y="{margin_t + plot_h - 6:.1f}" font-size="9" '
+                    f'text-anchor="middle" fill="#aa0000" '
+                    f'transform="rotate(-90 {x + bar_w / 2:.1f} '
+                    f'{margin_t + plot_h - 6:.1f})">out of range</text>'
+                )
+                continue
+            y = y_of(point.mean)
+            h = margin_t + plot_h - y
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{max(h, 0):.1f}" fill="{color}" '
+                f'stroke="#333333" stroke-width="0.5">'
+                f"<title>{escape(s.label)} @ {escape(point.x_label)}: "
+                f"{point.mean:.3f} (n={point.n})</title></rect>"
+            )
+            if point.ci_high > point.ci_low:
+                cx = x + bar_w / 2
+                y_lo, y_hi = y_of(point.ci_low), y_of(point.ci_high)
+                parts.append(
+                    f'<line x1="{cx:.1f}" y1="{y_lo:.1f}" x2="{cx:.1f}" '
+                    f'y2="{y_hi:.1f}" stroke="#000000" stroke-width="1"/>'
+                )
+                for yy in (y_lo, y_hi):
+                    parts.append(
+                        f'<line x1="{cx - 3:.1f}" y1="{yy:.1f}" '
+                        f'x2="{cx + 3:.1f}" y2="{yy:.1f}" '
+                        'stroke="#000000" stroke-width="1"/>'
+                    )
+
+    # x axis labels
+    axis_y = margin_t + plot_h
+    parts.append(
+        f'<line x1="{margin_l}" y1="{axis_y}" x2="{width - margin_r}" '
+        f'y2="{axis_y}" stroke="#333333" stroke-width="1"/>'
+    )
+    for g, lbl in enumerate(x_labels):
+        cx = margin_l + (g + 0.5) * plot_w / n_groups
+        parts.append(
+            f'<text x="{cx:.1f}" y="{axis_y + 18}" text-anchor="middle" '
+            f'font-size="12">{escape(lbl)}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.1f}" y="{height - 12}" '
+        f'text-anchor="middle" font-size="12">Instance Types</text>'
+    )
+
+    # legend
+    lx = width - margin_r + 12
+    for k, s in enumerate(series):
+        ly = margin_t + k * 20
+        parts.append(
+            f'<rect x="{lx}" y="{ly}" width="13" height="13" '
+            f'fill="{_color(s.label, k)}" stroke="#333333" '
+            'stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 19}" y="{ly + 11}" font-size="12">'
+            f"{escape(s.label)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_sweep_svg(
+    sweep: SweepResult, path: str | Path, *, title: str, **kwargs
+) -> Path:
+    """Render and write a sweep SVG; returns the written path."""
+    path = Path(path)
+    path.write_text(render_sweep_svg(sweep, title=title, **kwargs))
+    return path

@@ -1,0 +1,66 @@
+"""Application workload models (Table I of the paper).
+
+Each workload compiles to a set of processes whose threads execute a
+*program*: a sequence of segments (compute / IO / communication / barrier)
+defined in :mod:`repro.workloads.segments`.  The four applications of the
+paper are modeled:
+
+* :mod:`repro.workloads.ffmpeg` -- FFmpeg 3.4.6 codec transcoding
+  (CPU-bound, <= 16 threads);
+* :mod:`repro.workloads.mpi` -- Open MPI 2.1.1 ``MPI Search`` and
+  ``Prime MPI`` (communication-dominated HPC);
+* :mod:`repro.workloads.wordpress` -- WordPress 5.3.2 under an Apache
+  JMeter load of 1 000 simultaneous requests (IO-bound, many short
+  processes);
+* :mod:`repro.workloads.cassandra` -- Apache Cassandra 2.2 under
+  ``cassandra-stress`` (ultra IO-bound, one large multi-threaded process).
+
+:mod:`repro.workloads.synthetic` provides a parametric workload used by
+the ablation benchmarks.
+"""
+
+from repro.workloads.base import ProcessSpec, ThreadSpec, Workload, WorkloadProfile
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.distributed import DistributedMpiWorkload
+from repro.workloads.ffmpeg import FfmpegWorkload
+from repro.workloads.mpi import MpiPrimeWorkload, MpiSearchWorkload
+from repro.workloads.segments import (
+    BarrierSegment,
+    CommSegment,
+    ComputeSegment,
+    IoSegment,
+    Segment,
+    total_compute_work,
+    total_io_time,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.video_library import (
+    VideoBatchWorkload,
+    VideoLibrary,
+    VideoSpec,
+)
+from repro.workloads.wordpress import WordPressWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadProfile",
+    "ProcessSpec",
+    "ThreadSpec",
+    "Segment",
+    "ComputeSegment",
+    "IoSegment",
+    "CommSegment",
+    "BarrierSegment",
+    "total_compute_work",
+    "total_io_time",
+    "FfmpegWorkload",
+    "MpiSearchWorkload",
+    "MpiPrimeWorkload",
+    "DistributedMpiWorkload",
+    "WordPressWorkload",
+    "CassandraWorkload",
+    "SyntheticWorkload",
+    "VideoSpec",
+    "VideoLibrary",
+    "VideoBatchWorkload",
+]

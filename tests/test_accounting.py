@@ -1,0 +1,202 @@
+"""Unit tests for :mod:`repro.sched.accounting` (the overhead model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.topology import r830_host
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.sched.accounting import OverheadModel
+from repro.units import MB
+
+
+def model(kind="CN", inst="xLarge", mode="vanilla", calib=None, **kw):
+    return OverheadModel(
+        r830_host(),
+        make_platform(kind, instance_type(inst), mode),
+        calib or Calibration(),
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_invalid_duty(self):
+        with pytest.raises(ConfigurationError):
+            model(cpu_duty_cycle=1.5)
+
+    def test_invalid_working_set(self):
+        with pytest.raises(ConfigurationError):
+            model(working_set_bytes=-1.0)
+
+    def test_footprint_vanilla_cn(self):
+        assert model("CN", "Large", "vanilla").footprint == 112
+
+    def test_footprint_pinned_cn(self):
+        assert model("CN", "Large", "pinned").footprint == 2
+
+    def test_footprint_vmcn_is_guest(self):
+        assert model("VMCN", "Large", "vanilla").footprint == 2
+
+    def test_footprint_untracked_zero(self):
+        assert model("BM", "Large").footprint == 0
+        assert model("VM", "Large").footprint == 0
+
+
+class TestSteadyFractions:
+    def test_vanilla_cn_pso_decays_with_cores(self):
+        """The heart of the PSO: accounting tax is inverse in quota."""
+        small = model("CN", "Large").steady_cgroup_fraction
+        big = model("CN", "4xLarge").steady_cgroup_fraction
+        assert small == pytest.approx(8 * big, rel=1e-6)
+        assert small > 0.1
+
+    def test_pinned_cn_negligible(self):
+        assert model("CN", "Large", "pinned").steady_cgroup_fraction < 0.01
+
+    def test_bm_free(self):
+        m = model("BM", "Large")
+        assert m.steady_cgroup_fraction == 0.0
+        assert m.background_fraction == 0.0
+
+    def test_vmcn_background_dominates_small_guest(self):
+        small = model("VMCN", "Large", cpu_duty_cycle=1.0)
+        big = model("VMCN", "4xLarge", cpu_duty_cycle=1.0)
+        assert small.background_fraction > 4 * big.background_fraction
+
+    def test_vanilla_vm_vcpu_tax(self):
+        calib = Calibration()
+        vanilla = model("VM", "xLarge")
+        pinned = model("VM", "xLarge", "pinned")
+        assert vanilla.background_fraction == pytest.approx(
+            calib.vm_vcpu_migration_fraction
+        )
+        assert pinned.background_fraction == 0.0
+
+
+class TestEfficiency:
+    def test_efficiency_in_range(self):
+        m = model()
+        for osr in (0.1, 1.0, 5.0, 100.0):
+            assert Calibration().min_efficiency <= m.efficiency(osr) <= 1.0
+
+    def test_efficiency_drops_with_oversubscription(self):
+        m = model()
+        assert m.efficiency(50.0) < m.efficiency(0.5)
+
+    def test_bm_efficiency_near_one_when_idle(self):
+        assert model("BM", "xLarge").efficiency(0.5) > 0.99
+
+    @given(osr=st.floats(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_efficiency_bounded(self, osr):
+        m = model("CN", "Large")
+        assert 0.0 < m.efficiency(osr) <= 1.0
+
+
+class TestMigrationSlowdown:
+    def test_no_slowdown_without_events(self):
+        calib = Calibration().without_migration_penalty()
+        m = model(calib=calib)
+        assert m.migration_slowdown(100.0) == 1.0
+
+    def test_vanilla_worse_than_pinned(self):
+        ws = 64 * MB
+        vanilla = model("CN", "xLarge", "vanilla", working_set_bytes=ws)
+        pinned = model("CN", "xLarge", "pinned", working_set_bytes=ws)
+        assert vanilla.migration_slowdown(10.0) > pinned.migration_slowdown(10.0)
+
+    def test_capped(self):
+        calib = Calibration()
+        m = model("CN", "xLarge", working_set_bytes=1e9)
+        assert m.migration_slowdown(1000.0) <= calib.mig_slowdown_cap
+
+    def test_grows_with_oversubscription(self):
+        m = model("CN", "xLarge", working_set_bytes=64 * MB)
+        assert m.migration_slowdown(20.0) >= m.migration_slowdown(0.5)
+
+    def test_vm_domain_shields_guest_threads(self):
+        """Guest threads migrate within vCPUs: a vanilla VM's migration
+        slowdown matches a pinned deployment of the same size."""
+        ws = 64 * MB
+        vm = model("VM", "xLarge", "vanilla", working_set_bytes=ws)
+        pinned_cn = model("CN", "xLarge", "pinned", working_set_bytes=ws)
+        assert vm.migration_slowdown(10.0) == pytest.approx(
+            pinned_cn.migration_slowdown(10.0)
+        )
+
+
+class TestComputeSlowdown:
+    def test_platform_penalty_applied(self):
+        vm = model("VM", "xLarge")
+        cn = model("CN", "xLarge", "pinned")
+        assert vm.compute_slowdown(0.95, 0.0, 0.5) > cn.compute_slowdown(
+            0.95, 0.0, 0.5
+        )
+
+    def test_contention_kicks_in_oversubscribed(self):
+        m = model("BM", "xLarge")
+        assert m.compute_slowdown(1.0, 0.0, 30.0) > m.compute_slowdown(
+            1.0, 0.0, 1.0
+        )
+
+    def test_contention_needs_mem_intensity(self):
+        # with migration disabled, only the cache-contention term depends
+        # on osr, and it needs mem_intensity to act
+        m = model("BM", "xLarge", calib=Calibration().without_migration_penalty())
+        assert m.compute_slowdown(0.0, 0.0, 30.0) == pytest.approx(
+            m.compute_slowdown(0.0, 0.0, 1.0)
+        )
+
+    def test_always_at_least_one(self):
+        m = model("BM", "xLarge")
+        assert m.compute_slowdown(0.0, 0.0, 0.1) >= 1.0
+
+
+class TestIrqAndWakeCosts:
+    def test_irq_latency_ordering(self):
+        """VM pays virtio; vanilla CN pays wide-footprint accounting; BM
+        pays only the base interrupt path."""
+        bm = model("BM", "xLarge").irq_latency()
+        cn = model("CN", "xLarge").irq_latency()
+        vm = model("VM", "xLarge").irq_latency()
+        assert bm < cn
+        assert bm < vm
+
+    def test_wake_extra_work_pinning_gain(self):
+        ws = 64 * MB
+        vanilla = model("CN", "xLarge", working_set_bytes=ws).wake_extra_work()
+        pinned = model(
+            "CN", "xLarge", "pinned", working_set_bytes=ws
+        ).wake_extra_work()
+        assert pinned < vanilla
+
+    def test_wake_extra_scales_with_working_set(self):
+        small = model("CN", "xLarge", working_set_bytes=1 * MB).wake_extra_work()
+        big = model("CN", "xLarge", working_set_bytes=64 * MB).wake_extra_work()
+        assert big > small
+
+
+class TestBreakdown:
+    def test_breakdown_consistent_with_methods(self):
+        m = model("CN", "Large")
+        b = m.breakdown(5.0)
+        assert b.efficiency == pytest.approx(m.efficiency(5.0))
+        assert b.steady_cgroup_fraction == pytest.approx(
+            m.steady_cgroup_fraction
+        )
+        assert b.migration_slowdown == pytest.approx(m.migration_slowdown(5.0))
+        assert b.comm_factor == pytest.approx(m.comm_factor)
+
+    def test_dominant_mechanism_small_vanilla_cn(self):
+        """Section IV-B: accounting dominates small vanilla containers."""
+        b = model("CN", "Large", cpu_duty_cycle=1.0).breakdown(1.0)
+        assert b.dominant_mechanism() == "cgroup-accounting"
+
+    def test_dominant_mechanism_vmcn(self):
+        b = model("VMCN", "Large", cpu_duty_cycle=1.0).breakdown(1.0)
+        assert b.dominant_mechanism() == "platform-background"

@@ -1,0 +1,125 @@
+"""Tests for the Section-VI best-practices advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bestpractices import (
+    PAPER_CHR_BANDS,
+    AppClass,
+    BestPracticeAdvisor,
+    Recommendation,
+)
+from repro.hostmodel.topology import r830_host
+from repro.platforms.base import PlatformKind
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.ffmpeg import FfmpegWorkload
+from repro.workloads.wordpress import WordPressWorkload
+
+
+class TestAppClassification:
+    def test_ffmpeg_is_cpu_intensive(self):
+        assert (
+            AppClass.from_profile(FfmpegWorkload().profile())
+            is AppClass.CPU_INTENSIVE
+        )
+
+    def test_wordpress_is_io_intensive(self):
+        assert (
+            AppClass.from_profile(WordPressWorkload().profile())
+            is AppClass.IO_INTENSIVE
+        )
+
+    def test_cassandra_is_ultra_io(self):
+        assert (
+            AppClass.from_profile(CassandraWorkload().profile())
+            is AppClass.ULTRA_IO_INTENSIVE
+        )
+
+
+class TestPaperBands:
+    def test_bands_match_section_iv_a(self):
+        assert PAPER_CHR_BANDS[AppClass.CPU_INTENSIVE].low == pytest.approx(0.07)
+        assert PAPER_CHR_BANDS[AppClass.CPU_INTENSIVE].high == pytest.approx(0.14)
+        assert PAPER_CHR_BANDS[AppClass.IO_INTENSIVE].high == pytest.approx(0.28)
+        assert PAPER_CHR_BANDS[AppClass.ULTRA_IO_INTENSIVE].high == pytest.approx(
+            0.57
+        )
+
+    def test_bands_are_ordered(self):
+        """IO-intensive applications require a higher CHR (Section IV-A)."""
+        cpu = PAPER_CHR_BANDS[AppClass.CPU_INTENSIVE]
+        io = PAPER_CHR_BANDS[AppClass.IO_INTENSIVE]
+        ultra = PAPER_CHR_BANDS[AppClass.ULTRA_IO_INTENSIVE]
+        assert cpu.high <= io.low + 1e-9
+        assert io.high <= ultra.low + 1e-9
+
+
+class TestAdvisor:
+    def setup_method(self):
+        self.advisor = BestPracticeAdvisor(host=r830_host())
+
+    def test_cpu_intensive_gets_pinned_cn(self):
+        """Best Practice 2."""
+        rec = self.advisor.recommend(FfmpegWorkload().profile())
+        assert rec.platform is PlatformKind.CN
+        assert rec.mode is ProvisioningMode.PINNED
+        assert 2 in rec.rules_applied
+
+    def test_io_intensive_gets_pinned_cn(self):
+        rec = self.advisor.recommend(CassandraWorkload().profile())
+        assert rec.platform is PlatformKind.CN
+        assert rec.mode is ProvisioningMode.PINNED
+
+    def test_io_without_pinning_gets_vmcn(self):
+        """Best Practice 4."""
+        advisor = BestPracticeAdvisor(host=r830_host(), pinning_available=False)
+        rec = advisor.recommend(WordPressWorkload().profile())
+        assert rec.platform is PlatformKind.VMCN
+        assert 4 in rec.rules_applied
+
+    def test_cpu_bound_forced_vm_not_pinned(self):
+        """Best Practice 3: don't bother pinning VMs for CPU-bound work."""
+        advisor = BestPracticeAdvisor(
+            host=r830_host(), vms_required=True, containers_allowed=False
+        )
+        rec = advisor.recommend(FfmpegWorkload().profile())
+        assert rec.platform is PlatformKind.VM
+        assert rec.mode is ProvisioningMode.VANILLA
+        assert 3 in rec.rules_applied
+
+    def test_io_forced_vm_pinned(self):
+        """Pinned VM beats vanilla VM for IO apps (Fig 5-ii)."""
+        advisor = BestPracticeAdvisor(
+            host=r830_host(), vms_required=True, containers_allowed=False
+        )
+        rec = advisor.recommend(WordPressWorkload().profile())
+        assert rec.platform is PlatformKind.VM
+        assert rec.mode is ProvisioningMode.PINNED
+
+    def test_suggested_cores_inside_band(self):
+        for wl in (FfmpegWorkload(), WordPressWorkload(), CassandraWorkload()):
+            rec = self.advisor.recommend(wl.profile())
+            assert rec.chr_range is not None
+            assert rec.chr_range.contains(rec.suggested_cores / 112)
+
+    def test_rule1_never_suggests_tiny_vanilla(self):
+        """Best Practice 1: never 1-2 core vanilla containers."""
+        advisor = BestPracticeAdvisor(host=r830_host(), pinning_available=False)
+        for wl in (FfmpegWorkload(), WordPressWorkload(), CassandraWorkload()):
+            rec = advisor.recommend(wl.profile())
+            if rec.platform in (PlatformKind.CN, PlatformKind.VMCN):
+                assert rec.suggested_cores >= 3
+
+    def test_rationale_nonempty(self):
+        rec = self.advisor.recommend(FfmpegWorkload().profile())
+        assert rec.rationale
+        assert isinstance(rec, Recommendation)
+
+    def test_vanilla_cn_fallback_applies_rule5(self):
+        advisor = BestPracticeAdvisor(
+            host=r830_host(), pinning_available=False, vms_required=False
+        )
+        rec = advisor.recommend(FfmpegWorkload().profile())
+        assert 5 in rec.rules_applied

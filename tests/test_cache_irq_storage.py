@@ -1,0 +1,188 @@
+"""Unit and property tests for cache, IRQ, storage and memory models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hostmodel.cache import CacheModel, MigrationScope
+from repro.hostmodel.contention import MemoryPressureModel
+from repro.hostmodel.irq import IrqCostModel, IrqKind
+from repro.hostmodel.storage import StorageModel
+from repro.hostmodel.topology import r830_host
+from repro.units import GIB, MB
+
+
+class TestCacheModel:
+    def test_same_cpu_is_free(self):
+        assert CacheModel().penalty(MigrationScope.SAME_CPU, 64 * MB) == 0.0
+
+    def test_cross_socket_costs_more(self):
+        m = CacheModel()
+        same = m.penalty(MigrationScope.SAME_SOCKET, 8 * MB)
+        cross = m.penalty(MigrationScope.CROSS_SOCKET, 8 * MB)
+        assert cross > same > 0
+
+    def test_penalty_scales_with_working_set(self):
+        m = CacheModel()
+        small = m.penalty(MigrationScope.CROSS_SOCKET, 1 * MB)
+        big = m.penalty(MigrationScope.CROSS_SOCKET, 16 * MB)
+        assert big == pytest.approx(16 * small)
+
+    def test_penalty_capped(self):
+        m = CacheModel()
+        assert (
+            m.penalty(MigrationScope.CROSS_SOCKET, 100 * GIB) == m.max_penalty
+        )
+
+    def test_zero_working_set(self):
+        assert CacheModel().penalty(MigrationScope.CROSS_SOCKET, 0.0) == 0.0
+
+    def test_negative_working_set_raises(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel().penalty(MigrationScope.CROSS_SOCKET, -1.0)
+
+    def test_expected_penalty_single_socket(self):
+        host = r830_host()
+        m = CacheModel()
+        cpus = host.contiguous_cpuset(16)
+        assert m.expected_penalty(host, cpus, 8 * MB) == pytest.approx(
+            m.penalty(MigrationScope.SAME_SOCKET, 8 * MB)
+        )
+
+    def test_expected_penalty_whole_host_between_bounds(self):
+        host = r830_host()
+        m = CacheModel()
+        exp = m.expected_penalty(host, host.all_cpus(), 8 * MB)
+        assert (
+            m.penalty(MigrationScope.SAME_SOCKET, 8 * MB)
+            < exp
+            < m.penalty(MigrationScope.CROSS_SOCKET, 8 * MB)
+        )
+
+    @given(ws=st.floats(min_value=0, max_value=1e9))
+    def test_expected_penalty_nonnegative(self, ws):
+        host = r830_host()
+        m = CacheModel()
+        assert m.expected_penalty(host, host.all_cpus(), ws) >= 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(reload_bandwidth=0)
+
+    def test_invalid_socket_factor(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(same_socket_factor=1.5)
+
+
+class TestIrqCostModel:
+    def test_base_cost_sum(self):
+        m = IrqCostModel()
+        assert m.base_cost() == pytest.approx(m.service_cost + m.resched_cost)
+
+    def test_migrated_cost_adds_channel(self):
+        m = IrqCostModel()
+        assert m.cost(migrated=True) == pytest.approx(
+            m.base_cost() + m.channel_reestablish_cost
+        )
+
+    def test_unmigrated_cost(self):
+        m = IrqCostModel()
+        assert m.cost(migrated=False) == pytest.approx(m.base_cost())
+
+    @given(p=st.floats(min_value=0, max_value=1))
+    def test_expected_cost_interpolates(self, p):
+        m = IrqCostModel()
+        e = m.expected_cost(p)
+        assert m.cost(False) <= e <= m.cost(True)
+
+    def test_expected_cost_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            IrqCostModel().expected_cost(1.5)
+
+    def test_negative_cost_raises(self):
+        with pytest.raises(ConfigurationError):
+            IrqCostModel(service_cost=-1e-6)
+
+    def test_irq_kinds(self):
+        assert IrqKind.DISK.value == "disk"
+        assert IrqKind.NET.value == "net"
+
+
+class TestStorageModel:
+    def test_no_slowdown_under_capacity(self):
+        m = StorageModel(effective_concurrency=48)
+        assert m.slowdown(10) == 1.0
+        assert m.slowdown(48) == 1.0
+
+    def test_linear_slowdown_over_capacity(self):
+        m = StorageModel(effective_concurrency=48)
+        assert m.slowdown(96) == pytest.approx(2.0)
+
+    def test_write_penalty(self):
+        m = StorageModel(write_penalty=1.6)
+        read = m.device_time(0.01, is_write=False, outstanding_ios=1)
+        write = m.device_time(0.01, is_write=True, outstanding_ios=1)
+        assert write == pytest.approx(1.6 * read)
+
+    def test_negative_outstanding_raises(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel().slowdown(-1)
+
+    def test_negative_base_raises(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel().device_time(-1.0, is_write=False, outstanding_ios=0)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel(effective_concurrency=0)
+
+    def test_invalid_write_penalty(self):
+        with pytest.raises(ConfigurationError):
+            StorageModel(write_penalty=0.5)
+
+    @given(out=st.integers(min_value=0, max_value=10_000))
+    def test_slowdown_monotone(self, out):
+        m = StorageModel(effective_concurrency=16)
+        assert m.slowdown(out + 1) >= m.slowdown(out)
+
+
+class TestMemoryPressureModel:
+    def test_no_pressure_below_allowance(self):
+        m = MemoryPressureModel()
+        assert m.factor(4 * GIB, 8 * GIB) == 1.0
+
+    def test_at_allowance_is_one(self):
+        m = MemoryPressureModel()
+        assert m.factor(8 * GIB, 8 * GIB) == 1.0
+
+    def test_quadratic_growth(self):
+        m = MemoryPressureModel(slowdown_per_overcommit=30.0)
+        f = m.factor(12 * GIB, 8 * GIB)  # 50 % overcommit
+        assert f == pytest.approx(1.0 + 30.0 * 0.25)
+
+    def test_cassandra_on_large_thrashes(self):
+        # the paper's Cassandra demand (12 GiB) on Large (8 GiB)
+        m = MemoryPressureModel()
+        assert m.is_thrashing(12 * GIB, 8 * GIB)
+
+    def test_cassandra_on_xlarge_fine(self):
+        m = MemoryPressureModel()
+        assert not m.is_thrashing(12 * GIB, 16 * GIB)
+
+    def test_invalid_allowance(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPressureModel().factor(1.0, 0.0)
+
+    def test_negative_demand(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPressureModel().factor(-1.0, 1.0)
+
+    @given(
+        demand=st.floats(min_value=0, max_value=1e12),
+        allowance=st.floats(min_value=1, max_value=1e12),
+    )
+    def test_factor_at_least_one(self, demand, allowance):
+        assert MemoryPressureModel().factor(demand, allowance) >= 1.0

@@ -1,0 +1,165 @@
+"""Unit and property tests for :mod:`repro.cgroups`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cgroups.cpuacct import CpuAccountingModel
+from repro.cgroups.cpuset import CpusetSpec
+from repro.cgroups.quota import CfsQuota
+from repro.errors import AffinityError, CgroupError
+from repro.hostmodel.topology import r830_host
+
+
+class TestCpusetSpec:
+    def test_pinned_size(self):
+        cs = CpusetSpec.pinned(r830_host(), 8)
+        assert cs.size == 8
+
+    def test_unrestricted_covers_host(self):
+        cs = CpusetSpec.unrestricted(r830_host())
+        assert cs.size == 112
+
+    def test_empty_raises(self):
+        with pytest.raises(AffinityError):
+            CpusetSpec(cpus=frozenset())
+
+    def test_negative_cpu_raises(self):
+        with pytest.raises(AffinityError):
+            CpusetSpec(cpus=frozenset({-1, 0}))
+
+    def test_validate_against_ok(self):
+        CpusetSpec(cpus=frozenset({0, 1})).validate_against(r830_host())
+
+    def test_validate_against_bad(self):
+        with pytest.raises(AffinityError):
+            CpusetSpec(cpus=frozenset({200})).validate_against(r830_host())
+
+    def test_pinned_too_big(self):
+        with pytest.raises(Exception):
+            CpusetSpec.pinned(r830_host(), 113)
+
+
+class TestCfsQuota:
+    def test_capacity(self):
+        assert CfsQuota(cores=4).capacity() == 4
+
+    def test_quota_us_roundtrip(self):
+        q = CfsQuota(cores=2, period=0.1)
+        assert q.quota_us == pytest.approx(200_000)
+        assert q.period_us == pytest.approx(100_000)
+
+    def test_no_throttle_below_quota(self):
+        q = CfsQuota(cores=4)
+        assert q.throttle_events_per_second(3.0) == 0.0
+
+    def test_throttle_at_double_demand(self):
+        q = CfsQuota(cores=4, period=0.1)
+        # pressure saturates at 1 -> one throttle per period
+        assert q.throttle_events_per_second(8.0) == pytest.approx(10.0)
+
+    def test_throttle_scales_with_pressure(self):
+        q = CfsQuota(cores=4, period=0.1)
+        half = q.throttle_events_per_second(6.0)
+        full = q.throttle_events_per_second(8.0)
+        assert half == pytest.approx(full / 2)
+
+    def test_invalid_cores(self):
+        with pytest.raises(CgroupError):
+            CfsQuota(cores=0)
+
+    def test_invalid_period(self):
+        with pytest.raises(CgroupError):
+            CfsQuota(cores=1, period=0)
+
+    def test_negative_demand(self):
+        with pytest.raises(CgroupError):
+            CfsQuota(cores=1).throttle_events_per_second(-1)
+
+    @given(
+        cores=st.floats(min_value=0.1, max_value=128),
+        demand=st.floats(min_value=0, max_value=256),
+    )
+    def test_throttle_rate_nonnegative(self, cores, demand):
+        q = CfsQuota(cores=cores)
+        assert q.throttle_events_per_second(demand) >= 0.0
+
+
+class TestCpuAccountingFootprint:
+    def test_vanilla_spans_host(self):
+        assert CpuAccountingModel.footprint(False, 2, 112) == 112
+
+    def test_pinned_bounded_by_cpuset(self):
+        assert CpuAccountingModel.footprint(True, 2, 112) == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(CgroupError):
+            CpuAccountingModel.footprint(True, 0, 112)
+        with pytest.raises(CgroupError):
+            CpuAccountingModel.footprint(True, 113, 112)
+
+
+class TestCpuAccountingCosts:
+    def test_steady_fraction_inverse_in_quota(self):
+        """The PSO mechanism: same footprint, bigger quota -> smaller tax."""
+        m = CpuAccountingModel()
+        small = m.steady_fraction(112, 2)
+        big = m.steady_fraction(112, 16)
+        assert small == pytest.approx(8 * big)
+
+    def test_steady_fraction_linear_in_footprint(self):
+        m = CpuAccountingModel()
+        assert m.steady_fraction(112, 4) == pytest.approx(
+            56 * m.steady_fraction(2, 4), rel=1e-9
+        )
+
+    def test_steady_fraction_capped(self):
+        m = CpuAccountingModel(tick_cost_per_cpu=1.0)
+        assert m.steady_fraction(112, 1) == m.max_steady_fraction
+
+    def test_guest_multiplier(self):
+        m = CpuAccountingModel()
+        assert m.steady_fraction(4, 4, in_guest=True) == pytest.approx(
+            m.kernel_op_multiplier * m.steady_fraction(4, 4)
+        )
+
+    def test_per_switch_cost_grows_with_footprint(self):
+        m = CpuAccountingModel()
+        assert m.per_switch_cost(112) > m.per_switch_cost(2)
+
+    def test_per_wake_cost_grows_with_footprint(self):
+        m = CpuAccountingModel()
+        assert m.per_wake_cost(112) > m.per_wake_cost(2)
+
+    def test_disabled_is_free(self):
+        m = CpuAccountingModel().disabled()
+        assert m.steady_fraction(112, 2) == 0.0
+        assert m.per_switch_cost(112) == 0.0
+        assert m.per_wake_cost(112) == 0.0
+
+    def test_invalid_footprint(self):
+        with pytest.raises(CgroupError):
+            CpuAccountingModel().steady_fraction(0, 2)
+
+    def test_invalid_quota(self):
+        with pytest.raises(CgroupError):
+            CpuAccountingModel().steady_fraction(4, 0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CgroupError):
+            CpuAccountingModel(tick_cost_per_cpu=-1)
+
+    def test_invalid_guest_multiplier(self):
+        with pytest.raises(CgroupError):
+            CpuAccountingModel(kernel_op_multiplier=0.5)
+
+    @given(
+        footprint=st.integers(min_value=1, max_value=112),
+        quota=st.floats(min_value=0.5, max_value=64),
+    )
+    def test_steady_fraction_bounded(self, footprint, quota):
+        m = CpuAccountingModel()
+        f = m.steady_fraction(footprint, quota)
+        assert 0.0 <= f <= m.max_steady_fraction

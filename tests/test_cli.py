@@ -1,0 +1,172 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_parses(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "ffmpeg"])
+        assert args.platform == "CN"
+        assert args.mode == "vanilla"
+        assert args.instance == "xLarge"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "redis"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "TABLE II" in out and "TABLE III" in out
+
+    def test_run_ffmpeg(self, capsys):
+        assert main(["run", "ffmpeg", "--instance", "Large"]) == 0
+        out = capsys.readouterr().out
+        assert "FFmpeg" in out
+        assert "value" in out
+
+    def test_run_on_custom_host(self, capsys):
+        assert main(["run", "ffmpeg", "--host-cpus", "16"]) == 0
+        assert "small-host-16" in capsys.readouterr().out
+
+    def test_run_thrashed_flagged(self, capsys):
+        assert (
+            main(["run", "cassandra", "--platform", "BM", "--instance", "Large"])
+            == 0
+        )
+        assert "THRASHED" in capsys.readouterr().out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--cpu-duty", "0.95", "--io-intensity", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "pinned CN" in out
+
+    def test_advise_no_pinning(self, capsys):
+        assert main(["advise", "--io-intensity", "0.9", "--no-pinning"]) == 0
+        assert "VMCN" in capsys.readouterr().out
+
+    def test_figure_3_small(self, capsys, tmp_path):
+        save = tmp_path / "fig3.json"
+        assert main(["figure", "3", "--reps", "1", "--save", str(save)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert save.exists()
+
+    def test_chr_ffmpeg(self, capsys):
+        assert main(["chr", "ffmpeg", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "suitable CHR band" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "ffmpeg", "--platform", "VM"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+
+    def test_predict_with_check(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "ffmpeg",
+                    "--platform",
+                    "CN",
+                    "--mode",
+                    "pinned",
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rel. error" in out
+
+    def test_colocate(self, capsys):
+        assert (
+            main(
+                [
+                    "colocate",
+                    "ffmpeg:CN:pinned:Large",
+                    "wordpress:VM:vanilla:xLarge",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worst interference" in out
+
+    def test_colocate_bad_spec(self, capsys):
+        assert main(["colocate", "ffmpeg-CN"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_figure_7(self, capsys):
+        assert main(["figure", "7", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CHR" in out
+
+    def test_figure_8(self, capsys):
+        assert main(["figure", "8", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "30 Small Tasks" in out
+
+    def test_figure_svg_output(self, capsys, tmp_path):
+        svg = tmp_path / "fig3.svg"
+        assert main(["figure", "3", "--reps", "1", "--svg", str(svg)]) == 0
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_place(self, capsys):
+        assert main(["place", "ffmpeg", "--slo", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+
+    def test_place_impossible_slo(self, capsys):
+        assert main(["place", "ffmpeg", "--slo", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "fastest" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "ffmpeg", "--instance", "Large"]) == 0
+        out = capsys.readouterr().out
+        assert "offcputime" in out
+        assert "cpudist" in out
+
+    def test_trace_with_timeline(self, capsys):
+        assert (
+            main(["trace", "ffmpeg", "--instance", "Large", "--timeline"]) == 0
+        )
+        assert "timeline" in capsys.readouterr().out
+
+    def test_sensitivity_command(self, capsys):
+        assert (
+            main(
+                [
+                    "sensitivity",
+                    "ffmpeg",
+                    "--platform",
+                    "VM",
+                    "--instance",
+                    "xLarge",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "vm_mem_penalty" in out

@@ -1,0 +1,223 @@
+"""Tests for multi-instance (co-located) simulation and the tenant API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Calibration,
+    CassandraWorkload,
+    FfmpegWorkload,
+    SyntheticWorkload,
+    Tenant,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_colocated,
+)
+from repro.engine.simulator import InstanceDeployment, Simulator
+from repro.errors import ConfigurationError, SimulationError
+from repro.hostmodel.topology import small_host
+from repro.run.execution import assemble_overhead_model
+from repro.workloads.base import ProcessSpec, ThreadSpec
+from repro.workloads.segments import ComputeSegment
+
+
+def make_deployment(cores, work, n_threads, label, host=None, calib=None):
+    host = host or r830_host()
+    calib = calib or Calibration().without_migration_penalty()
+    wl = SyntheticWorkload(threads_per_process=n_threads, phases=1,
+                           compute_per_phase=work, jitter_sigma=0.0)
+    platform = make_platform("BM", instance_type({2: "Large", 4: "xLarge", 8: "2xLarge"}[cores]))
+    processes = wl.build(cores, np.random.default_rng(0))
+    overhead = assemble_overhead_model(host, platform, calib, wl, processes)
+    return InstanceDeployment(
+        processes=processes,
+        capacity=float(cores),
+        overhead=overhead,
+        label=label,
+    )
+
+
+class TestMultiInstanceEngine:
+    def test_two_instances_uncontended(self):
+        """Two instances whose quotas fit the host run at full speed."""
+        a = make_deployment(4, 1.0, 4, "a")
+        b = make_deployment(4, 1.0, 4, "b")
+        res = Simulator.colocated([a, b], host_capacity=16.0).run()
+        assert res.group("a").makespan == pytest.approx(1.0, rel=0.05)
+        assert res.group("b").makespan == pytest.approx(1.0, rel=0.05)
+
+    def test_host_saturation_scales_everyone(self):
+        """Quotas 4+4 on a 4-core host: each instance gets half."""
+        a = make_deployment(4, 1.0, 4, "a")
+        b = make_deployment(4, 1.0, 4, "b")
+        res = Simulator.colocated([a, b], host_capacity=4.0).run()
+        assert res.group("a").makespan == pytest.approx(2.0, rel=0.1)
+        assert res.group("b").makespan == pytest.approx(2.0, rel=0.1)
+
+    def test_quota_still_caps_within_host(self):
+        """A 2-core instance cannot borrow the host's idle cores."""
+        small = make_deployment(2, 1.0, 4, "small")
+        res = Simulator.colocated([small], host_capacity=16.0).run()
+        # 4 core-seconds of work through a 2-core quota
+        assert res.group("small").makespan == pytest.approx(2.0, rel=0.1)
+
+    def test_group_lookup_unknown(self):
+        a = make_deployment(4, 0.1, 1, "a")
+        res = Simulator.colocated([a], host_capacity=4.0).run()
+        with pytest.raises(SimulationError):
+            res.group("nope")
+
+    def test_empty_deployments_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator.colocated([], host_capacity=4.0)
+
+    def test_invalid_host_capacity(self):
+        a = make_deployment(4, 0.1, 1, "a")
+        with pytest.raises(SimulationError):
+            Simulator.colocated([a], host_capacity=0.0)
+
+    def test_deployment_validation(self):
+        with pytest.raises(SimulationError):
+            InstanceDeployment(processes=[], capacity=1.0, overhead=None)  # type: ignore[arg-type]
+
+    def test_single_group_matches_classic_api(self):
+        """Simulator(processes, config) and colocated([one]) agree."""
+        from repro.engine.simulator import EngineConfig
+
+        dep = make_deployment(4, 1.0, 8, "x")
+        classic = Simulator(
+            dep.processes,
+            EngineConfig(capacity=4.0, overhead=dep.overhead),
+        ).run()
+        multi = Simulator.colocated([dep], host_capacity=4.0).run()
+        assert classic.makespan == pytest.approx(multi.makespan, rel=1e-6)
+
+
+class TestTenantApi:
+    def test_interference_at_least_one_under_contention(self):
+        tenants = [
+            Tenant(
+                SyntheticWorkload(
+                    threads_per_process=8, phases=2, compute_per_phase=0.2
+                ),
+                make_platform("CN", instance_type("2xLarge"), "pinned"),
+                label="a",
+            ),
+            Tenant(
+                SyntheticWorkload(
+                    threads_per_process=8, phases=2, compute_per_phase=0.2
+                ),
+                make_platform("CN", instance_type("2xLarge"), "pinned"),
+                label="b",
+            ),
+        ]
+        res = run_colocated(tenants, host=small_host(8))
+        assert res.interference("a") > 1.3
+        assert res.interference("b") > 1.3
+
+    def test_no_interference_on_big_host(self):
+        tenants = [
+            Tenant(
+                SyntheticWorkload(threads_per_process=2, phases=2,
+                                  compute_per_phase=0.1),
+                make_platform("CN", instance_type("Large"), "pinned"),
+                label="a",
+            ),
+            Tenant(
+                SyntheticWorkload(threads_per_process=2, phases=2,
+                                  compute_per_phase=0.1),
+                make_platform("CN", instance_type("Large"), "pinned"),
+                label="b",
+            ),
+        ]
+        res = run_colocated(tenants, host=r830_host())
+        assert res.interference("a") == pytest.approx(1.0, abs=0.05)
+
+    def test_disk_coupling_hurts_io_tenant(self):
+        """An IO-heavy tenant suffers from a disk-hungry neighbour."""
+        from repro.hostmodel.storage import StorageModel
+
+        tenants = [
+            Tenant(
+                CassandraWorkload(n_operations=120, n_threads=24),
+                make_platform("CN", instance_type("2xLarge"), "pinned"),
+                label="cass",
+            ),
+            Tenant(
+                CassandraWorkload(n_operations=120, n_threads=24),
+                make_platform("CN", instance_type("2xLarge"), "pinned"),
+                label="cass2",
+            ),
+        ]
+        res = run_colocated(
+            tenants,
+            storage=StorageModel(effective_concurrency=8, write_penalty=1.6),
+        )
+        # host CPU is plentiful (112 cores); interference is via the disk
+        assert res.interference("cass") > 1.05
+
+    def test_default_labels_unique(self):
+        t1 = Tenant(FfmpegWorkload(), make_platform("CN", instance_type("Large")))
+        t2 = Tenant(
+            WordPressWorkload(), make_platform("VM", instance_type("Large"))
+        )
+        assert t1.label != t2.label
+
+    def test_duplicate_labels_rejected(self):
+        t = Tenant(
+            FfmpegWorkload(), make_platform("CN", instance_type("Large")),
+            label="same",
+        )
+        t2 = Tenant(
+            WordPressWorkload(), make_platform("VM", instance_type("Large")),
+            label="same",
+        )
+        with pytest.raises(ConfigurationError):
+            run_colocated([t, t2])
+
+    def test_oversized_tenant_rejected(self):
+        """A single instance larger than the host is a deployment error;
+        quota overcommit *across* tenants is allowed."""
+        tenants = [
+            Tenant(
+                FfmpegWorkload(),
+                make_platform("CN", instance_type("16xLarge")),
+                label="too-big",
+            )
+        ]
+        with pytest.raises(ConfigurationError):
+            run_colocated(tenants, host=small_host(16))
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_colocated([])
+
+    def test_worst_interference(self):
+        tenants = [
+            Tenant(
+                SyntheticWorkload(threads_per_process=8, phases=2,
+                                  compute_per_phase=0.2),
+                make_platform("CN", instance_type("2xLarge"), "pinned"),
+                label="big",
+            ),
+            Tenant(
+                SyntheticWorkload(threads_per_process=1, phases=1,
+                                  compute_per_phase=0.05),
+                make_platform("CN", instance_type("Large"), "pinned"),
+                label="small",
+            ),
+        ]
+        res = run_colocated(tenants, host=small_host(8))
+        label, factor = res.worst_interference()
+        assert label in ("big", "small")
+        assert factor >= 1.0
+
+    def test_unknown_interference_label(self):
+        t = Tenant(FfmpegWorkload(), make_platform("CN", instance_type("Large")))
+        res = run_colocated([t])
+        with pytest.raises(ConfigurationError):
+            res.interference("nope")

@@ -1,0 +1,91 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.energy import EnergyEstimate, EnergyModel
+from repro.errors import AnalysisError
+from repro.rng import RngFactory
+from repro.run.results import RunResult
+
+
+def run(kind, mode, wl=None, inst="xLarge"):
+    f = RngFactory()
+    return run_once(
+        wl or FfmpegWorkload(),
+        make_platform(kind, instance_type(inst), mode),
+        r830_host(),
+        rng=f.fresh_stream("energy", 0),
+    )
+
+
+class TestEnergyEstimate:
+    def test_total_is_sum(self):
+        e = EnergyEstimate(idle_joules=10, useful_joules=5, overhead_joules=1)
+        assert e.total_joules == pytest.approx(16)
+
+    def test_overhead_share(self):
+        e = EnergyEstimate(idle_joules=10, useful_joules=8, overhead_joules=2)
+        assert e.overhead_share == pytest.approx(0.2)
+
+    def test_overhead_share_no_active(self):
+        e = EnergyEstimate(idle_joules=10, useful_joules=0, overhead_joules=0)
+        assert e.overhead_share == 0.0
+
+
+class TestEnergyModel:
+    def test_estimate_positive(self):
+        est = EnergyModel().estimate(run("BM", "vanilla"))
+        assert est.idle_joules > 0
+        assert est.useful_joules > 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            EnergyModel(idle_watts=-1)
+        with pytest.raises(AnalysisError):
+            EnergyModel(active_watts_per_core=-1)
+
+    def test_counterless_run_rejected(self):
+        r = run("BM", "vanilla")
+        bare = RunResult(**{**r.to_dict()})
+        with pytest.raises(AnalysisError):
+            EnergyModel().estimate(bare)
+
+    def test_vm_burns_more_than_bm(self):
+        """The VM's 2x execution time costs ~2x the idle energy."""
+        model = EnergyModel()
+        bm = model.estimate(run("BM", "vanilla")).total_joules
+        vm = model.estimate(run("VM", "vanilla")).total_joules
+        assert vm > 1.5 * bm
+
+    def test_pinning_saves_energy_for_io_apps(self):
+        """The provider-side version of Best Practice 2: the pinned
+        container finishes sooner and pays less idle energy."""
+        model = EnergyModel()
+        vanilla = model.estimate(
+            run("CN", "vanilla", CassandraWorkload())
+        ).total_joules
+        pinned = model.estimate(
+            run("CN", "pinned", CassandraWorkload())
+        ).total_joules
+        assert pinned < 0.6 * vanilla
+
+    def test_overhead_energy_visible_for_vanilla_cn(self):
+        model = EnergyModel()
+        est = model.estimate(run("CN", "vanilla", inst="Large"))
+        assert est.overhead_share > 0.1
+
+    def test_joules_per_unit_work_ordering(self):
+        model = EnergyModel()
+        assert model.joules_per_unit_work(
+            run("CN", "pinned")
+        ) < model.joules_per_unit_work(run("VM", "vanilla"))

@@ -1,0 +1,287 @@
+"""Unit tests for the simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.events import EventKind
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.engine.tracing import ListTraceSink, NullTraceSink
+from repro.errors import SimulationError
+from repro.hostmodel.irq import IrqKind
+from repro.hostmodel.storage import StorageModel
+from repro.hostmodel.topology import r830_host
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.sched.accounting import OverheadModel
+from repro.workloads.base import OpMark, ProcessSpec, ThreadSpec
+from repro.workloads.segments import (
+    BarrierSegment,
+    CommSegment,
+    ComputeSegment,
+    IoSegment,
+)
+
+
+def bm_overhead(cores=4):
+    """An essentially overhead-free deployment for engine semantics tests."""
+    calib = Calibration().without_migration_penalty()
+    return OverheadModel(
+        r830_host(),
+        make_platform("BM", instance_type({2: "Large", 4: "xLarge", 8: "2xLarge"}[cores])),
+        calib,
+    )
+
+
+def run(processes, cores=4, **kw):
+    cfg = EngineConfig(capacity=float(cores), overhead=bm_overhead(cores), **kw)
+    return Simulator(processes, cfg).run()
+
+
+def proc(*threads, name="p"):
+    return ProcessSpec(threads=list(threads), name=name)
+
+
+def compute_thread(work, arrival=0.0, marks=None):
+    return ThreadSpec(
+        program=[ComputeSegment(work=work, mem_intensity=0.0)],
+        arrival_time=arrival,
+        op_marks=marks or [],
+    )
+
+
+class TestBasicSemantics:
+    def test_single_thread_duration(self):
+        res = run([proc(compute_thread(2.0))])
+        # near-free overheads: ~2 s of work on an idle core
+        assert res.makespan == pytest.approx(2.0, rel=0.02)
+
+    def test_parallel_threads_share_capacity(self):
+        threads = [compute_thread(1.0) for _ in range(8)]
+        res = run([proc(*threads)], cores=4)
+        # 8 core-seconds on 4 cores
+        assert res.makespan == pytest.approx(2.0, rel=0.05)
+
+    def test_fewer_threads_than_cores_no_sharing(self):
+        res = run([proc(compute_thread(1.0), compute_thread(1.0))], cores=4)
+        assert res.makespan == pytest.approx(1.0, rel=0.02)
+
+    def test_arrival_delays_start(self):
+        res = run([proc(compute_thread(1.0, arrival=5.0))])
+        assert res.makespan == pytest.approx(6.0, rel=0.02)
+
+    def test_empty_processes_raise(self):
+        with pytest.raises(SimulationError):
+            Simulator([], EngineConfig(capacity=1.0, overhead=bm_overhead()))
+
+    def test_finish_times_recorded(self):
+        res = run([proc(compute_thread(1.0), compute_thread(2.0))])
+        assert res.thread_finish_times.shape == (2,)
+        assert res.thread_finish_times[1] > res.thread_finish_times[0]
+
+
+class TestIoSemantics:
+    def test_io_blocks_for_device_time(self):
+        t = ThreadSpec(
+            program=[IoSegment(device_time=0.5, irqs=1, kind=IrqKind.NET)]
+        )
+        res = run([proc(t)])
+        assert res.makespan == pytest.approx(0.5, rel=0.05)
+
+    def test_io_overlaps_with_compute(self):
+        io_thread = ThreadSpec(program=[IoSegment(device_time=1.0, irqs=1)])
+        cpu_thread = compute_thread(1.0)
+        res = run([proc(io_thread, cpu_thread)], cores=4)
+        assert res.makespan == pytest.approx(1.0, rel=0.1)
+
+    def test_disk_contention_stretches_io(self):
+        threads = [
+            ThreadSpec(program=[IoSegment(device_time=0.1, irqs=1)])
+            for _ in range(8)
+        ]
+        storage = StorageModel(effective_concurrency=2)
+        res = run([proc(*threads)], storage=storage)
+        # later issues see up to 8 outstanding on concurrency 2
+        assert res.makespan > 0.2
+
+    def test_net_io_ignores_disk_contention(self):
+        threads = [
+            ThreadSpec(
+                program=[IoSegment(device_time=0.1, irqs=1, kind=IrqKind.NET)]
+            )
+            for _ in range(8)
+        ]
+        storage = StorageModel(effective_concurrency=2)
+        res = run([proc(*threads)], storage=storage)
+        assert res.makespan == pytest.approx(0.1, rel=0.1)
+
+    def test_irq_count_recorded(self):
+        t = ThreadSpec(program=[IoSegment(device_time=0.1, irqs=3)])
+        res = run([proc(t)])
+        assert res.counters.irqs == 3
+
+    def test_thrash_factor_stretches_io(self):
+        t = ThreadSpec(program=[IoSegment(device_time=0.5, irqs=1)])
+        res = run([proc(t)], thrash_factor=3.0)
+        assert res.makespan == pytest.approx(1.5, rel=0.05)
+
+    def test_thrash_factor_slows_compute(self):
+        res = run([proc(compute_thread(1.0))], thrash_factor=2.0)
+        assert res.makespan == pytest.approx(2.0, rel=0.05)
+
+
+class TestCommAndBarriers:
+    def test_comm_latency(self):
+        t = ThreadSpec(
+            program=[CommSegment(base_latency=0.25)]
+        )
+        res = run([proc(t)])
+        assert res.makespan == pytest.approx(0.25, rel=0.05)
+
+    def test_barrier_waits_for_all(self):
+        fast = ThreadSpec(
+            program=[
+                ComputeSegment(0.1, mem_intensity=0.0),
+                BarrierSegment(0),
+                ComputeSegment(0.1, mem_intensity=0.0),
+            ]
+        )
+        slow = ThreadSpec(
+            program=[
+                ComputeSegment(1.0, mem_intensity=0.0),
+                BarrierSegment(0),
+                ComputeSegment(0.1, mem_intensity=0.0),
+            ]
+        )
+        res = run([proc(fast, slow)], cores=4)
+        # the fast thread must wait ~0.9 s at the barrier
+        assert res.makespan == pytest.approx(1.1, rel=0.05)
+        assert res.counters.barrier_blocked_seconds == pytest.approx(0.9, rel=0.1)
+
+    def test_barrier_in_separate_processes_independent(self):
+        t1 = ThreadSpec(
+            program=[ComputeSegment(0.1, mem_intensity=0.0), BarrierSegment(0)]
+        )
+        t2 = ThreadSpec(
+            program=[ComputeSegment(5.0, mem_intensity=0.0), BarrierSegment(0)]
+        )
+        # same barrier id but different processes: no rendezvous
+        res = run([proc(t1, name="a"), proc(t2, name="b")], cores=4)
+        assert res.thread_finish_times[0] == pytest.approx(0.1, rel=0.1)
+
+    def test_single_participant_barrier_is_instant(self):
+        # barrier participants are counted from the specs, so a barrier
+        # only one thread carries releases immediately (no deadlock is
+        # constructible from valid specs)
+        t = ThreadSpec(
+            program=[BarrierSegment(0), ComputeSegment(0.1, mem_intensity=0.0)]
+        )
+        res = run([proc(t)])
+        assert res.makespan == pytest.approx(0.1, rel=0.05)
+
+
+class TestOpMarks:
+    def test_response_times_recorded(self):
+        t = ThreadSpec(
+            program=[ComputeSegment(1.0, mem_intensity=0.0)],
+            op_marks=[OpMark(seg_index=0, submitted_at=0.0)],
+        )
+        res = run([proc(t)])
+        assert res.op_responses.shape == (1,)
+        assert res.op_responses[0] == pytest.approx(1.0, rel=0.02)
+        assert res.mean_response == pytest.approx(1.0, rel=0.02)
+
+    def test_response_measured_from_submission(self):
+        t = ThreadSpec(
+            program=[ComputeSegment(1.0, mem_intensity=0.0)],
+            arrival_time=2.0,
+            op_marks=[OpMark(seg_index=0, submitted_at=0.5)],
+        )
+        res = run([proc(t)])
+        # completes at ~3.0, submitted at 0.5
+        assert res.op_responses[0] == pytest.approx(2.5, rel=0.02)
+
+    def test_no_marks_nan_mean(self):
+        res = run([proc(compute_thread(0.5))])
+        assert np.isnan(res.mean_response)
+
+    def test_multiple_marks_per_thread(self):
+        t = ThreadSpec(
+            program=[
+                ComputeSegment(1.0, mem_intensity=0.0),
+                ComputeSegment(1.0, mem_intensity=0.0),
+            ],
+            op_marks=[
+                OpMark(seg_index=0, submitted_at=0.0),
+                OpMark(seg_index=1, submitted_at=0.0),
+            ],
+        )
+        res = run([proc(t)])
+        assert res.op_responses.shape == (2,)
+        assert res.op_responses[1] > res.op_responses[0]
+
+
+class TestTracing:
+    def test_events_emitted(self):
+        sink = ListTraceSink()
+        t = ThreadSpec(
+            program=[
+                ComputeSegment(0.1, mem_intensity=0.0),
+                IoSegment(device_time=0.1, irqs=1),
+            ]
+        )
+        cfg = EngineConfig(capacity=4.0, overhead=bm_overhead(), trace=sink)
+        Simulator([proc(t)], cfg).run()
+        assert sink.count(EventKind.ARRIVAL) == 1
+        assert sink.count(EventKind.COMPUTE_DONE) == 1
+        assert sink.count(EventKind.IO_ISSUE) == 1
+        assert sink.count(EventKind.IO_WAKE) == 1
+        assert sink.count(EventKind.THREAD_DONE) == 1
+
+    def test_filtered_sink(self):
+        sink = ListTraceSink(kinds={EventKind.THREAD_DONE})
+        cfg = EngineConfig(capacity=4.0, overhead=bm_overhead(), trace=sink)
+        Simulator([proc(compute_thread(0.1))], cfg).run()
+        assert len(sink.events) == 1
+
+    def test_null_sink_noop(self):
+        NullTraceSink().emit(None)  # type: ignore[arg-type]
+
+
+class TestCounters:
+    def test_busy_core_seconds_tracks_work(self):
+        res = run([proc(compute_thread(3.0))])
+        assert res.counters.busy_core_seconds == pytest.approx(3.0, rel=0.05)
+
+    def test_useful_at_most_busy(self):
+        res = run([proc(*[compute_thread(0.5) for _ in range(16)])], cores=4)
+        c = res.counters
+        assert c.useful_core_seconds <= c.busy_core_seconds
+        assert 0.0 <= c.overhead_fraction < 1.0
+
+    def test_sched_events_positive(self):
+        res = run([proc(compute_thread(1.0))])
+        assert res.counters.sched_events > 0
+
+    def test_timeslice_histogram_populated(self):
+        res = run([proc(compute_thread(1.0))])
+        assert res.counters.timeslice_weight
+
+
+class TestGuards:
+    def test_max_time_guard(self):
+        cfg = EngineConfig(
+            capacity=4.0, overhead=bm_overhead(), max_time=0.5
+        )
+        with pytest.raises(SimulationError):
+            Simulator([proc(compute_thread(100.0))], cfg).run()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(capacity=0.0, overhead=bm_overhead())
+
+    def test_invalid_thrash(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(capacity=1.0, overhead=bm_overhead(), thrash_factor=0.5)

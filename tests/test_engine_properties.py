@@ -1,0 +1,189 @@
+"""Property-based tests of the simulation engine's invariants.
+
+These pin down the physics of the simulator with hypothesis-generated
+workload populations:
+
+* conservation: a run is never faster than work / capacity;
+* monotonicity: more capacity never slows a workload down, more work
+  never speeds it up;
+* determinism: identical inputs give bit-identical outputs;
+* sanity of counters and response times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.hostmodel.topology import make_host, r830_host
+from repro.platforms.provisioning import InstanceType
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.sched.accounting import OverheadModel
+from repro.units import GIB
+from repro.workloads.base import OpMark, ProcessSpec, ThreadSpec
+from repro.workloads.segments import ComputeSegment, IoSegment
+
+# a permissive host so any core count fits
+_HOST = make_host(128, name="prop-host", memory_gib=512)
+_CALIB = Calibration().without_migration_penalty()
+
+
+def _overhead(cores: int) -> OverheadModel:
+    inst = InstanceType(name=f"c{cores}", cores=cores, memory_bytes=64 * GIB)
+    return OverheadModel(_HOST, make_platform("BM", inst), _CALIB)
+
+
+def _run(works: list[float], cores: int, ios: list[float] | None = None):
+    threads = []
+    ios = ios or [0.0] * len(works)
+    for w, io in zip(works, ios):
+        program = [ComputeSegment(work=w, mem_intensity=0.0)]
+        if io > 0:
+            program.append(IoSegment(device_time=io, irqs=1))
+        threads.append(ThreadSpec(program=program))
+    procs = [ProcessSpec(threads=threads, name="p")]
+    cfg = EngineConfig(capacity=float(cores), overhead=_overhead(cores))
+    return Simulator(procs, cfg).run()
+
+
+works_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=24
+)
+cores_strategy = st.integers(min_value=1, max_value=64)
+
+
+class TestConservation:
+    @given(works=works_strategy, cores=cores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_never_faster_than_capacity(self, works, cores):
+        res = _run(works, cores)
+        lower_bound = sum(works) / cores
+        assert res.makespan >= lower_bound * 0.999
+
+    @given(works=works_strategy, cores=cores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_never_faster_than_longest_thread(self, works, cores):
+        res = _run(works, cores)
+        assert res.makespan >= max(works) * 0.999
+
+    @given(works=works_strategy, cores=cores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_overhead_bounded(self, works, cores):
+        """With near-free overheads the makespan stays within 2x of the
+        ideal processor-sharing bound."""
+        res = _run(works, cores)
+        ideal = max(sum(works) / cores, max(works))
+        assert res.makespan <= 2.0 * ideal
+
+    @given(works=works_strategy, cores=cores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_accounts_for_work(self, works, cores):
+        res = _run(works, cores)
+        assert res.counters.busy_core_seconds >= sum(works) * 0.999
+        assert res.counters.useful_core_seconds <= (
+            res.counters.busy_core_seconds + 1e-9
+        )
+
+
+class TestMonotonicity:
+    @given(works=works_strategy, cores=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_more_cores_never_slower(self, works, cores):
+        slow = _run(works, cores).makespan
+        fast = _run(works, cores * 2).makespan
+        assert fast <= slow * 1.001
+
+    @given(
+        works=works_strategy,
+        cores=cores_strategy,
+        extra=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_work_never_faster(self, works, cores, extra):
+        base = _run(works, cores).makespan
+        more = _run(works + [extra], cores).makespan
+        assert more >= base * 0.999
+
+
+class TestDeterminism:
+    @given(works=works_strategy, cores=cores_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_bit_identical_reruns(self, works, cores):
+        a = _run(works, cores)
+        b = _run(works, cores)
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.thread_finish_times, b.thread_finish_times)
+
+
+class TestResponseTimes:
+    @given(
+        works=st.lists(
+            st.floats(min_value=0.01, max_value=0.5), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_responses_positive_and_ordered(self, works):
+        threads = [
+            ThreadSpec(
+                program=[ComputeSegment(work=w, mem_intensity=0.0)],
+                op_marks=[OpMark(seg_index=0, submitted_at=0.0)],
+            )
+            for w in works
+        ]
+        procs = [ProcessSpec(threads=threads)]
+        cfg = EngineConfig(capacity=4.0, overhead=_overhead(4))
+        res = Simulator(procs, cfg).run()
+        assert res.op_responses.shape == (len(works),)
+        assert np.all(res.op_responses > 0)
+        assert res.mean_response <= res.makespan + 1e-9
+
+    @given(
+        io_times=st.lists(
+            st.floats(min_value=0.001, max_value=0.2), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_io_only_threads_finish_after_device_time(self, io_times):
+        threads = [
+            ThreadSpec(program=[IoSegment(device_time=io, irqs=1)])
+            for io in io_times
+        ]
+        procs = [ProcessSpec(threads=threads)]
+        cfg = EngineConfig(capacity=4.0, overhead=_overhead(4))
+        res = Simulator(procs, cfg).run()
+        assert res.makespan >= max(io_times) * 0.999
+
+
+class TestColocationProperties:
+    @given(
+        works_a=st.lists(
+            st.floats(min_value=0.05, max_value=0.5), min_size=1, max_size=8
+        ),
+        works_b=st.lists(
+            st.floats(min_value=0.05, max_value=0.5), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_colocated_never_faster_than_isolated(self, works_a, works_b):
+        from repro.engine.simulator import InstanceDeployment
+
+        def dep(works, label):
+            threads = [
+                ThreadSpec(program=[ComputeSegment(work=w, mem_intensity=0.0)])
+                for w in works
+            ]
+            return InstanceDeployment(
+                processes=[ProcessSpec(threads=threads)],
+                capacity=4.0,
+                overhead=_overhead(4),
+                label=label,
+            )
+
+        a, b = dep(works_a, "a"), dep(works_b, "b")
+        colo = Simulator.colocated([a, b], host_capacity=4.0).run()
+        solo = Simulator.colocated([dep(works_a, "a")], host_capacity=4.0).run()
+        assert colo.group("a").makespan >= solo.group("a").makespan * 0.999

@@ -1,0 +1,57 @@
+"""The examples must at least parse and import-resolve.
+
+Executing every example end-to-end takes minutes (they run full
+experiments by design), so CI-level protection here is: byte-compile
+each script and verify every ``repro`` symbol it imports exists.  The
+benchmarks and the README quickstart exercise the same code paths at
+full depth.
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_top_level_repro_imports_resolve(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "repro":
+                for alias in node.names:
+                    assert hasattr(repro, alias.name), alias.name
+            elif node.module.startswith("repro."):
+                import importlib
+
+                mod = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(mod, alias.name), (
+                        f"{node.module}.{alias.name}"
+                    )
+
+
+def test_enough_examples():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring_and_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} lacks a main()"

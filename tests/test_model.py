@@ -1,0 +1,168 @@
+"""Tests for the analytical overhead model (:mod:`repro.analysis.model`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CassandraWorkload,
+    FfmpegWorkload,
+    MpiSearchWorkload,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+)
+from repro.analysis.model import (
+    PredictedTime,
+    WorkloadCharacterization,
+    predict_overhead_ratio,
+    predict_time,
+)
+from repro.errors import AnalysisError
+from repro.rng import RngFactory
+
+
+class TestCharacterization:
+    def test_ffmpeg_characterization(self):
+        char = WorkloadCharacterization.from_workload(FfmpegWorkload(), 16)
+        assert char.n_threads == 16
+        assert char.compute_per_thread > 0
+        assert char.mem_intensity > 0.9  # codec work is memory-bound
+        assert char.io_time_per_thread < 0.1  # barely any IO
+        assert char.duty_cycle > 0.9
+
+    def test_wordpress_characterization(self):
+        char = WorkloadCharacterization.from_workload(WordPressWorkload(), 4)
+        assert char.n_threads == 1000
+        assert char.irqs_per_thread >= 3  # Section IV-C
+        assert char.io_time_per_thread > char.compute_per_thread
+
+    def test_mpi_characterization_has_comm(self):
+        char = WorkloadCharacterization.from_workload(MpiSearchWorkload(), 8)
+        assert char.comm_time_per_thread > 0
+
+    def test_deterministic(self):
+        a = WorkloadCharacterization.from_workload(CassandraWorkload(), 4)
+        b = WorkloadCharacterization.from_workload(CassandraWorkload(), 4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            WorkloadCharacterization(
+                n_threads=0,
+                compute_per_thread=1.0,
+                mem_intensity=0.5,
+                kernel_share=0.0,
+                io_time_per_thread=0.0,
+                irqs_per_thread=0.0,
+                comm_time_per_thread=0.0,
+                working_set_bytes=1e6,
+                duty_cycle=0.5,
+            )
+
+
+class TestPredictedTime:
+    def test_total_is_sum(self):
+        t = PredictedTime(compute=1.0, io=0.5, comm=0.25)
+        assert t.total == pytest.approx(1.75)
+
+    def test_predict_time_components_positive(self):
+        char = WorkloadCharacterization.from_workload(CassandraWorkload(), 4)
+        t = predict_time(
+            char, make_platform("CN", instance_type("xLarge")), r830_host()
+        )
+        assert t.compute > 0
+        assert t.io > 0
+        assert t.comm == 0.0
+
+
+class TestRatioPredictions:
+    """The future-work model must reproduce the paper's orderings."""
+
+    def test_bm_ratio_is_one(self):
+        ratio = predict_overhead_ratio(
+            FfmpegWorkload(),
+            make_platform("BM", instance_type("xLarge")),
+            r830_host(),
+        )
+        assert ratio == pytest.approx(1.0)
+
+    def test_vm_ffmpeg_about_2x(self):
+        ratio = predict_overhead_ratio(
+            FfmpegWorkload(),
+            make_platform("VM", instance_type("xLarge")),
+            r830_host(),
+        )
+        assert 1.9 < ratio < 2.4
+
+    def test_pinned_cn_near_one(self):
+        for wl in (FfmpegWorkload(), WordPressWorkload(), CassandraWorkload()):
+            ratio = predict_overhead_ratio(
+                wl,
+                make_platform("CN", instance_type("xLarge"), "pinned"),
+                r830_host(),
+            )
+            assert 0.9 < ratio < 1.05
+
+    def test_vanilla_cn_pso_predicted(self):
+        small = predict_overhead_ratio(
+            CassandraWorkload(),
+            make_platform("CN", instance_type("xLarge")),
+            r830_host(),
+        )
+        big = predict_overhead_ratio(
+            CassandraWorkload(),
+            make_platform("CN", instance_type("16xLarge")),
+            r830_host(),
+        )
+        assert small > 2.5
+        assert big < 1.3
+
+    def test_vmcn_worst_for_small_ffmpeg(self):
+        ratios = {
+            kind: predict_overhead_ratio(
+                FfmpegWorkload(),
+                make_platform(kind, instance_type("Large")),
+                r830_host(),
+            )
+            for kind in ("VM", "CN", "VMCN")
+        }
+        assert ratios["VMCN"] > ratios["VM"]
+        assert ratios["VMCN"] > ratios["CN"]
+
+    @pytest.mark.parametrize(
+        "kind,mode",
+        [("VM", "vanilla"), ("CN", "vanilla"), ("CN", "pinned"), ("VMCN", "vanilla")],
+    )
+    def test_prediction_close_to_simulation_ffmpeg(self, kind, mode):
+        """Away from the saturation knee the closed form tracks the
+        simulator within 15 %."""
+        host = r830_host()
+        wl = FfmpegWorkload()
+        inst = instance_type("xLarge")
+        platform = make_platform(kind, inst, mode)
+        f = RngFactory()
+        bm = run_once(
+            wl, make_platform("BM", inst), host, rng=f.fresh_stream("m", 0)
+        ).value
+        sim = (
+            run_once(wl, platform, host, rng=f.fresh_stream("m", 0)).value / bm
+        )
+        pred = predict_overhead_ratio(wl, platform, host)
+        assert pred == pytest.approx(sim, rel=0.15)
+
+    def test_prediction_close_for_mpi_at_scale(self):
+        host = r830_host()
+        wl = MpiSearchWorkload()
+        inst = instance_type("16xLarge")
+        platform = make_platform("CN", inst, "vanilla")
+        f = RngFactory()
+        bm = run_once(
+            wl, make_platform("BM", inst), host, rng=f.fresh_stream("m2", 0)
+        ).value
+        sim = run_once(wl, platform, host, rng=f.fresh_stream("m2", 0)).value / bm
+        pred = predict_overhead_ratio(wl, platform, host)
+        assert pred == pytest.approx(sim, rel=0.15)

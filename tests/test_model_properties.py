@@ -1,0 +1,95 @@
+"""Property-based tests: the analytical model tracks the simulator.
+
+Hypothesis generates synthetic workload profiles (compute/IO mixes,
+thread counts) and checks structural invariants of the closed-form
+predictor against the simulation — the model must preserve orderings
+(pinned <= vanilla for containers, BM <= VM) for *any* workload, not
+just the four calibrated applications.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import instance_type, make_platform, r830_host, run_once
+from repro.analysis.model import predict_overhead_ratio
+from repro.rng import RngFactory
+from repro.workloads.synthetic import SyntheticWorkload
+
+workload_strategy = st.builds(
+    SyntheticWorkload,
+    n_processes=st.integers(min_value=1, max_value=3),
+    threads_per_process=st.integers(min_value=1, max_value=6),
+    phases=st.just(3),
+    compute_per_phase=st.floats(min_value=0.02, max_value=0.3),
+    io_fraction=st.floats(min_value=0.0, max_value=0.8),
+    mem_intensity=st.floats(min_value=0.0, max_value=1.0),
+    jitter_sigma=st.just(0.0),
+)
+
+
+class TestPredictionOrderings:
+    @given(wl=workload_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_pinned_cn_never_predicted_slower_than_vanilla(self, wl):
+        host = r830_host()
+        inst = instance_type("xLarge")
+        vanilla = predict_overhead_ratio(
+            wl, make_platform("CN", inst, "vanilla"), host
+        )
+        pinned = predict_overhead_ratio(
+            wl, make_platform("CN", inst, "pinned"), host
+        )
+        assert pinned <= vanilla + 1e-9
+
+    @given(wl=workload_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_vm_never_predicted_faster_than_bm(self, wl):
+        host = r830_host()
+        inst = instance_type("xLarge")
+        assert (
+            predict_overhead_ratio(wl, make_platform("VM", inst), host) >= 0.999
+        )
+
+    @given(wl=workload_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_ratios_finite_and_positive(self, wl):
+        host = r830_host()
+        for kind in ("VM", "CN", "VMCN", "SG"):
+            r = predict_overhead_ratio(
+                wl, make_platform(kind, instance_type("2xLarge")), host
+            )
+            assert 0.5 < r < 20.0
+
+
+class TestPredictionAccuracy:
+    @given(
+        io_fraction=st.floats(min_value=0.0, max_value=0.6),
+        mem_intensity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_tracks_simulation_for_unsaturated_synthetics(
+        self, io_fraction, mem_intensity
+    ):
+        """With threads <= cores (no queueing), the closed form must hit
+        the simulated ratio within 20 % for arbitrary mixes."""
+        wl = SyntheticWorkload(
+            threads_per_process=4,
+            phases=4,
+            compute_per_phase=0.1,
+            io_fraction=io_fraction,
+            mem_intensity=mem_intensity,
+            jitter_sigma=0.0,
+        )
+        host = r830_host()
+        inst = instance_type("xLarge")
+        platform = make_platform("VM", inst)
+        f = RngFactory()
+        bm = run_once(
+            wl, make_platform("BM", inst), host, rng=f.fresh_stream("mp", 0)
+        ).value
+        sim = run_once(wl, platform, host, rng=f.fresh_stream("mp", 0)).value / bm
+        pred = predict_overhead_ratio(wl, platform, host)
+        assert pred == pytest.approx(sim, rel=0.20)

@@ -1,0 +1,155 @@
+"""Tests for the network model and distributed MPI extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.hostmodel.network import NetworkModel
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.run.distributed import run_mpi_cluster
+from repro.units import KIB, MB
+from repro.workloads.distributed import DistributedMpiWorkload
+from repro.workloads.segments import BarrierSegment, CommSegment
+
+
+class TestNetworkModel:
+    def test_latency_only_message(self):
+        net = NetworkModel(latency=50e-6, bandwidth=1e9)
+        assert net.transfer_time(0) == pytest.approx(50e-6)
+
+    def test_bandwidth_term(self):
+        net = NetworkModel(latency=0.0, bandwidth=1e9)
+        assert net.transfer_time(1e9) == pytest.approx(1.0)
+
+    def test_stack_factor_multiplies_latency_only(self):
+        net = NetworkModel(latency=50e-6, bandwidth=1e9)
+        base = net.transfer_time(1 * MB)
+        virt = net.transfer_time(1 * MB, stack_factor=2.0)
+        assert virt - base == pytest.approx(50e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_time(-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_time(0.0, stack_factor=0.5)
+
+
+class TestPlatformNetworkStacks:
+    def test_stack_ordering(self):
+        """BM/SG native < CN veth < VM virtio < VMCN nested."""
+        calib = Calibration()
+        inst = instance_type("xLarge")
+        factors = {
+            kind: make_platform(kind, inst).net_stack_factor(calib)
+            for kind in ("BM", "SG", "CN", "VM", "VMCN")
+        }
+        assert factors["BM"] == factors["SG"] == 1.0
+        assert 1.0 < factors["CN"] < factors["VM"] < factors["VMCN"]
+
+
+class TestDistributedWorkloadBuild:
+    def test_nodes_split_ranks(self):
+        wl = DistributedMpiWorkload(n_nodes=4, jitter_sigma=0.0)
+        nodes = wl.build_nodes(16, np.random.default_rng(0))
+        assert len(nodes) == 4
+        for procs in nodes:
+            assert len(procs[0].threads) == 4
+
+    def test_global_barriers(self):
+        wl = DistributedMpiWorkload(n_nodes=2, jitter_sigma=0.0)
+        nodes = wl.build_nodes(8, np.random.default_rng(0))
+        seg = next(
+            s
+            for s in nodes[0][0].threads[0].program
+            if isinstance(s, BarrierSegment)
+        )
+        assert seg.scope == "global"
+
+    def test_single_node_has_no_remote_comm(self):
+        wl = DistributedMpiWorkload(n_nodes=1, jitter_sigma=0.0)
+        nodes = wl.build_nodes(8, np.random.default_rng(0))
+        remote = [
+            s
+            for s in nodes[0][0].threads[0].program
+            if isinstance(s, CommSegment) and s.remote
+        ]
+        assert remote == []
+
+    def test_multi_node_has_remote_comm(self):
+        wl = DistributedMpiWorkload(n_nodes=2, jitter_sigma=0.0)
+        nodes = wl.build_nodes(8, np.random.default_rng(0))
+        remote = [
+            s
+            for s in nodes[0][0].threads[0].program
+            if isinstance(s, CommSegment) and s.remote
+        ]
+        assert len(remote) == wl.n_rounds
+        assert remote[0].message_bytes == wl.message_bytes
+
+    def test_indivisible_ranks_rejected(self):
+        wl = DistributedMpiWorkload(n_nodes=3)
+        with pytest.raises(WorkloadError):
+            wl.build_nodes(8, np.random.default_rng(0))
+
+    def test_invalid_nodes(self):
+        with pytest.raises(WorkloadError):
+            DistributedMpiWorkload(n_nodes=0)
+
+    def test_segment_validation(self):
+        with pytest.raises(WorkloadError):
+            CommSegment(base_latency=0.0, message_bytes=-1.0)
+        with pytest.raises(WorkloadError):
+            BarrierSegment(barrier_id=0, scope="universe")
+
+
+class TestClusterRuns:
+    def _makespan(self, kind, nodes, ranks=16):
+        wl = DistributedMpiWorkload(n_nodes=nodes, jitter_sigma=0.0)
+        return run_mpi_cluster(
+            wl, ranks, kind, rng=np.random.default_rng(1)
+        ).makespan
+
+    def test_single_node_close_to_plain_mpi(self):
+        """With one node the distributed model degenerates to the paper's
+        single-instance MPI experiment."""
+        from repro import MpiSearchWorkload, r830_host, run_once
+
+        plain = run_once(
+            MpiSearchWorkload(jitter_sigma=0.0),
+            make_platform("BM", instance_type("4xLarge")),
+            r830_host(),
+            rng=np.random.default_rng(1),
+        ).value
+        assert self._makespan("BM", 1) == pytest.approx(plain, rel=0.05)
+
+    def test_splitting_a_comm_bound_job_hurts(self):
+        """Crossing the network costs more than in-host exchange."""
+        assert self._makespan("BM", 2) > 2 * self._makespan("BM", 1)
+        assert self._makespan("BM", 4) > self._makespan("BM", 2)
+
+    def test_vm_worst_across_nodes(self):
+        """The extension's headline: inside one node containers are the
+        worst MPI family (Fig 4), but across nodes the virtio-net stack
+        makes VMs the worst."""
+        one_node = {k: self._makespan(k, 1) for k in ("VM", "CN")}
+        two_nodes = {k: self._makespan(k, 2) for k in ("VM", "CN")}
+        assert one_node["CN"] > one_node["VM"]  # paper Fig 4
+        assert two_nodes["VM"] > two_nodes["CN"]  # network extension
+
+    def test_singularity_matches_bm_across_nodes(self):
+        assert self._makespan("SG", 2) == pytest.approx(
+            self._makespan("BM", 2), rel=0.05
+        )
+
+    def test_indivisible_ranks_rejected(self):
+        wl = DistributedMpiWorkload(n_nodes=3)
+        with pytest.raises(ConfigurationError):
+            run_mpi_cluster(wl, 16, "BM")

@@ -1,0 +1,95 @@
+"""Tests for the sweep cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Calibration, SyntheticWorkload, instance_type
+from repro.platforms.base import PlatformKind
+from repro.run.experiment import ExperimentSpec
+from repro.run.persistence import SweepCache, spec_fingerprint
+from repro.sched.affinity import ProvisioningMode
+
+
+def make_spec(reps=1, seed=1, work=0.05):
+    return ExperimentSpec(
+        workload=SyntheticWorkload(
+            threads_per_process=2, phases=2, compute_per_phase=work
+        ),
+        instances=[instance_type("Large")],
+        platform_grid=[
+            (PlatformKind.BM, ProvisioningMode.VANILLA),
+            (PlatformKind.CN, ProvisioningMode.PINNED),
+        ],
+        reps=reps,
+        seed=seed,
+    )
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert spec_fingerprint(make_spec()) == spec_fingerprint(make_spec())
+
+    def test_changes_with_seed(self):
+        assert spec_fingerprint(make_spec(seed=1)) != spec_fingerprint(
+            make_spec(seed=2)
+        )
+
+    def test_changes_with_reps(self):
+        assert spec_fingerprint(make_spec(reps=1)) != spec_fingerprint(
+            make_spec(reps=2)
+        )
+
+    def test_changes_with_workload_params(self):
+        assert spec_fingerprint(make_spec(work=0.05)) != spec_fingerprint(
+            make_spec(work=0.06)
+        )
+
+    def test_changes_with_calibration(self):
+        a = make_spec()
+        b = make_spec()
+        b.calib = Calibration(ctx_switch_cost=1e-6)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = make_spec()
+        assert cache.get(spec) is None
+        sweep = cache.get_or_run(spec)
+        assert cache.path_for(spec).exists()
+        again = cache.get(spec)
+        assert again is not None
+        assert again.cell("Vanilla BM", "Large").mean == pytest.approx(
+            sweep.cell("Vanilla BM", "Large").mean
+        )
+
+    def test_hit_skips_runner(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = make_spec()
+        cache.get_or_run(spec)
+        calls = []
+
+        def exploding_runner(s):
+            calls.append(s)
+            raise AssertionError("should not run")
+
+        cache.get_or_run(spec, runner=exploding_runner)
+        assert calls == []
+
+    def test_different_specs_different_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run(make_spec(seed=1))
+        cache.get_or_run(make_spec(seed=2))
+        assert len(list(tmp_path.glob("sweep-*.json"))) == 2
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run(make_spec())
+        assert cache.clear() == 1
+        assert cache.get(make_spec()) is None
+
+    def test_clear_missing_dir(self, tmp_path):
+        cache = SweepCache(tmp_path / "nope")
+        assert cache.clear() == 0

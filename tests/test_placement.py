@@ -1,0 +1,109 @@
+"""Tests for the placement optimizer and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CassandraWorkload, FfmpegWorkload, instance_type, make_platform
+from repro.analysis.placement import (
+    CostModel,
+    PlacementOptimizer,
+)
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import small_host
+from repro.platforms.base import PlatformKind
+from repro.sched.affinity import ProvisioningMode
+
+
+class TestCostModel:
+    def test_rate_scales_with_cores(self):
+        cost = CostModel(dollars_per_core_hour=0.1)
+        small = cost.rate(make_platform("CN", instance_type("Large")))
+        big = cost.rate(make_platform("CN", instance_type("2xLarge")))
+        assert big == pytest.approx(4 * small)
+
+    def test_pinned_premium(self):
+        cost = CostModel(pinned_premium=1.5)
+        vanilla = cost.rate(make_platform("CN", instance_type("Large")))
+        pinned = cost.rate(make_platform("CN", instance_type("Large"), "pinned"))
+        assert pinned == pytest.approx(1.5 * vanilla)
+
+    def test_vm_discount(self):
+        cost = CostModel(vm_discount=0.8)
+        cn = cost.rate(make_platform("CN", instance_type("Large")))
+        vm = cost.rate(make_platform("VM", instance_type("Large")))
+        assert vm == pytest.approx(0.8 * cn)
+
+    def test_cost_of_run(self):
+        cost = CostModel(dollars_per_core_hour=0.05)
+        p = make_platform("CN", instance_type("Large"))  # 2 cores
+        assert cost.cost_of_run(p, 3600.0) == pytest.approx(0.10)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            CostModel(dollars_per_core_hour=0)
+        with pytest.raises(AnalysisError):
+            CostModel(pinned_premium=0.5)
+        with pytest.raises(AnalysisError):
+            CostModel().cost_of_run(
+                make_platform("CN", instance_type("Large")), -1.0
+            )
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def opt(self):
+        return PlacementOptimizer()
+
+    def test_candidates_cover_grid(self, opt):
+        cands = opt.evaluate(FfmpegWorkload(), slo_seconds=100.0)
+        # 3 kinds x 2 modes x 6 instances
+        assert len(cands) == 36
+
+    def test_sorted_slo_then_cost(self, opt):
+        cands = opt.evaluate(FfmpegWorkload(), slo_seconds=15.0)
+        ok = [c for c in cands if c.meets_slo]
+        assert ok == cands[: len(ok)]
+        costs = [c.cost_dollars for c in ok]
+        assert costs == sorted(costs)
+
+    def test_best_meets_slo(self, opt):
+        best = opt.best(FfmpegWorkload(), slo_seconds=30.0)
+        assert best.meets_slo
+        assert best.predicted_seconds <= 30.0
+
+    def test_impossible_slo_raises_with_fastest(self, opt):
+        with pytest.raises(AnalysisError, match="fastest"):
+            opt.best(FfmpegWorkload(), slo_seconds=0.001)
+
+    def test_io_workload_prefers_pinned_cn(self, opt):
+        """The Section-VI rules fall out of the optimizer numerically."""
+        best = opt.best(CassandraWorkload(), slo_seconds=30.0)
+        assert best.platform.kind is PlatformKind.CN
+        assert best.platform.mode is ProvisioningMode.PINNED
+
+    def test_loose_slo_prefers_small_cheap_instance(self, opt):
+        tight = opt.best(FfmpegWorkload(), slo_seconds=6.0)
+        loose = opt.best(FfmpegWorkload(), slo_seconds=500.0)
+        assert loose.cost_dollars <= tight.cost_dollars
+        assert (
+            loose.platform.instance.cores <= tight.platform.instance.cores
+        )
+
+    def test_invalid_slo(self, opt):
+        with pytest.raises(AnalysisError):
+            opt.evaluate(FfmpegWorkload(), slo_seconds=0.0)
+
+    def test_render(self, opt):
+        out = opt.render(FfmpegWorkload(), slo_seconds=30.0, top_n=4)
+        assert "placement ranking" in out
+        assert out.count("\n") <= 6
+
+    def test_small_host_restricts_instances(self):
+        opt = PlacementOptimizer(host=small_host(16))
+        cands = opt.evaluate(FfmpegWorkload(), slo_seconds=100.0)
+        assert all(c.platform.instance.cores <= 16 for c in cands)
+
+    def test_no_fitting_instance_raises(self):
+        with pytest.raises(AnalysisError):
+            PlacementOptimizer(host=small_host(1))

@@ -1,0 +1,242 @@
+"""Unit tests for :mod:`repro.platforms`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, PlatformError
+from repro.hostmodel.topology import r830_host, small_host
+from repro.platforms.base import PlatformKind
+from repro.platforms.provisioning import (
+    INSTANCE_TYPES,
+    instance_type,
+    instance_type_names,
+    instance_types_upto,
+)
+from repro.platforms.registry import (
+    ALL_PLATFORM_LABELS,
+    make_platform,
+    paper_platform_set,
+)
+from repro.run.calibration import Calibration
+from repro.sched.affinity import ProvisioningMode
+
+
+class TestInstanceTypes:
+    def test_table2_rows(self):
+        expected = [
+            ("Large", 2, 8),
+            ("xLarge", 4, 16),
+            ("2xLarge", 8, 32),
+            ("4xLarge", 16, 64),
+            ("8xLarge", 32, 128),
+            ("16xLarge", 64, 256),
+        ]
+        got = [(t.name, t.cores, round(t.memory_gb)) for t in INSTANCE_TYPES]
+        assert got == expected
+
+    def test_lookup_case_insensitive(self):
+        assert instance_type("4xlarge").cores == 16
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            instance_type("32xLarge")
+
+    def test_names_order(self):
+        assert instance_type_names()[0] == "Large"
+        assert instance_type_names()[-1] == "16xLarge"
+
+    def test_upto_ffmpeg_limit(self):
+        names = [t.name for t in instance_types_upto(16)]
+        assert names == ["Large", "xLarge", "2xLarge", "4xLarge"]
+
+    def test_upto_invalid(self):
+        with pytest.raises(ConfigurationError):
+            instance_types_upto(0)
+
+    def test_chr_on_r830(self):
+        assert instance_type("4xLarge").chr_on(r830_host()) == pytest.approx(
+            16 / 112
+        )
+
+    def test_fits_on(self):
+        assert instance_type("16xLarge").fits_on(r830_host())
+        assert not instance_type("16xLarge").fits_on(small_host(16))
+
+
+class TestRegistry:
+    def test_paper_platform_set_labels(self):
+        labels = [p.label() for p in paper_platform_set(instance_type("xLarge"))]
+        assert tuple(labels) == ALL_PLATFORM_LABELS
+
+    def test_make_platform_string_args(self):
+        p = make_platform("cn", instance_type("Large"), "pinned")
+        assert p.kind is PlatformKind.CN
+        assert p.pinned
+
+    def test_make_platform_enum_args(self):
+        p = make_platform(PlatformKind.VM, instance_type("Large"))
+        assert p.kind is PlatformKind.VM
+        assert not p.pinned
+
+    def test_unknown_kind(self):
+        with pytest.raises(PlatformError):
+            make_platform("LXC", instance_type("Large"))
+
+    def test_unknown_mode(self):
+        with pytest.raises(PlatformError):
+            make_platform("CN", instance_type("Large"), "floating")
+
+
+class TestPlatformGeometry:
+    def test_bm_is_grub_limited(self):
+        p = make_platform("BM", instance_type("xLarge"))
+        assert p.allowed_cpus(r830_host()).size == 4
+
+    def test_vanilla_cn_allowed_whole_host(self):
+        p = make_platform("CN", instance_type("xLarge"))
+        assert p.allowed_cpus(r830_host()).size == 112
+
+    def test_pinned_cn_allowed_exact(self):
+        p = make_platform("CN", instance_type("xLarge"), "pinned")
+        assert p.allowed_cpus(r830_host()).size == 4
+
+    def test_vm_migration_domain_is_vcpus(self):
+        """Guest threads migrate within the guest, even for vanilla VMs."""
+        p = make_platform("VM", instance_type("xLarge"))
+        assert p.migration_cpuset(r830_host()).size == 4
+
+    def test_vmcn_migration_domain_is_vcpus(self):
+        p = make_platform("VMCN", instance_type("xLarge"))
+        assert p.migration_cpuset(r830_host()).size == 4
+
+    def test_cn_migration_domain_follows_allowed(self):
+        vanilla = make_platform("CN", instance_type("xLarge"))
+        pinned = make_platform("CN", instance_type("xLarge"), "pinned")
+        assert vanilla.migration_cpuset(r830_host()).size == 112
+        assert pinned.migration_cpuset(r830_host()).size == 4
+
+    def test_instance_too_big_for_host(self):
+        p = make_platform("CN", instance_type("16xLarge"))
+        with pytest.raises(PlatformError):
+            p.allowed_cpus(small_host(16))
+
+
+class TestPlatformOverheadCharacteristics:
+    def setup_method(self):
+        self.calib = Calibration()
+
+    def test_bm_compute_free(self):
+        p = make_platform("BM", instance_type("xLarge"))
+        assert p.compute_penalty(self.calib, 1.0, 1.0) == 1.0
+
+    def test_cn_compute_free(self):
+        p = make_platform("CN", instance_type("xLarge"))
+        assert p.compute_penalty(self.calib, 1.0, 1.0) == 1.0
+
+    def test_vm_compute_penalty_scales_with_mem_intensity(self):
+        p = make_platform("VM", instance_type("xLarge"))
+        low = p.compute_penalty(self.calib, 0.1, 0.0)
+        high = p.compute_penalty(self.calib, 0.95, 0.0)
+        assert 1.0 < low < high
+        # FFmpeg-like mem intensity approaches the paper's ~2x
+        assert high > 1.9
+
+    def test_vmcn_compute_matches_vm(self):
+        vm = make_platform("VM", instance_type("xLarge"))
+        vmcn = make_platform("VMCN", instance_type("xLarge"))
+        assert vmcn.compute_penalty(self.calib, 0.5, 0.1) == pytest.approx(
+            vm.compute_penalty(self.calib, 0.5, 0.1)
+        )
+
+    def test_comm_factor_ordering_small_instance(self):
+        """Fig 4-i at xLarge: CN > VMCN > VM > BM."""
+        inst = instance_type("xLarge")
+        factors = {
+            k: make_platform(k, inst).comm_factor(self.calib)
+            for k in ("BM", "VM", "VMCN", "CN")
+        }
+        assert factors["BM"] == 1.0
+        assert factors["CN"] > factors["VMCN"] > factors["VM"] > 1.0
+
+    def test_vm_comm_factor_decays_with_size(self):
+        """Hypervisor-mediated communication approaches BM in large guests."""
+        small = make_platform("VM", instance_type("xLarge"))
+        big = make_platform("VM", instance_type("16xLarge"))
+        assert big.comm_factor(self.calib) < small.comm_factor(self.calib)
+        assert big.comm_factor(self.calib) < 1.05
+
+    def test_cn_comm_factor_keeps_constant_term(self):
+        big = make_platform("CN", instance_type("16xLarge"))
+        assert big.comm_factor(self.calib) > 1.3
+
+    def test_irq_extra_bm_cn_free(self):
+        for kind in ("BM", "CN"):
+            p = make_platform(kind, instance_type("xLarge"))
+            assert p.irq_extra_latency(self.calib) == 0.0
+
+    def test_irq_extra_vm_positive(self):
+        p = make_platform("VM", instance_type("xLarge"))
+        assert p.irq_extra_latency(self.calib) > 0.0
+
+    def test_vmcn_irq_discounted_vs_vm(self):
+        vm = make_platform("VM", instance_type("xLarge"))
+        vmcn = make_platform("VMCN", instance_type("xLarge"))
+        assert vmcn.irq_extra_latency(self.calib) < vm.irq_extra_latency(self.calib)
+
+    def test_io_device_factor_ordering(self):
+        """BM/CN native < VMCN (page-cache discounted) < VM (virtio)."""
+        inst = instance_type("xLarge")
+        bm = make_platform("BM", inst).io_device_factor(self.calib)
+        cn = make_platform("CN", inst).io_device_factor(self.calib)
+        vm = make_platform("VM", inst).io_device_factor(self.calib)
+        vmcn = make_platform("VMCN", inst).io_device_factor(self.calib)
+        assert bm == cn == 1.0
+        assert 1.0 <= vmcn < vm
+
+    def test_vmcn_background_shrinks_relative_to_size(self):
+        small = make_platform("VMCN", instance_type("Large"))
+        big = make_platform("VMCN", instance_type("4xLarge"))
+        assert small.background_overhead_cores(
+            self.calib, 1.0
+        ) == big.background_overhead_cores(self.calib, 1.0)
+        # same absolute cores -> bigger relative cost on the small guest
+
+    def test_vmcn_background_scales_with_duty(self):
+        p = make_platform("VMCN", instance_type("xLarge"))
+        assert p.background_overhead_cores(self.calib, 0.3) < (
+            p.background_overhead_cores(self.calib, 1.0)
+        )
+
+    def test_vcpu_background_only_for_vanilla_vms(self):
+        inst = instance_type("xLarge")
+        assert make_platform("VM", inst).vcpu_background_fraction(self.calib) > 0
+        assert (
+            make_platform("VM", inst, "pinned").vcpu_background_fraction(self.calib)
+            == 0.0
+        )
+        assert make_platform("CN", inst).vcpu_background_fraction(self.calib) == 0.0
+
+    def test_io_affinity_gain_pinned_only(self):
+        inst = instance_type("xLarge")
+        assert make_platform("CN", inst, "pinned").io_affinity_gain(self.calib) > 0
+        assert make_platform("CN", inst).io_affinity_gain(self.calib) == 0.0
+
+    def test_labels(self):
+        assert make_platform("CN", instance_type("Large"), "pinned").label() == (
+            "Pinned CN"
+        )
+        assert make_platform("BM", instance_type("Large")).label() == "Vanilla BM"
+
+    def test_kind_metadata(self):
+        assert PlatformKind.BM.description == "Bare-Metal"
+        assert "Docker" in PlatformKind.CN.software_stack
+        assert "Qemu" in PlatformKind.VM.software_stack
+
+    def test_cgroup_tracking_flags(self):
+        inst = instance_type("Large")
+        assert make_platform("CN", inst).cgroup_tracked
+        assert make_platform("VMCN", inst).cgroup_tracked
+        assert make_platform("VMCN", inst).cgroup_in_guest
+        assert not make_platform("VM", inst).cgroup_tracked
+        assert not make_platform("BM", inst).cgroup_tracked

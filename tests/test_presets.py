@@ -1,0 +1,64 @@
+"""Tests for the host preset catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FfmpegWorkload, instance_type, make_platform, run_once
+from repro.analysis.chr import chr_of
+from repro.errors import ConfigurationError
+from repro.hostmodel.presets import HOST_PRESETS, host_preset, host_preset_names
+from repro.rng import RngFactory
+
+
+class TestCatalog:
+    def test_r830_is_the_paper_testbed(self):
+        host = host_preset("dell-r830")
+        assert host.logical_cpus == 112
+
+    def test_lookup_case_insensitive(self):
+        assert host_preset("EPYC-7742").logical_cpus == 128
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            host_preset("cray-1")
+
+    def test_names_sorted(self):
+        names = host_preset_names()
+        assert names == sorted(names)
+        assert "dell-r830" in names
+
+    def test_all_presets_valid_and_named_consistently(self):
+        for name, host in HOST_PRESETS.items():
+            assert host.name == name
+            assert host.logical_cpus >= 1
+
+
+class TestCrossHostBehaviour:
+    def test_chr_depends_on_host(self):
+        inst = instance_type("4xLarge")
+        assert chr_of(inst, host_preset("dell-r830")) < chr_of(
+            inst, host_preset("edge-16")
+        )
+
+    def test_vanilla_cn_pso_shrinks_on_smaller_hosts(self):
+        """Same container, higher CHR host => lower accounting tax."""
+        inst = instance_type("Large")
+        f = RngFactory()
+        ratios = {}
+        for name in ("dell-r830", "edge-16"):
+            host = host_preset(name)
+            bm = run_once(
+                FfmpegWorkload(),
+                make_platform("BM", inst),
+                host,
+                rng=f.fresh_stream("preset", 0),
+            ).value
+            cn = run_once(
+                FfmpegWorkload(),
+                make_platform("CN", inst),
+                host,
+                rng=f.fresh_stream("preset", 0),
+            ).value
+            ratios[name] = cn / bm
+        assert ratios["dell-r830"] > ratios["edge-16"]

@@ -1,0 +1,95 @@
+"""Tests for CFS group weights (cpu.shares) in the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import WorkloadError
+from repro.hostmodel.topology import r830_host
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.run.calibration import Calibration
+from repro.sched.accounting import OverheadModel
+from repro.workloads.base import ProcessSpec, ThreadSpec
+from repro.workloads.segments import ComputeSegment
+
+
+def overhead(cores=2):
+    names = {1: "Large", 2: "Large", 4: "xLarge"}
+    return OverheadModel(
+        r830_host(),
+        make_platform("BM", instance_type(names[cores])),
+        Calibration().without_migration_penalty(),
+    )
+
+
+def run_weighted(weights, work=1.0, cores=1):
+    procs = [
+        ProcessSpec(
+            threads=[
+                ThreadSpec(
+                    program=[ComputeSegment(work=work, mem_intensity=0.0)]
+                )
+            ],
+            name=f"p{i}",
+            weight=w,
+        )
+        for i, w in enumerate(weights)
+    ]
+    cfg = EngineConfig(capacity=float(cores), overhead=overhead(cores))
+    return Simulator(procs, cfg).run()
+
+
+class TestValidation:
+    def test_weight_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            ProcessSpec(
+                threads=[ThreadSpec(program=[ComputeSegment(1.0)])], weight=0.0
+            )
+
+
+class TestWeightedSharing:
+    def test_equal_weights_finish_together(self):
+        res = run_weighted([1.0, 1.0])
+        a, b = res.thread_finish_times
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_heavier_process_finishes_first(self):
+        res = run_weighted([3.0, 1.0])
+        heavy, light = res.thread_finish_times
+        assert heavy < light
+
+    def test_share_ratio_matches_weights(self):
+        """Until the heavy thread finishes, shares split 3:1."""
+        res = run_weighted([3.0, 1.0], work=1.0, cores=1)
+        heavy, light = res.thread_finish_times
+        # heavy runs at 3/4 core -> finishes ~4/3s (modulo tiny overheads)
+        assert heavy == pytest.approx(4.0 / 3.0, rel=0.02)
+        # light does 1/3 of its work by then, finishes the rest alone
+        assert light == pytest.approx(4.0 / 3.0 + 2.0 / 3.0 / 1.0, rel=0.05)
+
+    def test_per_thread_cap_of_one_core(self):
+        """A huge weight cannot exceed one core per thread."""
+        res = run_weighted([100.0, 1.0], work=1.0, cores=2)
+        heavy, light = res.thread_finish_times
+        # two cores, two threads: both run at full speed regardless
+        assert heavy == pytest.approx(1.0, rel=0.02)
+        assert light == pytest.approx(1.0, rel=0.02)
+
+    def test_capped_excess_redistributed(self):
+        """cores=2, weights [10,1,1]: heavy capped at 1 core, the other
+        core split between the light threads."""
+        res = run_weighted([10.0, 1.0, 1.0], work=1.0, cores=2)
+        heavy, l1, l2 = res.thread_finish_times
+        assert heavy == pytest.approx(1.0, rel=0.03)
+        assert l1 == pytest.approx(l2, rel=1e-6)
+        # each light thread had 0.5 core until t=1.0... then 1 core each
+        assert l1 == pytest.approx(1.5, rel=0.05)
+
+    def test_makespan_unaffected_by_weights_when_saturated(self):
+        """Weights redistribute, they don't create capacity."""
+        equal = run_weighted([1.0, 1.0, 1.0, 1.0], work=0.5, cores=1)
+        skewed = run_weighted([8.0, 1.0, 1.0, 1.0], work=0.5, cores=1)
+        assert skewed.makespan == pytest.approx(equal.makespan, rel=0.02)

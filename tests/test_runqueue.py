@@ -1,0 +1,106 @@
+"""Validation of the analytical CFS model against the run-queue simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.cfs import CfsModel
+from repro.sched.runqueue import RunQueueSimulator
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RunQueueSimulator(0, 1)
+        with pytest.raises(ConfigurationError):
+            RunQueueSimulator(1, 0)
+        with pytest.raises(ConfigurationError):
+            RunQueueSimulator(1, 1, wake_spread_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            RunQueueSimulator(1, 1, balance_interval=0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            RunQueueSimulator(2, 4).run(0.0)
+
+
+class TestEventRateValidation:
+    """The detailed simulation must confirm the analytical event rate."""
+
+    @pytest.mark.parametrize("osr", [2, 4, 10])
+    def test_event_rate_matches_model(self, osr):
+        cpus = 4
+        cfs = CfsModel()
+        sim = RunQueueSimulator(cpus, cpus * osr, cfs)
+        stats = sim.run(5.0)
+        predicted = cfs.event_rate(float(osr))
+        assert stats.event_rate_per_busy_core == pytest.approx(
+            predicted, rel=0.3
+        )
+
+    def test_saturated_rate_hits_min_granularity(self):
+        cfs = CfsModel()
+        stats = RunQueueSimulator(2, 100, cfs).run(3.0)
+        assert stats.event_rate_per_busy_core == pytest.approx(
+            1.0 / cfs.min_granularity, rel=0.2
+        )
+
+    def test_single_thread_per_cpu_runs_undisturbed(self):
+        stats = RunQueueSimulator(4, 4).run(2.0)
+        # with one thread per queue there is no one to switch to; the
+        # event rate stays at the slice-expiry self-requeue rate
+        assert stats.migrations == 0
+
+
+class TestFairness:
+    def test_equal_threads_get_equal_time(self):
+        stats = RunQueueSimulator(4, 12).run(5.0)
+        assert stats.fairness() > 0.98
+
+    def test_unbalanced_start_is_balanced_away(self):
+        # 9 threads on 3 cpus start round-robin but wake-spread scrambles
+        # placement; load balancing keeps fairness high regardless
+        sim = RunQueueSimulator(
+            3, 9, wake_spread_probability=0.5, balance_interval=0.05, seed=3
+        )
+        stats = sim.run(5.0)
+        assert stats.fairness() > 0.95
+
+    def test_busy_time_close_to_capacity(self):
+        stats = RunQueueSimulator(4, 16).run(5.0)
+        assert stats.busy_cpu_seconds == pytest.approx(4 * 5.0, rel=0.05)
+
+
+class TestMigrationBehaviour:
+    def test_sticky_placement_yields_few_migrations(self):
+        stats = RunQueueSimulator(4, 16, wake_spread_probability=0.0).run(3.0)
+        assert stats.migration_fraction < 0.02
+
+    def test_wake_spread_drives_migrations(self):
+        """The vanilla-mode assumption: free placement => frequent moves.
+
+        With wake spread p, the probability of landing on a different CPU
+        is p * (1 - 1/n_cpus) — the same structural form the analytical
+        MigrationModel uses for its spread term.
+        """
+        p = 0.6
+        cpus = 8
+        stats = RunQueueSimulator(
+            cpus, 32, wake_spread_probability=p, seed=7
+        ).run(3.0)
+        expected = p * (1 - 1 / cpus)
+        assert stats.migration_fraction == pytest.approx(expected, rel=0.15)
+
+    def test_more_spread_more_migrations(self):
+        low = RunQueueSimulator(4, 16, wake_spread_probability=0.2, seed=1)
+        high = RunQueueSimulator(4, 16, wake_spread_probability=0.8, seed=1)
+        assert (
+            high.run(2.0).migration_fraction > low.run(2.0).migration_fraction
+        )
+
+    def test_deterministic_given_seed(self):
+        a = RunQueueSimulator(4, 16, wake_spread_probability=0.5, seed=9).run(2.0)
+        b = RunQueueSimulator(4, 16, wake_spread_probability=0.5, seed=9).run(2.0)
+        assert a.context_switches == b.context_switches
+        assert a.migrations == b.migrations

@@ -1,0 +1,179 @@
+"""Unit and property tests for :mod:`repro.sched` (CFS, migration, affinity)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cgroups.cpuset import CpusetSpec
+from repro.errors import ConfigurationError
+from repro.hostmodel.cache import CacheModel
+from repro.hostmodel.topology import r830_host
+from repro.sched.affinity import ProvisioningMode, allowed_cpus
+from repro.sched.cfs import CfsModel
+from repro.sched.migration import MigrationModel
+from repro.units import MB, MS
+
+
+class TestCfsModel:
+    def test_full_slice_when_idle(self):
+        m = CfsModel()
+        assert m.timeslice(0.5) == m.target_latency
+        assert m.timeslice(1.0) == m.target_latency
+
+    def test_slice_shrinks_with_oversubscription(self):
+        m = CfsModel()
+        assert m.timeslice(2.0) == pytest.approx(m.target_latency / 2)
+
+    def test_slice_floor(self):
+        m = CfsModel()
+        assert m.timeslice(1000.0) == m.min_granularity
+
+    def test_event_rate_idle(self):
+        m = CfsModel()
+        assert m.event_rate(0.5) == m.idle_event_rate
+
+    def test_event_rate_saturated(self):
+        m = CfsModel()
+        assert m.event_rate(100.0) == pytest.approx(1.0 / m.timeslice(100.0))
+
+    def test_event_rate_never_below_idle(self):
+        m = CfsModel(idle_event_rate=50.0)
+        assert m.event_rate(1.01) >= 50.0
+
+    def test_negative_osr_raises(self):
+        with pytest.raises(ConfigurationError):
+            CfsModel().timeslice(-1.0)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            CfsModel(target_latency=1 * MS, min_granularity=2 * MS)
+
+    @given(osr=st.floats(min_value=0, max_value=1e4))
+    def test_timeslice_bounds(self, osr):
+        m = CfsModel()
+        t = m.timeslice(osr)
+        assert m.min_granularity <= t <= m.target_latency
+
+    @given(a=st.floats(min_value=0, max_value=1e3), b=st.floats(min_value=0, max_value=1e3))
+    def test_event_rate_monotone(self, a, b):
+        m = CfsModel()
+        lo, hi = sorted((a, b))
+        assert m.event_rate(lo) <= m.event_rate(hi)
+
+
+class TestMigrationProbabilities:
+    def test_single_cpu_no_migration(self):
+        m = MigrationModel()
+        assert m.sched_migration_probability(1, 1) == 0.0
+
+    def test_vanilla_small_instance_high(self):
+        """A 2-core vanilla platform on 112 CPUs migrates a lot."""
+        m = MigrationModel()
+        p = m.sched_migration_probability(112, 2)
+        assert p > 0.5
+
+    def test_pinned_lower_than_vanilla(self):
+        m = MigrationModel()
+        vanilla = m.sched_migration_probability(112, 8)
+        pinned = m.sched_migration_probability(8, 8)
+        assert pinned < vanilla
+
+    def test_spread_term_vanishes_at_chr_one(self):
+        """When the instance spans the whole allowed set, only the
+        within-set term remains."""
+        m = MigrationModel()
+        p = m.sched_migration_probability(16, 16)
+        assert p == pytest.approx(m.within_coeff * (1 - 1 / 16))
+
+    def test_probability_capped(self):
+        m = MigrationModel(
+            within_coeff=1.0, spread_coeff=1.0, max_probability=0.9
+        )
+        assert m.sched_migration_probability(112, 1) == 0.9
+
+    def test_wake_probability_uses_wake_coeffs(self):
+        m = MigrationModel()
+        sched = m.sched_migration_probability(112, 2)
+        wake = m.wake_migration_probability(112, 2)
+        assert wake != sched
+
+    def test_invalid_sizes(self):
+        m = MigrationModel()
+        with pytest.raises(ConfigurationError):
+            m.sched_migration_probability(0, 1)
+        with pytest.raises(ConfigurationError):
+            m.sched_migration_probability(4, 0)
+
+    def test_invalid_coeff(self):
+        with pytest.raises(ConfigurationError):
+            MigrationModel(within_coeff=1.5)
+
+    @given(
+        s=st.integers(min_value=1, max_value=112),
+        k=st.integers(min_value=1, max_value=112),
+    )
+    def test_probability_in_unit_interval(self, s, k):
+        m = MigrationModel()
+        assert 0.0 <= m.sched_migration_probability(s, k) <= 1.0
+        assert 0.0 <= m.wake_migration_probability(s, k) <= 1.0
+
+    @given(k=st.integers(min_value=1, max_value=112))
+    def test_vanilla_probability_decreases_with_instance_size(self, k):
+        """Bigger instances leave the scheduler fewer idle choices."""
+        m = MigrationModel()
+        if k < 112:
+            p_small = m.sched_migration_probability(112, k)
+            p_big = m.sched_migration_probability(112, k + 1)
+            assert p_big <= p_small
+
+
+class TestMigrationPenalties:
+    def test_expected_sched_penalty_positive(self):
+        host = r830_host()
+        m = MigrationModel()
+        pen = m.expected_sched_penalty(
+            host, CacheModel(), CpusetSpec.unrestricted(host), 2, 8 * MB
+        )
+        assert pen > 0
+
+    def test_expected_wake_penalty_includes_channel(self):
+        host = r830_host()
+        m = MigrationModel()
+        allowed = CpusetSpec.unrestricted(host)
+        without = m.expected_wake_penalty(host, CacheModel(), allowed, 2, 8 * MB, 0.0)
+        with_ch = m.expected_wake_penalty(
+            host, CacheModel(), allowed, 2, 8 * MB, 1e-4
+        )
+        assert with_ch > without
+
+    def test_zero_probability_zero_penalty(self):
+        host = r830_host()
+        m = MigrationModel(0.0, 0.0, 0.0, 0.0)
+        allowed = CpusetSpec.unrestricted(host)
+        assert m.expected_sched_penalty(host, CacheModel(), allowed, 2, 8 * MB) == 0.0
+        assert (
+            m.expected_wake_penalty(host, CacheModel(), allowed, 2, 8 * MB, 1e-4)
+            == 0.0
+        )
+
+
+class TestAffinity:
+    def test_vanilla_gets_whole_host(self):
+        cs = allowed_cpus(r830_host(), 4, ProvisioningMode.VANILLA)
+        assert cs.size == 112
+
+    def test_pinned_gets_exact_cores(self):
+        cs = allowed_cpus(r830_host(), 4, ProvisioningMode.PINNED)
+        assert cs.size == 4
+
+    def test_grub_limited_overrides_vanilla(self):
+        cs = allowed_cpus(
+            r830_host(), 4, ProvisioningMode.VANILLA, grub_limited=True
+        )
+        assert cs.size == 4
+
+    def test_mode_str(self):
+        assert str(ProvisioningMode.VANILLA) == "vanilla"
+        assert str(ProvisioningMode.PINNED) == "pinned"

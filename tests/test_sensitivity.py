@@ -1,0 +1,116 @@
+"""Tests for the calibration sensitivity analysis."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import FfmpegWorkload, instance_type, make_platform
+from repro.analysis.sensitivity import (
+    SCALAR_CONSTANTS,
+    SensitivityResult,
+    render_sensitivity,
+    sensitivity_analysis,
+)
+from repro.errors import AnalysisError
+from repro.run.calibration import Calibration
+
+
+class TestScalarConstantList:
+    def test_all_names_exist_on_calibration(self):
+        fields = {f.name for f in dataclasses.fields(Calibration)}
+        for name in SCALAR_CONSTANTS:
+            assert name in fields
+
+    def test_all_are_scalars(self):
+        calib = Calibration()
+        for name in SCALAR_CONSTANTS:
+            assert isinstance(getattr(calib, name), (int, float))
+
+
+class TestSensitivityResult:
+    def test_elasticity_formula(self):
+        r = SensitivityResult(
+            constant="x",
+            base_value=1.0,
+            base_ratio=2.0,
+            ratio_low=1.8,
+            ratio_high=2.2,
+            perturbation=0.2,
+        )
+        # d_ratio/ratio = 0.4/(2*2) = 0.1; /0.2 = 0.5
+        assert r.elasticity == pytest.approx(0.5)
+
+    def test_robustness_flag(self):
+        flat = SensitivityResult("x", 1.0, 2.0, 1.99, 2.01, 0.2)
+        steep = SensitivityResult("x", 1.0, 2.0, 1.0, 3.0, 0.2)
+        assert flat.is_robust
+        assert not steep.is_robust
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def vm_results(self):
+        return sensitivity_analysis(
+            FfmpegWorkload(),
+            make_platform("VM", instance_type("xLarge")),
+            constants=(
+                "vm_mem_penalty",
+                "ctx_switch_cost",
+                "cn_comm_base",
+                "vmcn_nested_core_equiv",
+            ),
+        )
+
+    def test_sorted_by_elasticity(self, vm_results):
+        elasticities = [abs(r.elasticity) for r in vm_results]
+        assert elasticities == sorted(elasticities, reverse=True)
+
+    def test_vm_ratio_driven_by_mem_penalty(self, vm_results):
+        assert vm_results[0].constant == "vm_mem_penalty"
+        assert abs(vm_results[0].elasticity) > 0.2
+
+    def test_irrelevant_constants_flat(self, vm_results):
+        by_name = {r.constant: r for r in vm_results}
+        # container/VMCN knobs cannot move a plain VM's ratio
+        assert by_name["cn_comm_base"].elasticity == pytest.approx(0.0, abs=0.02)
+        assert by_name["vmcn_nested_core_equiv"].elasticity == pytest.approx(
+            0.0, abs=0.02
+        )
+
+    def test_cn_ratio_driven_by_accounting_side(self):
+        results = sensitivity_analysis(
+            FfmpegWorkload(),
+            make_platform("CN", instance_type("Large")),
+            constants=("vm_mem_penalty", "cache_contention_gamma"),
+        )
+        by_name = {r.constant: r for r in results}
+        assert by_name["vm_mem_penalty"].elasticity == pytest.approx(
+            0.0, abs=0.02
+        )
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(AnalysisError):
+            sensitivity_analysis(
+                FfmpegWorkload(),
+                make_platform("VM", instance_type("xLarge")),
+                constants=("definitely_not_a_knob",),
+            )
+
+    def test_invalid_perturbation(self):
+        with pytest.raises(AnalysisError):
+            sensitivity_analysis(
+                FfmpegWorkload(),
+                make_platform("VM", instance_type("xLarge")),
+                perturbation=1.5,
+            )
+
+    def test_render(self, vm_results):
+        out = render_sensitivity(vm_results)
+        assert "vm_mem_penalty" in out
+        assert "elast." in out
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_sensitivity([])

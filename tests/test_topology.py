@@ -1,0 +1,163 @@
+"""Unit and property tests for :mod:`repro.hostmodel.topology`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.hostmodel.topology import (
+    HostTopology,
+    make_host,
+    r830_host,
+    small_host,
+)
+
+
+class TestR830Preset:
+    def test_logical_cpus(self):
+        assert r830_host().logical_cpus == 112
+
+    def test_physical_cores(self):
+        assert r830_host().physical_cores == 56
+
+    def test_sockets(self):
+        assert r830_host().sockets == 4
+
+    def test_memory(self):
+        assert r830_host().memory_bytes == 384 * 2**30
+
+    def test_clock(self):
+        assert r830_host().base_clock_ghz == pytest.approx(1.80)
+
+    def test_describe_mentions_name(self):
+        assert "dell-r830" in r830_host().describe()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sockets": 0},
+            {"cores_per_socket": 0},
+            {"threads_per_core": 0},
+            {"base_clock_ghz": 0.0},
+            {"memory_bytes": 0},
+            {"l3_bytes_per_socket": 0},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(TopologyError):
+            HostTopology(**kwargs)
+
+    def test_make_host_rejects_indivisible(self):
+        with pytest.raises(TopologyError):
+            make_host(7, sockets=2)
+
+    def test_small_host_invalid(self):
+        with pytest.raises(TopologyError):
+            small_host(0)
+
+
+class TestSocketMapping:
+    def test_socket_of_first_cpu(self):
+        assert r830_host().socket_of(0) == 0
+
+    def test_socket_of_last_cpu(self):
+        assert r830_host().socket_of(111) == 3
+
+    def test_socket_of_boundary(self):
+        host = r830_host()
+        assert host.socket_of(27) == 0
+        assert host.socket_of(28) == 1
+
+    def test_socket_of_out_of_range(self):
+        with pytest.raises(TopologyError):
+            r830_host().socket_of(112)
+        with pytest.raises(TopologyError):
+            r830_host().socket_of(-1)
+
+
+class TestCpusets:
+    def test_contiguous_cpuset_size(self):
+        cs = r830_host().contiguous_cpuset(16)
+        assert cs == frozenset(range(16))
+
+    def test_contiguous_cpuset_offset(self):
+        cs = r830_host().contiguous_cpuset(4, first=10)
+        assert cs == frozenset(range(10, 14))
+
+    def test_contiguous_cpuset_too_big(self):
+        with pytest.raises(TopologyError):
+            r830_host().contiguous_cpuset(113)
+
+    def test_contiguous_cpuset_zero(self):
+        with pytest.raises(TopologyError):
+            r830_host().contiguous_cpuset(0)
+
+    def test_all_cpus(self):
+        assert len(r830_host().all_cpus()) == 112
+
+    def test_sockets_spanned_single(self):
+        host = r830_host()
+        assert host.sockets_spanned(host.contiguous_cpuset(16)) == 1
+
+    def test_sockets_spanned_all(self):
+        host = r830_host()
+        assert host.sockets_spanned(host.all_cpus()) == 4
+
+    def test_sockets_spanned_empty_raises(self):
+        with pytest.raises(TopologyError):
+            r830_host().sockets_spanned(frozenset())
+
+
+class TestCrossSocketFraction:
+    def test_single_cpu_is_zero(self):
+        host = r830_host()
+        assert host.cross_socket_fraction(frozenset({0})) == 0.0
+
+    def test_one_socket_is_zero(self):
+        host = r830_host()
+        assert host.cross_socket_fraction(host.contiguous_cpuset(16)) == 0.0
+
+    def test_two_cpus_different_sockets(self):
+        host = r830_host()
+        assert host.cross_socket_fraction(frozenset({0, 28})) == pytest.approx(1.0)
+
+    def test_whole_host_fraction(self):
+        host = r830_host()
+        # 4 equal sockets: P(cross) = 1 - (28-1)/(112-1)
+        expected = 1.0 - 27 / 111
+        assert host.cross_socket_fraction(host.all_cpus()) == pytest.approx(expected)
+
+    @given(n=st.integers(min_value=2, max_value=112))
+    def test_fraction_in_unit_interval(self, n):
+        host = r830_host()
+        frac = host.cross_socket_fraction(host.contiguous_cpuset(n))
+        assert 0.0 <= frac <= 1.0
+
+    @given(n=st.integers(min_value=1, max_value=112))
+    def test_chr_between_zero_and_one(self, n):
+        host = r830_host()
+        assert 0 < n / host.logical_cpus <= 1.0
+
+
+class TestSmallHost:
+    def test_sixteen_core_host(self):
+        host = small_host(16)
+        assert host.logical_cpus == 16
+        assert host.sockets == 2
+
+    def test_small_single_socket(self):
+        host = small_host(8)
+        assert host.sockets == 1
+
+    def test_odd_cpu_count(self):
+        host = small_host(15)
+        assert host.logical_cpus == 15
+
+    def test_make_host_smt(self):
+        host = make_host(32, sockets=2, threads_per_core=2)
+        assert host.logical_cpus == 32
+        assert host.physical_cores == 16

@@ -1,0 +1,139 @@
+"""Tests for the BCC-analog trace tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.errors import AnalysisError
+from repro.hostmodel.topology import r830_host
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.run.execution import run_once
+from repro.trace.counters import PerfCounters
+from repro.trace.cpudist import CpuDist
+from repro.trace.offcputime import OffCpuReport
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_with_counters(kind="CN", mode="vanilla", io_fraction=0.4):
+    wl = SyntheticWorkload(
+        threads_per_process=4,
+        phases=4,
+        compute_per_phase=0.05,
+        io_fraction=io_fraction,
+    )
+    r = run_once(
+        wl, make_platform(kind, instance_type("Large"), mode), r830_host()
+    )
+    return r.counters
+
+
+class TestPerfCounters:
+    def test_overhead_fraction_zero_when_empty(self):
+        assert PerfCounters().overhead_fraction == 0.0
+
+    def test_overhead_fraction_computed(self):
+        c = PerfCounters(busy_core_seconds=10.0, useful_core_seconds=8.0)
+        assert c.overhead_fraction == pytest.approx(0.2)
+        assert c.overhead_core_seconds == pytest.approx(2.0)
+
+    def test_merge_sums(self):
+        a = PerfCounters(busy_core_seconds=1.0, irqs=2)
+        a.add_timeslice(0.006, 1.0)
+        b = PerfCounters(busy_core_seconds=2.0, irqs=3)
+        b.add_timeslice(0.006, 0.5)
+        m = a.merge(b)
+        assert m.busy_core_seconds == 3.0
+        assert m.irqs == 5
+        assert m.timeslice_weight[0.006] == pytest.approx(1.5)
+
+    def test_add_timeslice_buckets(self):
+        c = PerfCounters()
+        c.add_timeslice(0.0059999999, 1.0)
+        c.add_timeslice(0.006, 1.0)
+        assert len(c.timeslice_weight) == 1
+
+    def test_run_counters_populated(self):
+        c = run_with_counters()
+        assert c.busy_core_seconds > 0
+        assert c.irqs > 0
+        assert c.sched_events > 0
+        assert c.io_blocked_seconds > 0
+
+
+class TestCpuDist:
+    def test_from_run(self):
+        dist = CpuDist.from_counters(run_with_counters())
+        assert dist.total_weight > 0
+        assert dist.mean_stretch_us() > 0
+
+    def test_empty_histogram(self):
+        dist = CpuDist.from_counters(PerfCounters())
+        assert dist.total_weight == 0
+        with pytest.raises(AnalysisError):
+            dist.mean_stretch_us()
+        assert dist.render() == "(empty)"
+
+    def test_log2_bucketing(self):
+        c = PerfCounters()
+        c.add_timeslice(0.006, 1.0)  # 6000 us -> bucket 4096
+        dist = CpuDist.from_counters(c)
+        assert 4096 in dist.buckets
+
+    def test_render_format(self):
+        out = CpuDist.from_counters(run_with_counters()).render()
+        assert "usecs" in out
+        assert "|" in out
+
+
+class TestOffCpuReport:
+    def test_io_workload_dominated_by_io_wait(self):
+        rep = OffCpuReport.from_counters(run_with_counters(io_fraction=0.8))
+        assert rep.dominant_wait() == "io"
+        assert rep.io_wait > 0
+
+    def test_totals(self):
+        rep = OffCpuReport.from_counters(run_with_counters())
+        assert rep.total_blocked >= rep.io_wait
+        assert rep.total_overhead >= 0
+
+    def test_render_lists_channels(self):
+        rep = OffCpuReport.from_counters(run_with_counters())
+        out = rep.render()
+        for key in ("useful CPU", "cgroup overhead", "IO wait"):
+            assert key in out
+
+    def test_vanilla_cn_pays_more_cgroup_than_pinned(self):
+        """Section IV-B observed through the tracing tools."""
+        vanilla = OffCpuReport.from_counters(run_with_counters("CN", "vanilla"))
+        pinned = OffCpuReport.from_counters(run_with_counters("CN", "pinned"))
+        assert vanilla.cgroup_overhead > pinned.cgroup_overhead
+
+
+class TestCountersAcrossPlatforms:
+    def test_bm_has_no_cgroup_time(self):
+        c = run_with_counters("BM")
+        assert c.cgroup_time == 0.0
+
+    def test_vmcn_has_background_time(self):
+        c = run_with_counters("VMCN")
+        assert c.background_time > 0
+
+    def test_vanilla_cn_migrates_more_than_pinned(self):
+        v = run_with_counters("CN", "vanilla")
+        p = run_with_counters("CN", "pinned")
+        assert v.migrations > p.migrations
+        assert v.wake_migrations > p.wake_migrations
+
+
+class TestCountersSerialization:
+    def test_to_dict_roundtrip_keys(self):
+        c = run_with_counters()
+        d = c.to_dict()
+        assert d["busy_core_seconds"] == c.busy_core_seconds
+        assert d["irqs"] == c.irqs
+        assert isinstance(d["timeslice_weight"], dict)
+        import json
+
+        json.dumps(d)  # must be JSON-serializable

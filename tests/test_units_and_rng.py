@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.units` and :mod:`repro.rng`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, RngFactory, stable_hash
+from repro.units import (
+    GIB,
+    KIB,
+    MB,
+    MIB,
+    MS,
+    NS,
+    SECOND,
+    US,
+    bytes_to_gib,
+    bytes_to_mib,
+    seconds_to_ms,
+    seconds_to_us,
+)
+
+
+class TestUnits:
+    def test_time_ordering(self):
+        assert NS < US < MS < SECOND
+
+    def test_time_ratios(self):
+        assert US / NS == pytest.approx(1000)
+        assert MS / US == pytest.approx(1000)
+        assert SECOND / MS == pytest.approx(1000)
+
+    def test_size_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert MB == 10**6
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(0.25) == pytest.approx(250)
+
+    def test_seconds_to_us(self):
+        assert seconds_to_us(0.001) == pytest.approx(1000)
+
+    def test_bytes_to_mib(self):
+        assert bytes_to_mib(MIB) == pytest.approx(1.0)
+
+    def test_bytes_to_gib(self):
+        assert bytes_to_gib(2 * GIB) == pytest.approx(2.0)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("ffmpeg") == stable_hash("ffmpeg")
+
+    def test_distinct_labels(self):
+        assert stable_hash("ffmpeg") != stable_hash("cassandra")
+
+    def test_32bit_range(self):
+        for label in ("a", "b", "workload/instance", ""):
+            h = stable_hash(label)
+            assert 0 <= h <= 0xFFFFFFFF
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(seed=7).stream("x", rep=0)
+        b = RngFactory(seed=7).stream("x", rep=0)
+        assert a.random() == b.random()
+
+    def test_different_reps_differ(self):
+        f = RngFactory(seed=7)
+        xs = f.stream("x", rep=0).random(8)
+        ys = f.stream("x", rep=1).random(8)
+        assert not np.allclose(xs, ys)
+
+    def test_different_labels_differ(self):
+        f = RngFactory(seed=7)
+        xs = f.stream("a", rep=0).random(8)
+        ys = f.stream("b", rep=0).random(8)
+        assert not np.allclose(xs, ys)
+
+    def test_stream_is_cached(self):
+        f = RngFactory(seed=7)
+        g1 = f.stream("x")
+        g2 = f.stream("x")
+        assert g1 is g2
+
+    def test_fresh_stream_rewinds(self):
+        f = RngFactory(seed=7)
+        first = f.fresh_stream("x").random()
+        again = f.fresh_stream("x").random()
+        assert first == again
+
+    def test_default_seed_exists(self):
+        assert isinstance(DEFAULT_SEED, int)
+
+    def test_seed_changes_streams(self):
+        a = RngFactory(seed=1).fresh_stream("x").random()
+        b = RngFactory(seed=2).fresh_stream("x").random()
+        assert a != b

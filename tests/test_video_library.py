@@ -1,0 +1,128 @@
+"""Tests for the heterogeneous video-library extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import instance_type, make_platform, r830_host, run_once
+from repro.errors import WorkloadError
+from repro.rng import RngFactory
+from repro.workloads.video_library import (
+    VideoBatchWorkload,
+    VideoLibrary,
+    VideoSpec,
+)
+
+
+class TestVideoSpec:
+    def test_codec_work_scales(self):
+        v = VideoSpec(duration_seconds=10, complexity=2.0)
+        assert v.codec_work(2.5) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            VideoSpec(duration_seconds=0)
+        with pytest.raises(WorkloadError):
+            VideoSpec(duration_seconds=1, complexity=0)
+
+
+class TestVideoLibrary:
+    def test_deterministic_per_seed(self):
+        a = VideoLibrary(seed=1).videos()
+        b = VideoLibrary(seed=1).videos()
+        assert a == b
+
+    def test_seed_changes_corpus(self):
+        assert VideoLibrary(seed=1).videos() != VideoLibrary(seed=2).videos()
+
+    def test_size(self):
+        assert len(VideoLibrary(n_videos=7).videos()) == 7
+
+    def test_complexity_heterogeneous(self):
+        complexities = [v.complexity for v in VideoLibrary().videos()]
+        assert max(complexities) > 1.5 * min(complexities)
+
+    def test_zero_sigma_homogeneous(self):
+        complexities = [
+            v.complexity for v in VideoLibrary(complexity_sigma=0.0).videos()
+        ]
+        assert all(c == 1.0 for c in complexities)
+
+    def test_total_work_positive(self):
+        assert VideoLibrary().total_codec_work() > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            VideoLibrary(n_videos=0)
+
+
+class TestVideoBatchWorkload:
+    def test_one_process_per_video(self):
+        wl = VideoBatchWorkload(library=VideoLibrary(n_videos=6))
+        procs = wl.build(8, np.random.default_rng(0))
+        assert len(procs) == 6
+
+    def test_waves_staggered(self):
+        wl = VideoBatchWorkload(
+            library=VideoLibrary(n_videos=8), concurrency=4
+        )
+        procs = wl.build(8, np.random.default_rng(0))
+        arrivals = sorted({p.threads[0].arrival_time for p in procs})
+        assert len(arrivals) == 2  # two waves
+        assert arrivals[1] > arrivals[0]
+
+    def test_lpt_ordering(self):
+        """The longest job is dispatched in the first wave."""
+        lib = VideoLibrary(n_videos=8)
+        wl = VideoBatchWorkload(library=lib, concurrency=4)
+        procs = wl.build(8, np.random.default_rng(0))
+        first_wave = [p for p in procs if p.threads[0].arrival_time == 0.0]
+        works = sorted(
+            (v.codec_work(wl.work_per_video_second) for v in lib.videos()),
+            reverse=True,
+        )
+        heaviest_wave_work = max(
+            sum(t.compute_work for t in p.threads) for p in first_wave
+        )
+        assert heaviest_wave_work == pytest.approx(works[0], rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            VideoBatchWorkload(concurrency=0)
+
+
+class TestFindingsSurviveHeterogeneity:
+    """The paper's controlled-single-clip findings hold on a real corpus."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        wl = VideoBatchWorkload(library=VideoLibrary(n_videos=12))
+        host = r830_host()
+        f = RngFactory()
+        out = {}
+        for kind, mode in (
+            ("BM", "vanilla"),
+            ("VM", "vanilla"),
+            ("CN", "vanilla"),
+            ("CN", "pinned"),
+        ):
+            out[(kind, mode)] = run_once(
+                wl,
+                make_platform(kind, instance_type("4xLarge"), mode),
+                host,
+                rng=f.fresh_stream("vbatch", 0),
+            ).value
+        return out
+
+    def test_pinned_cn_tracks_bm(self, results):
+        assert results[("CN", "pinned")] == pytest.approx(
+            results[("BM", "vanilla")], rel=0.05
+        )
+
+    def test_vm_tax_persists(self, results):
+        ratio = results[("VM", "vanilla")] / results[("BM", "vanilla")]
+        assert ratio > 1.8
+
+    def test_vanilla_cn_pays_multitasking(self, results):
+        assert results[("CN", "vanilla")] > results[("CN", "pinned")]

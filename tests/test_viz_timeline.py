@@ -1,0 +1,140 @@
+"""Tests for the SVG renderer and the timeline tool."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import (
+    FfmpegWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+    run_once,
+    run_platform_sweep,
+)
+from repro.engine.events import EventKind, TraceEvent
+from repro.engine.tracing import ListTraceSink
+from repro.errors import AnalysisError
+from repro.platforms.provisioning import instance_types_upto
+from repro.trace.timeline import Interval, Timeline
+from repro.viz.svg import PALETTE, render_sweep_svg, save_sweep_svg
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_platform_sweep(
+        FfmpegWorkload(video_seconds=2, n_sync_chunks=3),
+        instance_types_upto(4),
+        reps=2,
+    )
+
+
+class TestSvgRenderer:
+    def test_valid_xml(self, small_sweep):
+        svg = render_sweep_svg(small_sweep, title="Fig test")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_title_and_legend(self, small_sweep):
+        svg = render_sweep_svg(small_sweep, title="My Figure")
+        assert "My Figure" in svg
+        for label in small_sweep.platform_order:
+            assert label in svg
+
+    def test_bar_count(self, small_sweep):
+        svg = render_sweep_svg(small_sweep, title="t")
+        # one rect per (platform, instance) bar + legend + background
+        n_bars = len(small_sweep.platform_order) * len(small_sweep.instance_order)
+        n_legend = len(small_sweep.platform_order)
+        assert svg.count("<rect") == n_bars + n_legend + 1
+
+    def test_palette_covers_paper_labels(self):
+        for label in (
+            "Vanilla VM",
+            "Pinned VM",
+            "Vanilla VMCN",
+            "Pinned VMCN",
+            "Vanilla CN",
+            "Pinned CN",
+            "Vanilla BM",
+        ):
+            assert label in PALETTE
+
+    def test_save(self, small_sweep, tmp_path):
+        out = save_sweep_svg(small_sweep, tmp_path / "fig.svg", title="t")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_custom_size(self, small_sweep):
+        svg = render_sweep_svg(small_sweep, title="t", width=400, height=300)
+        assert 'width="400"' in svg
+
+    def test_thrashed_cells_annotated(self, small_sweep):
+        for cell in small_sweep.cells.values():
+            for r in cell.runs:
+                r.thrashed = True
+        svg = render_sweep_svg(small_sweep, title="t")
+        assert "out of range" in svg
+
+
+class TestTimeline:
+    def _trace_run(self):
+        sink = ListTraceSink()
+        run_once(
+            FfmpegWorkload(video_seconds=1, n_sync_chunks=2),
+            make_platform("CN", instance_type("Large"), "pinned"),
+            r830_host(),
+            trace=sink,
+        )
+        return sink.events
+
+    def test_from_real_run(self):
+        tl = Timeline.from_events(self._trace_run())
+        assert tl.n_threads == 3  # FFmpeg spawns 3 threads on 2 cores
+        totals = tl.activity_totals()
+        assert totals["run"] > 0
+        assert "barrier" in totals
+
+    def test_render_glyphs(self):
+        tl = Timeline.from_events(self._trace_run())
+        out = tl.render(width=40)
+        assert "#" in out
+        assert "T0" in out
+
+    def test_intervals_ordered_and_positive(self):
+        tl = Timeline.from_events(self._trace_run())
+        for j in range(tl.n_threads):
+            ivs = tl.thread_intervals(j)
+            assert all(iv.duration > 0 for iv in ivs)
+            for a, b in zip(ivs, ivs[1:]):
+                assert b.start >= a.end - 1e-9
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(AnalysisError):
+            Timeline.from_events([])
+
+    def test_manual_events(self):
+        events = [
+            TraceEvent(0.0, EventKind.ARRIVAL, 0),
+            TraceEvent(1.0, EventKind.IO_ISSUE, 0, 0.5),
+            TraceEvent(1.5, EventKind.IO_WAKE, 0),
+            TraceEvent(2.0, EventKind.THREAD_DONE, 0),
+        ]
+        tl = Timeline.from_events(events)
+        ivs = tl.thread_intervals(0)
+        assert [i.activity for i in ivs] == ["run", "io", "run"]
+        assert tl.end_time == pytest.approx(2.0)
+
+    def test_max_threads_truncation(self):
+        events = []
+        for j in range(30):
+            events.append(TraceEvent(0.0, EventKind.ARRIVAL, j))
+            events.append(TraceEvent(1.0, EventKind.THREAD_DONE, j))
+        out = Timeline.from_events(events).render(max_threads=5)
+        assert "more threads" in out
+
+    def test_interval_duration(self):
+        iv = Interval(thread=0, start=1.0, end=2.5, activity="run")
+        assert iv.duration == pytest.approx(1.5)
