@@ -54,9 +54,12 @@ from repro.run.distributed import run_mpi_cluster
 from repro.run.execution import run_once
 from repro.run.experiment import (
     ExperimentSpec,
+    platform_sweep_spec,
     run_experiment,
     run_platform_sweep,
 )
+from repro.run.parallel import ParallelRunner, default_jobs
+from repro.run.persistence import SweepCache
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
 from repro.workloads import (
@@ -103,8 +106,12 @@ __all__ = [
     "Calibration",
     "run_once",
     "ExperimentSpec",
+    "platform_sweep_spec",
     "run_experiment",
     "run_platform_sweep",
+    "ParallelRunner",
+    "default_jobs",
+    "SweepCache",
     "Tenant",
     "ColocationResult",
     "run_colocated",

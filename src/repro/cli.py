@@ -48,7 +48,9 @@ from repro.platforms.provisioning import (
 )
 from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
-from repro.run.campaign import Campaign, run_campaign
+from repro.run.campaign import KNOWN_EXPERIMENTS, Campaign, run_campaign
+from repro.run.parallel import default_jobs
+from repro.run.persistence import SweepCache
 from repro.run.colocation import Tenant, run_colocated
 from repro.run.execution import run_once
 from repro.run.experiment import run_platform_sweep
@@ -89,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, help="root random seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweep cells (default 1 = serial; "
+            "results are bit-for-bit identical at any job count; "
+            "0 = one per CPU)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -216,10 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--only",
         nargs="*",
-        choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8"],
+        choices=list(KNOWN_EXPERIMENTS),
         help="restrict to these experiments",
     )
+    rep_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-addressed sweep cache directory (probe + write-back)",
+    )
     return parser
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    """Resolve the --jobs flag (0 means one worker per CPU)."""
+    if args.jobs < 0:
+        raise ReproError(f"--jobs must be >= 0, got {args.jobs}")
+    return args.jobs or default_jobs()
 
 
 def _cmd_tables() -> int:
@@ -315,7 +340,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     workload_key, title = _FIGURES[args.number]
     workload = _WORKLOADS[workload_key]()
     sweep = run_platform_sweep(
-        workload, _instances_for(workload_key), reps=args.reps, seed=args.seed
+        workload,
+        _instances_for(workload_key),
+        reps=args.reps,
+        seed=args.seed,
+        jobs=_jobs(args),
     )
     print(render_figure(figure_from_sweep(sweep), title=title))
     print("\noverhead ratios vs Vanilla BM:")
@@ -339,7 +368,11 @@ def _cmd_chr(args: argparse.Namespace) -> int:
     workload = _WORKLOADS[args.workload]()
     host = r830_host()
     sweep = run_platform_sweep(
-        workload, _instances_for(args.workload), reps=args.reps, seed=args.seed
+        workload,
+        _instances_for(args.workload),
+        reps=args.reps,
+        seed=args.seed,
+        jobs=_jobs(args),
     )
     band = estimate_suitable_chr_range(sweep, host)
     ratios = overhead_ratios(sweep, "Vanilla CN")
@@ -499,12 +532,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         reps_fast=args.reps_fast,
         reps_io=args.reps_io,
         seed=args.seed,
-        include=tuple(args.only)
-        if args.only
-        else ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8"),
+        include=tuple(args.only) if args.only else KNOWN_EXPERIMENTS,
     )
-    print(f"running campaign {campaign.include} ...")
-    result = run_campaign(campaign)
+    jobs = _jobs(args)
+    cache = SweepCache(args.cache) if args.cache else None
+    print(f"running campaign {campaign.include} with {jobs} job(s) ...")
+    result = run_campaign(campaign, jobs=jobs, cache=cache)
     text = generate_report(result)
     with open(args.out, "w") as fh:
         fh.write(text)

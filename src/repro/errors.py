@@ -16,6 +16,7 @@ __all__ = [
     "PlatformError",
     "WorkloadError",
     "SimulationError",
+    "ParallelExecutionError",
     "CgroupError",
     "AnalysisError",
 ]
@@ -47,6 +48,35 @@ class WorkloadError(ConfigurationError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine detected a broken invariant at run time."""
+
+
+class ParallelExecutionError(SimulationError):
+    """A parallel campaign task failed permanently (retries exhausted,
+    worker pool broken, or per-task timeout exceeded).
+
+    Attributes
+    ----------
+    task_label:
+        Human-readable identity of the failed task.
+    attempts:
+        How many times the task was attempted before giving up.
+    reason:
+        Short machine-readable cause: ``"exception"``, ``"timeout"`` or
+        ``"broken-pool"``.
+    """
+
+    def __init__(self, task_label: str, attempts: int, reason: str,
+                 detail: str = "") -> None:
+        self.task_label = task_label
+        self.attempts = attempts
+        self.reason = reason
+        msg = (
+            f"parallel task {task_label!r} failed after {attempts} "
+            f"attempt(s) [{reason}]"
+        )
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
 
 
 class CgroupError(ConfigurationError):

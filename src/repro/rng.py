@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RngFactory", "stable_hash", "DEFAULT_SEED"]
+__all__ = ["RngFactory", "StreamSpec", "stable_hash", "DEFAULT_SEED"]
 
 DEFAULT_SEED = 0x5EED_2020  # the paper is from 2020
 
@@ -33,6 +33,30 @@ def stable_hash(label: str) -> int:
     mixing is done by :class:`numpy.random.SeedSequence`).
     """
     return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A self-contained, picklable recipe for one random stream.
+
+    Carrying ``(seed, label, rep)`` instead of a live generator lets a
+    task travel to a worker process and rebuild *exactly* the stream the
+    serial path would have used: :meth:`make` is equivalent to
+    ``RngFactory(seed=seed).fresh_stream(label, rep=rep)``.  This is the
+    mechanism behind the parallel executor's bit-for-bit determinism —
+    the seed travels with the task, never with the pool.
+    """
+
+    seed: int
+    label: str
+    rep: int = 0
+
+    def make(self) -> np.random.Generator:
+        """Build the generator, rewound to its start."""
+        ss = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(stable_hash(self.label), int(self.rep))
+        )
+        return np.random.Generator(np.random.PCG64(ss))
 
 
 @dataclass
@@ -75,6 +99,10 @@ class RngFactory:
     def fresh_stream(self, label: str, rep: int = 0) -> np.random.Generator:
         """Return a *new* generator for ``(label, rep)`` rewound to its start."""
         return self._make((stable_hash(label), int(rep)))
+
+    def stream_spec(self, label: str, rep: int = 0) -> StreamSpec:
+        """A picklable :class:`StreamSpec` equivalent to :meth:`fresh_stream`."""
+        return StreamSpec(seed=self.seed, label=label, rep=rep)
 
     def _make(self, key: tuple[int, ...]) -> np.random.Generator:
         ss = np.random.SeedSequence(entropy=self.seed, spawn_key=key)

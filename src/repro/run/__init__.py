@@ -5,6 +5,8 @@
 * :mod:`repro.run.execution` -- run one (workload, platform, host) tuple
   through the simulation engine;
 * :mod:`repro.run.experiment` -- repetitions, platform/instance sweeps;
+* :mod:`repro.run.parallel` -- determinism-preserving worker-pool
+  execution of independent sweep cells (``jobs > 1``);
 * :mod:`repro.run.colocation` -- consolidation (multi-tenant) studies;
 * :mod:`repro.run.distributed` -- multi-node MPI cluster runs;
 * :mod:`repro.run.campaign` -- full-paper campaigns (import directly from
@@ -16,12 +18,14 @@
 from repro.run.calibration import Calibration
 from repro.run.colocation import ColocationResult, Tenant, run_colocated
 from repro.run.distributed import ClusterRunResult, run_mpi_cluster
-from repro.run.execution import run_once
+from repro.run.execution import run_cell, run_once
 from repro.run.experiment import (
     ExperimentSpec,
+    platform_sweep_spec,
     run_experiment,
     run_platform_sweep,
 )
+from repro.run.parallel import CellTask, ParallelRunner, default_jobs
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 
 # NOTE: repro.run.campaign is intentionally NOT imported here — it sits on
@@ -37,9 +41,14 @@ __all__ = [
     "ClusterRunResult",
     "run_mpi_cluster",
     "run_once",
+    "run_cell",
     "ExperimentSpec",
+    "platform_sweep_spec",
     "run_experiment",
     "run_platform_sweep",
+    "CellTask",
+    "ParallelRunner",
+    "default_jobs",
     "RunResult",
     "ExperimentResult",
     "SweepResult",

@@ -21,17 +21,28 @@ from repro.platforms.provisioning import instance_type, instance_types_upto
 from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.run.calibration import Calibration
-from repro.run.execution import run_once
 from repro.run.experiment import run_platform_sweep
+from repro.run.parallel import CellTask, ParallelRunner, execute_cell
+from repro.run.persistence import SweepCache
 from repro.run.results import SweepResult
 from repro.workloads.cassandra import CassandraWorkload
 from repro.workloads.ffmpeg import FfmpegWorkload
 from repro.workloads.mpi import MpiSearchWorkload
 from repro.workloads.wordpress import WordPressWorkload
 
-__all__ = ["Campaign", "CampaignResult", "run_campaign"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "KNOWN_EXPERIMENTS",
+    "run_campaign",
+]
 
 _BIG = ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
+
+#: Every experiment id a campaign can include, in report order.
+KNOWN_EXPERIMENTS: tuple[str, ...] = (
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+)
 
 
 @dataclass
@@ -51,7 +62,9 @@ class Campaign:
     seed:
         Root random seed.
     include:
-        Which experiment ids to run; defaults to all.
+        Which experiment ids to run (see :data:`KNOWN_EXPERIMENTS`);
+        defaults to all.  Unknown, duplicate, or empty selections raise
+        :class:`~repro.errors.ConfigurationError`.
     """
 
     reps_fast: int = 5
@@ -59,17 +72,26 @@ class Campaign:
     host: HostTopology = field(default_factory=r830_host)
     calib: Calibration = field(default_factory=Calibration)
     seed: int = DEFAULT_SEED
-    include: tuple[str, ...] = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
+    include: tuple[str, ...] = KNOWN_EXPERIMENTS
 
     def __post_init__(self) -> None:
         if self.reps_fast < 1 or self.reps_io < 1:
             raise ConfigurationError("repetition counts must be >= 1")
-        known = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
-        bad = set(self.include) - known
+        include = tuple(self.include)
+        if not include:
+            raise ConfigurationError(
+                f"include must name at least one experiment of "
+                f"{sorted(KNOWN_EXPERIMENTS)}"
+            )
+        bad = set(include) - set(KNOWN_EXPERIMENTS)
         if bad:
             raise ConfigurationError(
-                f"unknown experiment ids {sorted(bad)}; known: {sorted(known)}"
+                f"unknown experiment ids {sorted(bad)}; "
+                f"known: {sorted(KNOWN_EXPERIMENTS)}"
             )
+        if len(set(include)) != len(include):
+            dupes = sorted({e for e in include if include.count(e) > 1})
+            raise ConfigurationError(f"duplicate experiment ids {dupes}")
 
 
 @dataclass
@@ -91,95 +113,136 @@ class CampaignResult:
             ) from None
 
 
-def _run_fig7(campaign: Campaign) -> dict[tuple[str, str], StatSummary]:
+def _fig7_tasks(
+    campaign: Campaign,
+) -> tuple[list[CellTask], list[tuple[str, str]]]:
+    """Fig. 7 cells (CHR across hosts) plus their output keys, in order."""
     factory = RngFactory(seed=campaign.seed)
     inst = instance_type("4xLarge")
-    out: dict[tuple[str, str], StatSummary] = {}
+    tasks: list[CellTask] = []
+    keys: list[tuple[str, str]] = []
+    streams = tuple(
+        factory.stream_spec("campaign-fig7", rep=rep)
+        for rep in range(campaign.reps_fast)
+    )
     for host_label, host in (
         ("16 cores", small_host(16)),
         ("112 cores", campaign.host),
     ):
         for kind, mode in (("CN", "vanilla"), ("CN", "pinned"), ("BM", "vanilla")):
-            values = [
-                run_once(
-                    FfmpegWorkload(),
-                    make_platform(kind, inst, mode),
-                    host,
-                    campaign.calib,
-                    rng=factory.fresh_stream("campaign-fig7", rep=rep),
-                ).value
-                for rep in range(campaign.reps_fast)
-            ]
-            label = f"{mode.capitalize()} {kind}"
-            out[(host_label, label)] = summarize(values)
-    return out
+            platform = make_platform(kind, inst, mode)
+            tasks.append(
+                CellTask(
+                    workload=FfmpegWorkload(),
+                    kind=platform.kind,
+                    mode=platform.mode,
+                    instance=inst,
+                    host=host,
+                    calib=campaign.calib,
+                    streams=streams,
+                )
+            )
+            keys.append((host_label, f"{mode.capitalize()} {kind}"))
+    return tasks, keys
 
 
-def _run_fig8(campaign: Campaign) -> dict[tuple[str, str], StatSummary]:
+def _fig8_tasks(
+    campaign: Campaign,
+) -> tuple[list[CellTask], list[tuple[str, str]]]:
+    """Fig. 8 cells (multitasking effect) plus their output keys."""
     factory = RngFactory(seed=campaign.seed)
     inst = instance_type("4xLarge")
-    out: dict[tuple[str, str], StatSummary] = {}
+    tasks: list[CellTask] = []
+    keys: list[tuple[str, str]] = []
     for task_label, wl in (
         ("1 Large Task", FfmpegWorkload()),
         ("30 Small Tasks", FfmpegWorkload().split(30)),
     ):
+        streams = tuple(
+            factory.stream_spec(f"campaign-fig8/{task_label}", rep=rep)
+            for rep in range(campaign.reps_fast)
+        )
         for mode in ("vanilla", "pinned"):
-            values = [
-                run_once(
-                    wl,
-                    make_platform("CN", inst, mode),
-                    campaign.host,
-                    campaign.calib,
-                    rng=factory.fresh_stream(f"campaign-fig8/{task_label}", rep=rep),
-                ).value
-                for rep in range(campaign.reps_fast)
-            ]
-            out[(task_label, mode)] = summarize(values)
-    return out
+            platform = make_platform("CN", inst, mode)
+            tasks.append(
+                CellTask(
+                    workload=wl,
+                    kind=platform.kind,
+                    mode=platform.mode,
+                    instance=inst,
+                    host=campaign.host,
+                    calib=campaign.calib,
+                    streams=streams,
+                )
+            )
+            keys.append((task_label, mode))
+    return tasks, keys
 
 
-def run_campaign(campaign: Campaign | None = None) -> CampaignResult:
-    """Execute the full evaluation and return everything measured."""
+def _run_cell_summaries(
+    runner: ParallelRunner,
+    tasks: list[CellTask],
+    keys: list[tuple[str, str]],
+) -> dict[tuple[str, str], StatSummary]:
+    results = runner.run_tasks(execute_cell, tasks)
+    return {
+        key: summarize([r.value for r in runs])
+        for key, runs in zip(keys, results)
+    }
+
+
+def run_campaign(
+    campaign: Campaign | None = None,
+    *,
+    jobs: int = 1,
+    runner: ParallelRunner | None = None,
+    cache: SweepCache | None = None,
+) -> CampaignResult:
+    """Execute the full evaluation and return everything measured.
+
+    Parameters
+    ----------
+    campaign:
+        What to run (default: everything at default fidelity).
+    jobs:
+        Worker process count for the independent cells of every
+        experiment.  Results are bit-for-bit identical to ``jobs=1``
+        (each cell's streams derive from the campaign seed).
+    runner:
+        Pre-configured :class:`~repro.run.parallel.ParallelRunner`
+        (overrides ``jobs``; carries timeout/retry/progress policy).
+    cache:
+        Optional :class:`~repro.run.persistence.SweepCache`; the Figs.
+        3-6 sweeps are probed by content fingerprint before running and
+        written back on completion.
+    """
     campaign = campaign or Campaign()
+    runner = runner or ParallelRunner(jobs)
     big = [instance_type(n) for n in _BIG]
     sweeps: dict[str, SweepResult] = {}
 
-    if "fig3" in campaign.include:
-        sweeps["fig3"] = run_platform_sweep(
-            FfmpegWorkload(),
-            instance_types_upto(16),
+    def sweep(workload, instances, reps) -> SweepResult:
+        return run_platform_sweep(
+            workload,
+            instances,
             host=campaign.host,
-            reps=campaign.reps_fast,
+            reps=reps,
             calib=campaign.calib,
             seed=campaign.seed,
+            runner=runner,
+            cache=cache,
+        )
+
+    if "fig3" in campaign.include:
+        sweeps["fig3"] = sweep(
+            FfmpegWorkload(), instance_types_upto(16), campaign.reps_fast
         )
     if "fig4" in campaign.include:
-        sweeps["fig4"] = run_platform_sweep(
-            MpiSearchWorkload(),
-            big,
-            host=campaign.host,
-            reps=campaign.reps_fast,
-            calib=campaign.calib,
-            seed=campaign.seed,
-        )
+        sweeps["fig4"] = sweep(MpiSearchWorkload(), big, campaign.reps_fast)
     if "fig5" in campaign.include:
-        sweeps["fig5"] = run_platform_sweep(
-            WordPressWorkload(),
-            big,
-            host=campaign.host,
-            reps=campaign.reps_io,
-            calib=campaign.calib,
-            seed=campaign.seed,
-        )
+        sweeps["fig5"] = sweep(WordPressWorkload(), big, campaign.reps_io)
     if "fig6" in campaign.include:
-        sweeps["fig6"] = run_platform_sweep(
-            CassandraWorkload(),
-            big,
-            host=campaign.host,
-            reps=campaign.reps_io,
-            calib=campaign.calib,
-            seed=campaign.seed,
-        )
+        sweeps["fig6"] = sweep(CassandraWorkload(), big, campaign.reps_io)
 
     chr_bands: dict[str, ChrRange] = {}
     for fig, name in (("fig3", "FFmpeg"), ("fig5", "WordPress"), ("fig6", "Cassandra")):
@@ -188,8 +251,12 @@ def run_campaign(campaign: Campaign | None = None) -> CampaignResult:
                 sweeps[fig], campaign.host
             )
 
-    fig7 = _run_fig7(campaign) if "fig7" in campaign.include else {}
-    fig8 = _run_fig8(campaign) if "fig8" in campaign.include else {}
+    fig7: dict[tuple[str, str], StatSummary] = {}
+    if "fig7" in campaign.include:
+        fig7 = _run_cell_summaries(runner, *_fig7_tasks(campaign))
+    fig8: dict[tuple[str, str], StatSummary] = {}
+    if "fig8" in campaign.include:
+        fig8 = _run_cell_summaries(runner, *_fig8_tasks(campaign))
 
     return CampaignResult(
         sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8

@@ -17,12 +17,13 @@ from repro.errors import SimulationError
 from repro.hostmodel.storage import StorageModel
 from repro.hostmodel.topology import HostTopology
 from repro.platforms.base import ExecutionPlatform
+from repro.rng import StreamSpec
 from repro.run.calibration import Calibration
 from repro.run.results import RunResult
 from repro.sched.accounting import OverheadModel
 from repro.workloads.base import ProcessSpec, Workload
 
-__all__ = ["run_once", "assemble_overhead_model"]
+__all__ = ["run_once", "run_cell", "assemble_overhead_model"]
 
 
 def assemble_overhead_model(
@@ -47,6 +48,28 @@ def assemble_overhead_model(
         cpu_duty_cycle=workload.profile().cpu_duty_cycle,
         working_set_bytes=avg_ws,
     )
+
+
+def run_cell(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration,
+    streams: list[StreamSpec],
+) -> list[RunResult]:
+    """Run every repetition of one (platform, instance) cell.
+
+    Each repetition rebuilds its generator from a self-contained
+    :class:`~repro.rng.StreamSpec`, so this function produces identical
+    results whether it runs in the campaign process or in a worker of
+    :class:`repro.run.parallel.ParallelRunner`.
+    """
+    return [
+        run_once(
+            workload, platform, host, calib, rng=s.make(), rep=s.rep
+        )
+        for s in streams
+    ]
 
 
 def run_once(

@@ -11,6 +11,7 @@ seven-platform figure layout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import HostTopology, r830_host
@@ -19,12 +20,21 @@ from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform, paper_platform_set
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.run.calibration import Calibration
-from repro.run.execution import run_once
+from repro.run.execution import run_cell
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
 from repro.workloads.base import Workload
 
-__all__ = ["ExperimentSpec", "run_experiment", "run_platform_sweep"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.run.parallel import ParallelRunner
+    from repro.run.persistence import SweepCache
+
+__all__ = [
+    "ExperimentSpec",
+    "platform_sweep_spec",
+    "run_experiment",
+    "run_platform_sweep",
+]
 
 
 @dataclass
@@ -67,14 +77,36 @@ class ExperimentSpec:
             raise ConfigurationError(f"reps must be >= 1, got {self.reps}")
 
 
-def run_experiment(spec: ExperimentSpec) -> SweepResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: int = 1,
+    runner: "ParallelRunner | None" = None,
+) -> SweepResult:
     """Execute a sweep specification and return the result grid.
 
     Each repetition draws its workload randomness from an independent
     stream keyed by (workload, instance, rep) — the *same* stream across
     platforms, so platform comparisons at a given rep see identical
     workload realizations (paired design, tighter overhead ratios).
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (the default) runs serially in this
+        process; larger values fan the independent cells out over a
+        :class:`~repro.run.parallel.ParallelRunner` with bit-for-bit
+        identical results (each repetition's stream is derived from the
+        spec's seed, not from pool scheduling).
+    runner:
+        A pre-configured :class:`~repro.run.parallel.ParallelRunner`
+        (overrides ``jobs``; use for custom timeout/retry/progress).
     """
+    if runner is not None or jobs != 1:
+        from repro.run.parallel import ParallelRunner
+
+        return (runner or ParallelRunner(jobs)).run_experiment(spec)
+
     factory = RngFactory(seed=spec.seed)
     cells: dict[tuple[str, str], ExperimentResult] = {}
     platform_order: list[str] = []
@@ -87,21 +119,15 @@ def run_experiment(spec: ExperimentSpec) -> SweepResult:
         if not platform_order:
             platform_order = [p.label() for p in platforms]
         for platform in platforms:
-            runs: list[RunResult] = []
-            for rep in range(spec.reps):
-                rng = factory.fresh_stream(
+            streams = [
+                factory.stream_spec(
                     f"{spec.workload.name}/{instance.name}", rep=rep
                 )
-                runs.append(
-                    run_once(
-                        spec.workload,
-                        platform,
-                        spec.host,
-                        spec.calib,
-                        rng=rng,
-                        rep=rep,
-                    )
-                )
+                for rep in range(spec.reps)
+            ]
+            runs: list[RunResult] = run_cell(
+                spec.workload, platform, spec.host, spec.calib, streams
+            )
             cells[(platform.label(), instance.name)] = ExperimentResult(runs)
 
     return SweepResult(
@@ -109,6 +135,37 @@ def run_experiment(spec: ExperimentSpec) -> SweepResult:
         cells=cells,
         instance_order=[i.name for i in spec.instances],
         platform_order=platform_order,
+    )
+
+
+def platform_sweep_spec(
+    workload: Workload,
+    instances: list[InstanceType],
+    *,
+    host: HostTopology | None = None,
+    reps: int = 20,
+    calib: Calibration | None = None,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` of the standard seven-platform sweep.
+
+    Exposed separately from :func:`run_platform_sweep` so callers can
+    probe a :class:`~repro.run.persistence.SweepCache` for the exact
+    spec a sweep would run.
+    """
+    if not instances:
+        raise ConfigurationError("instances must be non-empty")
+    grid: list[tuple[PlatformKind, ProvisioningMode]] = []
+    for p in paper_platform_set(instances[0]):
+        grid.append((p.kind, p.mode))
+    return ExperimentSpec(
+        workload=workload,
+        instances=instances,
+        platform_grid=grid,
+        host=host or r830_host(),
+        reps=reps,
+        calib=calib or Calibration(),
+        seed=seed,
     )
 
 
@@ -120,22 +177,29 @@ def run_platform_sweep(
     reps: int = 20,
     calib: Calibration | None = None,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    runner: "ParallelRunner | None" = None,
+    cache: "SweepCache | None" = None,
 ) -> SweepResult:
     """Run the standard seven-platform figure sweep.
 
     Evaluates ``Vanilla/Pinned {VM, VMCN, CN}`` plus ``Vanilla BM`` —
-    the exact configuration set of Figs. 3-6.
+    the exact configuration set of Figs. 3-6.  With ``jobs > 1`` the
+    cells run on a worker pool (identical results, see
+    :func:`run_experiment`); with a ``cache`` the sweep is first probed
+    by content fingerprint and only executed (then written back) on a
+    miss.
     """
-    grid: list[tuple[PlatformKind, ProvisioningMode]] = []
-    for p in paper_platform_set(instances[0]):
-        grid.append((p.kind, p.mode))
-    spec = ExperimentSpec(
-        workload=workload,
-        instances=instances,
-        platform_grid=grid,
-        host=host or r830_host(),
+    spec = platform_sweep_spec(
+        workload,
+        instances,
+        host=host,
         reps=reps,
-        calib=calib or Calibration(),
+        calib=calib,
         seed=seed,
     )
-    return run_experiment(spec)
+    if cache is not None:
+        return cache.get_or_run(
+            spec, runner=lambda s: run_experiment(s, jobs=jobs, runner=runner)
+        )
+    return run_experiment(spec, jobs=jobs, runner=runner)

@@ -1,0 +1,320 @@
+"""Parallel campaign execution over a determinism-preserving worker pool.
+
+A sweep is a grid of independent (platform, instance) cells; the paper
+ran them on a 112-core host, and there is no reason the reproduction
+should pay for them serially.  :class:`ParallelRunner` fans cells out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+results **bit-for-bit identical** to the serial path:
+
+* every repetition's randomness is described by a picklable
+  :class:`~repro.rng.StreamSpec` built from the experiment's root seed —
+  the seed travels with the task, never with the pool, so scheduling
+  order cannot perturb any stream;
+* results are reassembled in task-submission order, so the
+  :class:`~repro.run.results.SweepResult` cell order matches the serial
+  iteration exactly.
+
+Failure handling: a task whose worker raises is resubmitted up to
+``retries`` extra times; a broken pool (worker process killed) is
+rebuilt and the outstanding tasks resubmitted; a task exceeding the
+per-task ``timeout`` raises a structured
+:class:`~repro.errors.ParallelExecutionError` instead of hanging the
+campaign.  A ``progress`` callback reports ``(done, total, task)`` after
+each completed cell.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.hostmodel.topology import HostTopology
+from repro.platforms.base import PlatformKind
+from repro.platforms.provisioning import InstanceType
+from repro.platforms.registry import make_platform
+from repro.rng import RngFactory, StreamSpec
+from repro.run.calibration import Calibration
+from repro.run.execution import run_cell
+from repro.run.experiment import ExperimentSpec
+from repro.run.results import ExperimentResult, RunResult, SweepResult
+from repro.sched.affinity import ProvisioningMode
+from repro.workloads.base import Workload
+
+__all__ = [
+    "CellTask",
+    "ParallelRunner",
+    "ProgressFn",
+    "cell_tasks",
+    "default_jobs",
+    "execute_cell",
+]
+
+ProgressFn = Callable[[int, int, object], None]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent unit of campaign work: a (platform, instance)
+    cell and the stream recipes of its repetitions.
+
+    Everything here is picklable; the platform object itself is rebuilt
+    inside the worker from ``(kind, instance, mode)``.
+    """
+
+    workload: Workload
+    kind: PlatformKind
+    mode: ProvisioningMode
+    instance: InstanceType
+    host: HostTopology
+    calib: Calibration
+    streams: tuple[StreamSpec, ...]
+
+    @property
+    def label(self) -> str:
+        """Human-readable task identity for errors and progress."""
+        return (
+            f"{self.workload.name}/{self.mode.value} {self.kind.value}"
+            f"/{self.instance.name}"
+        )
+
+
+def execute_cell(task: CellTask) -> list[RunResult]:
+    """Worker entry point: run one cell's repetitions.
+
+    Module-level (hence picklable) and stateless: everything the cell
+    needs arrives inside the task.
+    """
+    platform = make_platform(task.kind, task.instance, task.mode)
+    return run_cell(
+        task.workload, platform, task.host, task.calib, list(task.streams)
+    )
+
+
+def cell_tasks(spec: ExperimentSpec) -> tuple[list[CellTask], list[str]]:
+    """Decompose a sweep spec into cell tasks, in serial iteration order.
+
+    Returns the tasks plus the platform label order of the sweep.  The
+    stream labels reproduce the serial paired design: the *same* stream
+    per (workload, instance, rep) across platforms.
+    """
+    factory = RngFactory(seed=spec.seed)
+    tasks: list[CellTask] = []
+    platform_order: list[str] = []
+    for instance in spec.instances:
+        labels = [
+            make_platform(kind, instance, mode).label()
+            for kind, mode in spec.platform_grid
+        ]
+        if not platform_order:
+            platform_order = labels
+        for kind, mode in spec.platform_grid:
+            streams = tuple(
+                factory.stream_spec(
+                    f"{spec.workload.name}/{instance.name}", rep=rep
+                )
+                for rep in range(spec.reps)
+            )
+            tasks.append(
+                CellTask(
+                    workload=spec.workload,
+                    kind=kind,
+                    mode=mode,
+                    instance=instance,
+                    host=spec.host,
+                    calib=spec.calib,
+                    streams=streams,
+                )
+            )
+    return tasks, platform_order
+
+
+class ParallelRunner:
+    """Deterministic fan-out of independent campaign tasks.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (the default) runs every task
+        inline in the calling process — the exact serial path, no pool.
+    timeout:
+        Per-task wait bound in seconds once the runner starts collecting
+        that task; exceeding it raises
+        :class:`~repro.errors.ParallelExecutionError` (reason
+        ``"timeout"``) instead of hanging the campaign.
+    retries:
+        Extra attempts after a task's first failure (so a task runs at
+        most ``retries + 1`` times).
+    progress:
+        Optional ``callback(done, total, task)`` invoked after every
+        completed task, in completion-collection order.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the pool (useful to
+        force ``spawn`` in tests).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        timeout: float | None = None,
+        retries: int = 1,
+        progress: ProgressFn | None = None,
+        mp_context=None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # -- generic task execution ---------------------------------------------
+
+    def run_tasks(
+        self, worker: Callable, payloads: Iterable
+    ) -> list:
+        """Run ``worker(payload)`` for every payload; results in input order.
+
+        ``worker`` must be a picklable module-level callable when
+        ``jobs > 1``.
+        """
+        items = list(payloads)
+        if not items:
+            return []
+        if self.jobs == 1:
+            return self._run_inline(worker, items)
+        return self._run_pool(worker, items)
+
+    def _run_inline(self, worker: Callable, items: Sequence) -> list:
+        results = []
+        for i, payload in enumerate(items):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    results.append(worker(payload))
+                    break
+                except ConfigurationError:
+                    raise  # misconfiguration never heals on retry
+                except Exception as exc:
+                    if attempts > self.retries:
+                        raise ParallelExecutionError(
+                            _label(payload, i), attempts, "exception", str(exc)
+                        ) from exc
+            self._report(i + 1, len(items), payload)
+        return results
+
+    def _run_pool(self, worker: Callable, items: Sequence) -> list:
+        n = len(items)
+        results: list = [None] * n
+        attempts = [0] * n
+        collected = [False] * n
+        done = 0
+        executor = self._new_executor()
+        index_future: dict[int, Future] = {}
+
+        def submit(i: int) -> None:
+            attempts[i] += 1
+            index_future[i] = executor.submit(worker, items[i])
+
+        try:
+            for i in range(n):
+                submit(i)
+            for i in range(n):
+                while not collected[i]:
+                    try:
+                        results[i] = index_future[i].result(
+                            timeout=self.timeout
+                        )
+                        collected[i] = True
+                    except FutureTimeoutError:
+                        raise ParallelExecutionError(
+                            _label(items[i], i),
+                            attempts[i],
+                            "timeout",
+                            f"exceeded {self.timeout}s",
+                        ) from None
+                    except BrokenExecutor as exc:
+                        # the pool is dead: every outstanding future is
+                        # lost.  Rebuild it and resubmit the survivors.
+                        if attempts[i] > self.retries:
+                            raise ParallelExecutionError(
+                                _label(items[i], i),
+                                attempts[i],
+                                "broken-pool",
+                                str(exc),
+                            ) from exc
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        for j in range(n):
+                            if not collected[j]:
+                                submit(j)
+                    except ConfigurationError:
+                        raise
+                    except Exception as exc:
+                        if attempts[i] > self.retries:
+                            raise ParallelExecutionError(
+                                _label(items[i], i),
+                                attempts[i],
+                                "exception",
+                                str(exc),
+                            ) from exc
+                        submit(i)
+                done += 1
+                self._report(done, n, items[i])
+            return results
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self.mp_context
+        )
+
+    def _report(self, done: int, total: int, payload) -> None:
+        if self.progress is not None:
+            self.progress(done, total, payload)
+
+    # -- sweep execution ----------------------------------------------------
+
+    def run_experiment(self, spec: ExperimentSpec) -> SweepResult:
+        """Parallel twin of :func:`repro.run.experiment.run_experiment`.
+
+        Decomposes the sweep into cell tasks, fans them out, and
+        reassembles the grid in serial order — the returned
+        :class:`SweepResult` is field-for-field identical to the serial
+        run at the same seed.
+        """
+        tasks, platform_order = cell_tasks(spec)
+        cell_runs = self.run_tasks(execute_cell, tasks)
+        cells = {
+            (
+                make_platform(t.kind, t.instance, t.mode).label(),
+                t.instance.name,
+            ): ExperimentResult(runs)
+            for t, runs in zip(tasks, cell_runs)
+        }
+        return SweepResult(
+            workload=spec.workload.name,
+            cells=cells,
+            instance_order=[i.name for i in spec.instances],
+            platform_order=platform_order,
+        )
+
+
+def _label(payload, index: int) -> str:
+    return getattr(payload, "label", None) or f"task-{index}"

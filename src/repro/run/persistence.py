@@ -85,6 +85,15 @@ class SweepCache:
         """Cache file path for a spec."""
         return self.directory / f"sweep-{spec_fingerprint(spec)}.json"
 
+    def contains(self, spec: ExperimentSpec) -> bool:
+        """True when a cached entry exists for ``spec`` (probe without load).
+
+        The parallel campaign path probes here before submitting a
+        sweep's cells to the worker pool, so a warm cache costs zero
+        task submissions.
+        """
+        return self.path_for(spec).exists()
+
     def get(self, spec: ExperimentSpec) -> SweepResult | None:
         """The cached sweep for ``spec``, or None."""
         path = self.path_for(spec)

@@ -27,6 +27,20 @@ class TestCampaignSpec:
         with pytest.raises(ConfigurationError):
             Campaign(include=("fig9",))
 
+    def test_unknown_experiment_message_names_known_ids(self):
+        with pytest.raises(ConfigurationError, match="fig9"):
+            Campaign(include=("fig3", "fig9"))
+        with pytest.raises(ConfigurationError, match="fig3"):
+            Campaign(include=("fig9",))
+
+    def test_empty_include(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(include=())
+
+    def test_duplicate_include(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Campaign(include=("fig3", "fig3"))
+
     def test_subset_selection(self):
         res = run_campaign(Campaign(reps_fast=1, include=("fig3",)))
         assert set(res.sweeps) == {"fig3"}

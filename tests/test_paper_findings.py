@@ -8,6 +8,9 @@ ratio assertions are stable.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -318,6 +321,70 @@ class TestChrBands:
         wp = estimate_suitable_chr_range(fig5, host)
         cass = estimate_suitable_chr_range(fig6, host)
         assert ffmpeg.high <= wp.high <= cass.high
+
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "paper_findings.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Pinned headline numbers (reps=1, DEFAULT_SEED) with explicit
+    tolerances; regenerate deliberately if the engine changes on purpose."""
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenRegression:
+    """Golden pins for the paper's headline findings.
+
+    The qualitative tests above tolerate wide drift; these pin the
+    actual reproduced numbers so engine changes can't silently move the
+    reproduction while staying inside the qualitative envelopes.
+    """
+
+    def _check_series(self, sweep, label, entry):
+        assert sweep.instance_order == entry["instances"]
+        got = overhead_ratios(sweep, label)
+        for inst, want, have in zip(entry["instances"], entry["values"], got):
+            assert have == pytest.approx(want, rel=entry["rel_tol"]), (
+                f"{label} ratio drifted at {inst}: "
+                f"golden {want}, got {have}"
+            )
+
+    def test_fig3_vm_pto_ratio_pinned(self, fig3, golden):
+        """Fig. 3: the VM ~x2 PTO band, pinned value by value."""
+        entry = golden["fig3_vanilla_vm_ratio"]
+        self._check_series(fig3, "Vanilla VM", entry)
+        # and the headline claim itself: every ratio sits at ~x2
+        assert all(1.9 <= v <= 2.5 for v in entry["values"])
+
+    def test_fig3_cn_pso_shrinks_pinned(self, fig3, golden):
+        """Fig. 3: vanilla-CN PSO, pinned and strictly shrinking."""
+        entry = golden["fig3_vanilla_cn_ratio"]
+        self._check_series(fig3, "Vanilla CN", entry)
+        assert all(np.diff(entry["values"]) < 0)
+
+    def test_fig6_cn_pso_shrinks_with_chr_pinned(self, fig6, golden):
+        """Fig. 6: vanilla-container overhead shrinks as instance size
+        (hence CHR) grows, pinned value by value."""
+        entry = golden["fig6_vanilla_cn_ratio"]
+        self._check_series(fig6, "Vanilla CN", entry)
+        assert all(np.diff(entry["values"]) < 0)
+
+    def test_fig7_chr_effect_pinned(self, golden):
+        """Fig. 7: the same vanilla 4xLarge container is slower at
+        CHR=0.14 than at CHR=1, at the pinned absolute values."""
+        entry = golden["fig7_vanilla_cn_4xlarge"]
+        inst = instance_type("4xLarge")
+        wl = FfmpegWorkload()
+        on_small = run_once(wl, make_platform("CN", inst), small_host(16)).value
+        on_big = run_once(wl, make_platform("CN", inst), r830_host()).value
+        assert on_small == pytest.approx(
+            entry["chr_1.00_16core_host"], rel=entry["rel_tol"]
+        )
+        assert on_big == pytest.approx(
+            entry["chr_0.14_112core_host"], rel=entry["rel_tol"]
+        )
+        assert entry["chr_0.14_112core_host"] > entry["chr_1.00_16core_host"]
 
 
 class TestPrimeMpiParity:

@@ -1,0 +1,303 @@
+"""Property tests for the determinism-preserving parallel executor.
+
+The core invariant: because every repetition's randomness is a pure
+function of ``(seed, label, rep)`` carried inside the task, a sweep run
+on N worker processes is field-for-field identical to the serial run —
+regardless of worker count, scheduling order, injected crashes, or
+retries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import (
+    FfmpegWorkload,
+    SyntheticWorkload,
+    instance_type,
+    run_experiment,
+    run_platform_sweep,
+)
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.platforms.base import PlatformKind
+from repro.rng import StreamSpec
+from repro.run.campaign import Campaign, run_campaign
+from repro.run.experiment import ExperimentSpec
+from repro.run.parallel import (
+    CellTask,
+    ParallelRunner,
+    cell_tasks,
+    default_jobs,
+    execute_cell,
+)
+from repro.run.persistence import SweepCache
+from repro.sched.affinity import ProvisioningMode
+
+
+def tiny_spec(seed=1, reps=2, instances=("Large", "xLarge")) -> ExperimentSpec:
+    return ExperimentSpec(
+        workload=SyntheticWorkload(
+            threads_per_process=2, phases=2, compute_per_phase=0.05
+        ),
+        instances=[instance_type(n) for n in instances],
+        platform_grid=[
+            (PlatformKind.BM, ProvisioningMode.VANILLA),
+            (PlatformKind.CN, ProvisioningMode.VANILLA),
+            (PlatformKind.CN, ProvisioningMode.PINNED),
+        ],
+        reps=reps,
+        seed=seed,
+    )
+
+
+def sweep_json(sweep) -> str:
+    return json.dumps(sweep.to_dict(), sort_keys=True)
+
+
+# -- crash/chaos workers (module-level: must be picklable) -----------------
+
+
+def _crashing_execute_cell(payload):
+    """Raise once per (sentinel, task) pair, then behave normally."""
+    task, sentinel = payload
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write(task.label)
+        raise RuntimeError(f"injected crash for {task.label}")
+    return execute_cell(task)
+
+
+def _dying_execute_cell(payload):
+    """Kill the whole worker process once (breaks the pool), then work."""
+    task, sentinel = payload
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write(task.label)
+        os._exit(13)
+    return execute_cell(task)
+
+
+def _sleepy_worker(payload):
+    time.sleep(payload)
+    return payload
+
+
+def _flaky_add_one(payload):
+    value, sentinel = payload
+    if value == 3 and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        raise ValueError("flaky")
+    return value + 1
+
+
+def _always_fails(payload):
+    raise RuntimeError("permanent failure")
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 0x5EED_2020])
+    def test_sweep_identical_across_job_counts(self, seed):
+        spec = tiny_spec(seed=seed)
+        serial = run_experiment(spec)
+        for jobs in (2, 4):
+            parallel = run_experiment(spec, jobs=jobs)
+            assert sweep_json(parallel) == sweep_json(serial)
+
+    def test_platform_sweep_jobs_param(self):
+        wl = FfmpegWorkload(video_seconds=0.5, n_sync_chunks=4)
+        insts = [instance_type("Large")]
+        serial = run_platform_sweep(wl, insts, reps=2, seed=9)
+        parallel = run_platform_sweep(wl, insts, reps=2, seed=9, jobs=3)
+        assert sweep_json(parallel) == sweep_json(serial)
+
+    def test_cell_order_matches_serial(self):
+        spec = tiny_spec()
+        serial = run_experiment(spec)
+        parallel = run_experiment(spec, jobs=2)
+        assert list(parallel.cells) == list(serial.cells)
+        assert parallel.platform_order == serial.platform_order
+        assert parallel.instance_order == serial.instance_order
+
+    def test_campaign_identical(self):
+        campaign = Campaign(reps_fast=1, reps_io=1, include=("fig7", "fig8"))
+        serial = run_campaign(campaign)
+        parallel = run_campaign(campaign, jobs=4)
+        assert parallel.fig7 == serial.fig7
+        assert parallel.fig8 == serial.fig8
+
+    def test_campaign_sweep_byte_identical_after_json_roundtrip(self, tmp_path):
+        """Acceptance: run_campaign(..., jobs=4) sweeps byte-identical to
+        the serial run at the same seed, after a JSON save/load cycle."""
+        from repro.run.results import SweepResult
+
+        campaign = Campaign(reps_fast=1, reps_io=1, include=("fig3",))
+        serial = run_campaign(campaign).sweep("fig3")
+        parallel = run_campaign(campaign, jobs=4).sweep("fig3")
+        a, b = tmp_path / "serial.json", tmp_path / "parallel.json"
+        serial.save(a)
+        parallel.save(b)
+        assert a.read_bytes() == b.read_bytes()
+        assert sweep_json(SweepResult.load(a)) == sweep_json(
+            SweepResult.load(b)
+        )
+
+    def test_stream_spec_equals_factory_stream(self):
+        from repro.rng import RngFactory
+
+        factory = RngFactory(seed=123)
+        spec = factory.stream_spec("x/y", rep=5)
+        assert spec == StreamSpec(seed=123, label="x/y", rep=5)
+        a = factory.fresh_stream("x/y", rep=5).random(8)
+        b = spec.make().random(8)
+        assert (a == b).all()
+
+
+class TestFailureInjection:
+    def test_crashing_worker_retries_to_identical_output(self, tmp_path):
+        """A worker that raises once is retried; the final sweep is
+        byte-identical to the clean parallel run."""
+        spec = tiny_spec(seed=4)
+        tasks, platform_order = cell_tasks(spec)
+        clean = ParallelRunner(4).run_tasks(execute_cell, tasks)
+
+        sentinel = str(tmp_path / "crash-once")
+        payloads = [(t, sentinel) for t in tasks]
+        retried = ParallelRunner(4, retries=2).run_tasks(
+            _crashing_execute_cell, payloads
+        )
+        assert os.path.exists(sentinel)  # the crash really happened
+        flat = lambda runs: [r.to_dict() for cell in runs for r in cell]
+        assert json.dumps(flat(retried), sort_keys=True) == json.dumps(
+            flat(clean), sort_keys=True
+        )
+
+    def test_dead_worker_process_rebuilds_pool(self, tmp_path):
+        """os._exit in a worker breaks the executor; the runner rebuilds
+        it and still completes with correct results."""
+        spec = tiny_spec(seed=5, instances=("Large",))
+        tasks, _ = cell_tasks(spec)
+        sentinel = str(tmp_path / "die-once")
+        payloads = [(t, sentinel) for t in tasks]
+        results = ParallelRunner(2, retries=2).run_tasks(
+            _dying_execute_cell, payloads
+        )
+        clean = ParallelRunner(1).run_tasks(execute_cell, tasks)
+        assert [len(r) for r in results] == [len(r) for r in clean]
+        assert [
+            [run.value for run in cell] for cell in results
+        ] == [[run.value for run in cell] for cell in clean]
+
+    def test_retries_exhausted_raises_structured_error(self):
+        runner = ParallelRunner(2, retries=1)
+        with pytest.raises(ParallelExecutionError) as exc_info:
+            runner.run_tasks(_always_fails, ["a", "b"])
+        err = exc_info.value
+        assert err.reason == "exception"
+        assert err.attempts == 2  # first try + one retry
+        assert "permanent failure" in str(err)
+
+    def test_timeout_surfaces_instead_of_hanging(self):
+        runner = ParallelRunner(2, timeout=0.2, retries=0)
+        with pytest.raises(ParallelExecutionError) as exc_info:
+            runner.run_tasks(_sleepy_worker, [30.0])
+        assert exc_info.value.reason == "timeout"
+
+    def test_inline_path_also_retries(self, tmp_path):
+        sentinel = str(tmp_path / "flaky")
+        runner = ParallelRunner(1, retries=1)
+        out = runner.run_tasks(
+            _flaky_add_one, [(v, sentinel) for v in range(5)]
+        )
+        assert out == [1, 2, 3, 4, 5]
+        assert os.path.exists(sentinel)
+
+    def test_inline_retries_exhausted(self):
+        with pytest.raises(ParallelExecutionError):
+            ParallelRunner(1, retries=1).run_tasks(_always_fails, [1])
+
+
+class TestRunnerConfig:
+    def test_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(2, retries=-1)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(2, timeout=0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_empty_task_list(self):
+        assert ParallelRunner(4).run_tasks(_always_fails, []) == []
+
+    def test_cell_task_label(self):
+        spec = tiny_spec(instances=("Large",))
+        tasks, _ = cell_tasks(spec)
+        assert tasks[0].label == "Synthetic/vanilla BM/Large"
+
+
+class TestProgressReporting:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_progress_counts_every_task(self, jobs):
+        spec = tiny_spec(seed=2, instances=("Large",))
+        tasks, _ = cell_tasks(spec)
+        seen: list[tuple[int, int, str]] = []
+        runner = ParallelRunner(
+            jobs, progress=lambda d, t, task: seen.append((d, t, task.label))
+        )
+        runner.run_tasks(execute_cell, tasks)
+        assert [d for d, _, _ in seen] == list(range(1, len(tasks) + 1))
+        assert all(t == len(tasks) for _, t, _ in seen)
+        assert [label for _, _, label in seen] == [t.label for t in tasks]
+
+
+class TestCacheIntegration:
+    def test_parallel_run_writes_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        wl = SyntheticWorkload(threads_per_process=2, phases=2)
+        insts = [instance_type("Large")]
+        sweep = run_platform_sweep(
+            wl, insts, reps=1, seed=3, jobs=2, cache=cache
+        )
+        assert len(list(tmp_path.glob("sweep-*.json"))) == 1
+        cached = run_platform_sweep(
+            wl, insts, reps=1, seed=3, jobs=2, cache=cache
+        )
+        assert sweep_json(cached) == sweep_json(sweep)
+
+    def test_warm_cache_submits_nothing(self, tmp_path):
+        """Cache probe happens before submission: a warm cache produces
+        zero progress events (no cells ran)."""
+        cache = SweepCache(tmp_path)
+        wl = SyntheticWorkload(threads_per_process=2, phases=2)
+        insts = [instance_type("Large")]
+        run_platform_sweep(wl, insts, reps=1, seed=3, cache=cache)
+
+        events: list[int] = []
+        runner = ParallelRunner(
+            2, progress=lambda d, t, task: events.append(d)
+        )
+        run_platform_sweep(
+            wl, insts, reps=1, seed=3, runner=runner, cache=cache
+        )
+        assert events == []
+
+    def test_serial_and_parallel_share_cache_entries(self, tmp_path):
+        """Identical spec -> identical fingerprint -> one cache entry,
+        whichever path ran first."""
+        cache = SweepCache(tmp_path)
+        wl = SyntheticWorkload(threads_per_process=2, phases=2)
+        insts = [instance_type("Large")]
+        run_platform_sweep(wl, insts, reps=1, seed=3, cache=cache)
+        run_platform_sweep(wl, insts, reps=1, seed=3, jobs=2, cache=cache)
+        assert len(list(tmp_path.glob("sweep-*.json"))) == 1

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import subprocess
+import sys
+
 import pytest
 
 from repro import Calibration, SyntheticWorkload, instance_type
+from repro.hostmodel.topology import small_host
 from repro.platforms.base import PlatformKind
 from repro.run.experiment import ExperimentSpec
 from repro.run.persistence import SweepCache, spec_fingerprint
@@ -51,6 +55,90 @@ class TestFingerprint:
         b.calib = Calibration(ctx_switch_cost=1e-6)
         assert spec_fingerprint(a) != spec_fingerprint(b)
 
+    def test_changes_with_host_topology(self):
+        a = make_spec()
+        b = make_spec()
+        b.host = small_host(16)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_changes_with_instance_list(self):
+        a = make_spec()
+        b = make_spec()
+        b.instances = [instance_type("xLarge")]
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_changes_with_platform_grid(self):
+        a = make_spec()
+        b = make_spec()
+        b.platform_grid = [(PlatformKind.BM, ProvisioningMode.VANILLA)]
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_each_single_ingredient_changes_it(self):
+        """Every fingerprint ingredient is live: flipping any single one
+        produces a distinct digest (and no two collide)."""
+        variants = {
+            "base": make_spec(),
+            "seed": make_spec(seed=99),
+            "reps": make_spec(reps=3),
+            "workload": make_spec(work=0.07),
+        }
+        host_variant = make_spec()
+        host_variant.host = small_host(32)
+        variants["host"] = host_variant
+        calib_variant = make_spec()
+        calib_variant.calib = Calibration(ctx_switch_cost=2e-6)
+        variants["calib"] = calib_variant
+        digests = {k: spec_fingerprint(s) for k, s in variants.items()}
+        assert len(set(digests.values())) == len(digests)
+
+    def test_stable_across_processes(self):
+        """The digest must not depend on per-process hash salt — a cache
+        written by one campaign process must hit in the next."""
+        code = (
+            "from repro import SyntheticWorkload, instance_type\n"
+            "from repro.platforms.base import PlatformKind\n"
+            "from repro.run.experiment import ExperimentSpec\n"
+            "from repro.run.persistence import spec_fingerprint\n"
+            "from repro.sched.affinity import ProvisioningMode\n"
+            "spec = ExperimentSpec(\n"
+            "    workload=SyntheticWorkload(threads_per_process=2, phases=2,\n"
+            "                               compute_per_phase=0.05),\n"
+            "    instances=[instance_type('Large')],\n"
+            "    platform_grid=[(PlatformKind.BM, ProvisioningMode.VANILLA),\n"
+            "                   (PlatformKind.CN, ProvisioningMode.PINNED)],\n"
+            "    reps=1, seed=1)\n"
+            "print(spec_fingerprint(spec))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == spec_fingerprint(make_spec())
+
+    def test_stable_across_dict_orderings(self):
+        """Attribute insertion order must not leak into the digest."""
+
+        class DuckWorkload:
+            def __init__(self, order: str):
+                if order == "ab":
+                    self.alpha = 1
+                    self.beta = 2
+                else:
+                    self.beta = 2
+                    self.alpha = 1
+                self.name = "duck"
+
+        def spec_with(wl):
+            s = make_spec()
+            s.workload = wl
+            return s
+
+        assert spec_fingerprint(
+            spec_with(DuckWorkload("ab"))
+        ) == spec_fingerprint(spec_with(DuckWorkload("ba")))
+
 
 class TestCache:
     def test_miss_then_hit(self, tmp_path):
@@ -93,3 +181,11 @@ class TestCache:
     def test_clear_missing_dir(self, tmp_path):
         cache = SweepCache(tmp_path / "nope")
         assert cache.clear() == 0
+
+    def test_contains_probe(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = make_spec()
+        assert not cache.contains(spec)
+        cache.get_or_run(spec)
+        assert cache.contains(spec)
+        assert not cache.contains(make_spec(seed=42))
