@@ -101,3 +101,58 @@ def test_perf_parallel_sweep_speedup(benchmark, results_dir):
           f"speedup x{speedup:.2f} on {cpus} CPUs")
     if cpus >= 4:
         assert speedup >= 2.0
+
+
+def test_perf_journal_overhead(benchmark, results_dir, tmp_path):
+    """Telemetry cost on a Fig-3-shaped serial sweep: journal off vs a
+    streaming :class:`JsonlJournal` vs the inert ``NULL_JOURNAL``.
+
+    Records the three wall clocks and the on/off ratio to
+    ``results/journal_overhead.json``.  The null-sink path must stay
+    within noise of journal-off (it *is* the journal-off code path);
+    the full JSONL journal is given generous headroom — its cost is a
+    few dozen flushed writes against seconds of simulation.
+    """
+    from repro.obs import JsonlJournal
+    from repro.obs.journal import NULL_JOURNAL
+
+    instances = instance_types_upto(8)
+    kwargs = dict(reps=2, seed=13)
+
+    def timed(**extra):
+        t0 = time.perf_counter()
+        sweep = run_platform_sweep(FfmpegWorkload(), instances, **kwargs, **extra)
+        return time.perf_counter() - t0, sweep
+
+    t_off, off = timed()
+    t_null, _ = timed(journal=NULL_JOURNAL)
+    journal = JsonlJournal(tmp_path / "bench.jsonl")
+
+    def journaled():
+        return run_platform_sweep(
+            FfmpegWorkload(), instances, journal=journal, **kwargs
+        )
+
+    t0 = time.perf_counter()
+    on = benchmark.pedantic(journaled, rounds=1, iterations=1)
+    t_on = time.perf_counter() - t0
+    journal.close()
+
+    # telemetry must not change results (JSON form: NaN == NaN)
+    assert json.dumps(on.to_dict(), sort_keys=True) == json.dumps(
+        off.to_dict(), sort_keys=True
+    )
+
+    record = {
+        "journal_off_s": t_off,
+        "null_journal_s": t_null,
+        "jsonl_journal_s": t_on,
+        "overhead_ratio": t_on / t_off,
+        "events": sum(1 for _ in open(journal.path)),
+    }
+    (results_dir / "journal_overhead.json").write_text(
+        json.dumps(record, indent=2)
+    )
+    print(f"\noff {t_off:.2f}s  null {t_null:.2f}s  jsonl {t_on:.2f}s  "
+          f"ratio x{record['overhead_ratio']:.3f}")
+    assert t_on / t_off < 1.5  # journaling must stay cheap vs simulation

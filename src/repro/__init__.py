@@ -58,7 +58,18 @@ from repro.run.experiment import (
     run_experiment,
     run_platform_sweep,
 )
-from repro.run.parallel import ParallelRunner, default_jobs
+from repro.obs import (
+    JournalEvent,
+    JsonlJournal,
+    MemoryJournal,
+    MetricsRegistry,
+    NullJournal,
+    RunSummary,
+    open_journal,
+    read_journal,
+    summarize_journal,
+)
+from repro.run.parallel import CachedCell, ParallelRunner, default_jobs
 from repro.run.persistence import SweepCache
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
@@ -110,8 +121,19 @@ __all__ = [
     "run_experiment",
     "run_platform_sweep",
     "ParallelRunner",
+    "CachedCell",
     "default_jobs",
     "SweepCache",
+    # observability
+    "JournalEvent",
+    "JsonlJournal",
+    "MemoryJournal",
+    "NullJournal",
+    "open_journal",
+    "read_journal",
+    "RunSummary",
+    "summarize_journal",
+    "MetricsRegistry",
     "Tenant",
     "ColocationResult",
     "run_colocated",

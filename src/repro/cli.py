@@ -23,13 +23,19 @@ Subcommands mirror the paper's artifacts:
 ``place``
     Cost/SLO placement optimization over the whole deployment grid.
 ``report``
-    Run the full campaign and write a markdown report.
+    Run the full campaign and write a markdown report (optionally with
+    a ``--journal`` telemetry stream).
+``obs``
+    Summarize or export a recorded run journal (``summary``,
+    ``export --format chrome|folded|prom``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.analysis.bestpractices import BestPracticeAdvisor
 from repro.analysis.chr import estimate_suitable_chr_range
@@ -41,6 +47,7 @@ from repro.analysis.overhead import overhead_ratios
 from repro.analysis.tables import render_table1, render_table2, render_table3
 from repro.errors import ReproError
 from repro.hostmodel.topology import r830_host, small_host
+from repro.obs.journal import open_journal, read_journal
 from repro.platforms.provisioning import (
     instance_type,
     instance_type_names,
@@ -123,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="simulate a host with this many CPUs (default: the 112-CPU R830)",
+    )
+    run_p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="stream run lifecycle events to a JSONL journal",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -219,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument(
         "--timeline", action="store_true", help="also print the Gantt view"
     )
+    trace_p.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="export the run's thread timeline as Chrome trace JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    trace_p.add_argument(
+        "--folded",
+        metavar="PATH",
+        help="export folded time-attribution stacks (flamegraph.pl input)",
+    )
+    trace_p.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="render the time attribution as an SVG flamegraph",
+    )
 
     rep_p = sub.add_parser(
         "report", help="run the full campaign and write a markdown report"
@@ -236,6 +264,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         metavar="DIR",
         help="content-addressed sweep cache directory (probe + write-back)",
+    )
+    rep_p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="stream campaign lifecycle events to a JSONL journal "
+        "(inspect with 'repro obs')",
+    )
+
+    obs_p = sub.add_parser(
+        "obs", help="campaign telemetry: journal summary and trace export"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    sum_p = obs_sub.add_parser(
+        "summary", help="summarize a recorded run journal"
+    )
+    sum_p.add_argument("journal", help="journal file written by --journal")
+    sum_p.add_argument(
+        "--top", type=int, default=5, help="slowest cells to list"
+    )
+    exp_p = obs_sub.add_parser(
+        "export",
+        help="export a journal as Chrome trace / folded stacks / Prometheus",
+    )
+    exp_p.add_argument("journal", help="journal file written by --journal")
+    exp_p.add_argument(
+        "--format",
+        required=True,
+        choices=["chrome", "folded", "prom"],
+        help="chrome = Perfetto trace JSON, folded = flamegraph.pl "
+        "stacks, prom = Prometheus text exposition",
+    )
+    exp_p.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    exp_p.add_argument(
+        "--svg",
+        metavar="PATH",
+        help="(with --format folded) also render an SVG flamegraph",
     )
     return parser
 
@@ -263,7 +329,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.platform, instance_type(args.instance), args.mode
     )
     rng = RngFactory(seed=args.seed).fresh_stream("cli-run")
+    journal = open_journal(args.journal)
+    label = f"{platform.label()}/{args.instance}/{workload.name}"
+    if journal.enabled:
+        journal.record("run-started", label=label)
+    t0 = time.perf_counter()
     result = run_once(workload, platform, host, rng=rng)
+    if journal.enabled:
+        c = result.counters
+        extra = {"value": float(result.value)}
+        if c is not None:
+            extra["sched_events"] = float(c.sched_events)
+            extra["migrations"] = float(c.migrations + c.wake_migrations)
+        journal.record(
+            "run-finished",
+            label=label,
+            duration=time.perf_counter() - t0,
+            extra=extra,
+        )
+        journal.close()
     print(f"workload : {workload.name} {workload.version}")
     print(f"platform : {platform.label()} @ {args.instance} on {host.name}")
     print(f"metric   : {result.metric_name}")
@@ -276,6 +360,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{c.migrations:.0f} migrations, {c.irqs} IRQs, "
             f"{c.overhead_fraction:.1%} capacity overhead"
         )
+    if args.journal:
+        print(f"journal  : {args.journal}")
     return 0
 
 
@@ -510,20 +596,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     platform = make_platform(
         args.platform, instance_type(args.instance), args.mode
     )
-    sink = ListTraceSink() if args.timeline else None
+    sink = ListTraceSink() if (args.timeline or args.chrome) else None
     rng = RngFactory(seed=args.seed).fresh_stream("cli-trace")
     result = run_once(workload, platform, r830_host(), rng=rng, trace=sink)
     print(
         f"{workload.name} on {platform.label()} @ {args.instance}: "
         f"{result.value:.2f}s\n"
     )
+    report = OffCpuReport.from_counters(result.counters)
     print("offcputime attribution:")
-    print(OffCpuReport.from_counters(result.counters).render())
+    print(report.render())
     print("\ncpudist:")
     print(CpuDist.from_counters(result.counters).render(width=30))
-    if sink is not None:
+    if sink is not None and args.timeline:
         print("\ntimeline:")
         print(Timeline.from_events(sink.events).render(width=70))
+    if args.chrome:
+        from repro.obs.export import timeline_to_chrome
+
+        trace = timeline_to_chrome(Timeline.from_events(sink.events))
+        with open(args.chrome, "w") as fh:
+            json.dump(trace, fh)
+        print(f"\nwrote Chrome trace to {args.chrome}")
+    if args.folded or args.flamegraph:
+        from repro.obs.export import offcpu_to_folded
+
+        lines = offcpu_to_folded(report, root=workload.name)
+        if args.folded:
+            with open(args.folded, "w") as fh:
+                fh.write("\n".join(lines) + "\n")
+            print(f"wrote folded stacks to {args.folded}")
+        if args.flamegraph:
+            from repro.viz.flamegraph import save_flamegraph_svg
+
+            save_flamegraph_svg(
+                lines,
+                args.flamegraph,
+                title=f"{workload.name} on {platform.label()}",
+            )
+            print(f"rendered flamegraph to {args.flamegraph}")
     return 0
 
 
@@ -536,12 +647,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     jobs = _jobs(args)
     cache = SweepCache(args.cache) if args.cache else None
+    journal = open_journal(args.journal)
     print(f"running campaign {campaign.include} with {jobs} job(s) ...")
-    result = run_campaign(campaign, jobs=jobs, cache=cache)
+    try:
+        result = run_campaign(campaign, jobs=jobs, cache=cache, journal=journal)
+    finally:
+        journal.close()
     text = generate_report(result)
     with open(args.out, "w") as fh:
         fh.write(text)
     print(f"wrote {args.out} ({len(text)} chars)")
+    if args.journal:
+        print(f"journal: {args.journal} (inspect with 'repro obs summary')")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_journal
+
+    events = read_journal(args.journal)
+    if args.obs_command == "summary":
+        print(summarize_journal(events).render(top=args.top))
+        return 0
+
+    # export
+    if args.format == "chrome":
+        from repro.obs.export import journal_to_chrome
+
+        text = json.dumps(journal_to_chrome(events))
+    elif args.format == "folded":
+        from repro.obs.export import journal_to_folded
+
+        lines = journal_to_folded(events)
+        text = "\n".join(lines) + "\n"
+        if args.svg:
+            from repro.viz.flamegraph import save_flamegraph_svg
+
+            save_flamegraph_svg(lines, args.svg, title="campaign cells")
+            print(f"rendered flamegraph to {args.svg}", file=sys.stderr)
+    else:
+        from repro.obs.export import journal_to_prometheus
+
+        text = journal_to_prometheus(events)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} export to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -571,6 +724,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -13,7 +13,7 @@ from typing import Protocol
 
 from repro.engine.events import EventKind, TraceEvent
 
-__all__ = ["TraceSink", "NullTraceSink", "ListTraceSink"]
+__all__ = ["TraceSink", "NullTraceSink", "ListTraceSink", "CountingTraceSink"]
 
 
 class TraceSink(Protocol):
@@ -54,3 +54,25 @@ class ListTraceSink:
     def count(self, kind: EventKind) -> int:
         """Number of stored events of one kind."""
         return sum(1 for e in self.events if e.kind is kind)
+
+
+class CountingTraceSink:
+    """Counts events per kind without storing them (O(kinds) memory).
+
+    The cheapest real sink: enough to feed an events/sec metric on runs
+    too large to keep a full :class:`ListTraceSink` event list for.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[EventKind, int] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        """Bump the event kind's count."""
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """Total events seen across all kinds."""
+        return sum(self.counts.values())

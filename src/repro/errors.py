@@ -8,6 +8,8 @@ simulation-engine invariant violation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -16,6 +18,7 @@ __all__ = [
     "PlatformError",
     "WorkloadError",
     "SimulationError",
+    "AttemptFailure",
     "ParallelExecutionError",
     "CgroupError",
     "AnalysisError",
@@ -50,6 +53,27 @@ class SimulationError(ReproError, RuntimeError):
     """The simulation engine detected a broken invariant at run time."""
 
 
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt of a parallel task.
+
+    Attributes
+    ----------
+    attempt:
+        1-based attempt number.
+    worker:
+        Identity of the worker that ran the attempt (``"pid-<n>"``), or
+        ``""`` when unknown (e.g. the pool broke before reporting).
+    error:
+        ``repr`` of the exception (or a short cause string for timeouts
+        and pool breakage).
+    """
+
+    attempt: int
+    worker: str
+    error: str
+
+
 class ParallelExecutionError(SimulationError):
     """A parallel campaign task failed permanently (retries exhausted,
     worker pool broken, or per-task timeout exceeded).
@@ -63,19 +87,32 @@ class ParallelExecutionError(SimulationError):
     reason:
         Short machine-readable cause: ``"exception"``, ``"timeout"`` or
         ``"broken-pool"``.
+    failures:
+        Per-attempt history (:class:`AttemptFailure` per failed
+        attempt), so a failed campaign is diagnosable post-mortem.
     """
 
     def __init__(self, task_label: str, attempts: int, reason: str,
-                 detail: str = "") -> None:
+                 detail: str = "",
+                 failures: tuple[AttemptFailure, ...] | list[AttemptFailure] = ()) -> None:
         self.task_label = task_label
         self.attempts = attempts
         self.reason = reason
+        self.failures = tuple(failures)
         msg = (
             f"parallel task {task_label!r} failed after {attempts} "
             f"attempt(s) [{reason}]"
         )
         if detail:
             msg += f": {detail}"
+        if self.failures:
+            history = "; ".join(
+                f"attempt {f.attempt}"
+                + (f" on {f.worker}" if f.worker else "")
+                + f": {f.error}"
+                for f in self.failures
+            )
+            msg += f" (history: {history})"
         super().__init__(msg)
 
 

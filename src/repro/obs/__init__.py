@@ -1,0 +1,92 @@
+"""Campaign-wide telemetry: run journal, metrics registry, trace export.
+
+The paper's method is observability — ``perf`` plus the BCC tools
+explain *why* each platform behaves as it does.  This package applies
+the same discipline to the reproduction's own campaigns:
+
+* :mod:`repro.obs.journal` — streaming JSONL record of every cell's
+  lifecycle (queued / started / cache-hit / retried / failed /
+  finished), written by the run layer when a journal is attached and a
+  strict no-op otherwise;
+* :mod:`repro.obs.events` — the versioned event schema and validator;
+* :mod:`repro.obs.summary` — fold a journal back into the operator's
+  questions (slowest cells, retry counts, cache hit ratio, per-worker
+  utilization, critical path);
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms with JSON and Prometheus text export;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and folded flamegraph stacks from both campaign
+  journals and simulator ``Timeline`` / ``OffCpuReport`` data.
+
+Surfaced on the command line as ``repro obs summary`` / ``repro obs
+export`` plus ``--journal PATH`` on ``run`` and ``report``.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JournalEvent,
+    validate_event,
+)
+from repro.obs.export import (
+    journal_to_chrome,
+    journal_to_folded,
+    journal_to_metrics,
+    journal_to_prometheus,
+    offcpu_to_folded,
+    timeline_to_chrome,
+    timeline_to_folded,
+)
+from repro.obs.journal import (
+    NULL_JOURNAL,
+    Journal,
+    JsonlJournal,
+    MemoryJournal,
+    NullJournal,
+    open_journal,
+    read_journal,
+)
+from repro.obs.metrics import (
+    CELL_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.summary import CellRecord, RunSummary, summarize_journal
+
+__all__ = [
+    # events
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "JournalEvent",
+    "validate_event",
+    # journal sinks
+    "Journal",
+    "NullJournal",
+    "MemoryJournal",
+    "JsonlJournal",
+    "NULL_JOURNAL",
+    "open_journal",
+    "read_journal",
+    # summary
+    "CellRecord",
+    "RunSummary",
+    "summarize_journal",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CELL_SECONDS_BUCKETS",
+    "default_registry",
+    # export
+    "journal_to_chrome",
+    "journal_to_folded",
+    "journal_to_metrics",
+    "journal_to_prometheus",
+    "timeline_to_chrome",
+    "timeline_to_folded",
+    "offcpu_to_folded",
+]

@@ -1,0 +1,173 @@
+"""Run-journal sinks: streaming JSONL recording of campaign lifecycles.
+
+The journal is the campaign-level analog of the engine's trace sinks:
+the executor calls :meth:`Journal.record` at every lifecycle transition,
+and the sink either discards it (:class:`NullJournal`, the default — one
+attribute check per event, so benchmark numbers are unaffected), keeps
+it in memory (:class:`MemoryJournal`, for tests and summaries), or
+streams it to disk as one JSON object per line (:class:`JsonlJournal`,
+flushed per event so a crashed campaign still leaves a diagnosable
+journal behind).
+
+:func:`read_journal` is the inverse: parse + schema-validate a journal
+file back into :class:`~repro.obs.events.JournalEvent` records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.obs.events import JournalEvent
+
+__all__ = [
+    "Journal",
+    "NullJournal",
+    "MemoryJournal",
+    "JsonlJournal",
+    "NULL_JOURNAL",
+    "open_journal",
+    "read_journal",
+]
+
+
+class Journal(Protocol):
+    """Anything that accepts run-journal events."""
+
+    #: False only for the no-op sink; emitters may skip work when False.
+    enabled: bool
+
+    def record(self, kind: str, **fields) -> None:
+        """Build and emit one event (``ts`` defaults to now)."""
+        ...  # pragma: no cover - protocol
+
+    def emit(self, event: JournalEvent) -> None:
+        """Receive one already-built event."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any underlying resource."""
+        ...  # pragma: no cover - protocol
+
+
+class NullJournal:
+    """Discards all events (the default); the telemetry-off no-op path."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(self, kind: str, **fields) -> None:
+        """Discard the event."""
+
+    def emit(self, event: JournalEvent) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+#: Shared no-op sink; emitters compare against ``journal.enabled``.
+NULL_JOURNAL = NullJournal()
+
+
+class _RecordingJournal:
+    """Shared ``record`` implementation of the real sinks."""
+
+    enabled = True
+
+    def record(self, kind: str, **fields) -> None:
+        """Build one event stamped with the current wall clock and emit it.
+
+        Pass ``ts=...`` explicitly to backdate an event (e.g. a cell
+        start observed inside a worker process).
+        """
+        ts = fields.pop("ts", None)
+        self.emit(JournalEvent(ts=time.time() if ts is None else ts, kind=kind, **fields))
+
+    def emit(self, event: JournalEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Nothing to release by default."""
+
+
+class MemoryJournal(_RecordingJournal):
+    """Keeps every event in order; useful in tests and for summaries."""
+
+    def __init__(self) -> None:
+        self.events: list[JournalEvent] = []
+
+    def emit(self, event: JournalEvent) -> None:
+        """Store the event."""
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        """Number of stored events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class JsonlJournal(_RecordingJournal):
+    """Streams events to ``path`` as JSON Lines, one object per event.
+
+    The file is truncated on open (a journal describes one run) and every
+    event is flushed immediately, so a killed campaign still leaves every
+    record it reached on disk.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: JournalEvent) -> None:
+        """Append one JSON line and flush."""
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_journal(path: str | Path | None) -> Journal:
+    """A :class:`JsonlJournal` at ``path``, or the no-op sink for None."""
+    return NULL_JOURNAL if path is None else JsonlJournal(path)
+
+
+def read_journal(path: str | Path) -> list[JournalEvent]:
+    """Parse and schema-validate a JSONL journal file.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the first
+    malformed line (bad JSON or schema violation).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"journal file {path} does not exist")
+    events: list[JournalEvent] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: invalid JSON in journal: {exc}"
+                ) from exc
+            try:
+                events.append(JournalEvent.from_dict(payload))
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"{path}:{lineno}: {exc}") from exc
+    return events

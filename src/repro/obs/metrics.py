@@ -1,0 +1,260 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+The quantitative side of the telemetry layer: cheap named aggregates
+(cells completed, simulator scheduling events, migrations, cache probes)
+that accumulate during a campaign and export as JSON or as the
+Prometheus text exposition format.  Worker processes never share the
+registry directly — cell results (and their perf counters) travel back
+to the parent, which aggregates them here, and picklable
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge` support
+explicit cross-process aggregation where needed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CELL_SECONDS_BUCKETS",
+    "default_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets for campaign-cell wall times (seconds).
+CELL_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"invalid metric name {name!r} (must match {_NAME_RE.pattern})"
+        )
+    return name
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (e.g. workers in use)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A cumulative-bucket histogram in the Prometheus style.
+
+    Parameters
+    ----------
+    buckets:
+        Upper bounds of the finite buckets, strictly increasing; an
+        implicit ``+Inf`` bucket always exists.
+    """
+
+    name: str
+    buckets: tuple[float, ...]
+    help: str = ""
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.buckets or list(self.buckets) != sorted(set(self.buckets)):
+            raise ConfigurationError(
+                f"histogram {self.name} buckets must be strictly increasing, "
+                f"got {self.buckets}"
+            )
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and exportable as text.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, so call sites need no
+    registration ceremony.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get(_check_name(name), Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get(_check_name(name), Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = CELL_SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create a histogram (buckets fixed at creation)."""
+        return self._get(
+            _check_name(name), Histogram, lambda: Histogram(name, tuple(buckets), help)
+        )
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- export ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-ready projection of every metric."""
+        out: dict[str, dict] = {}
+        for m in self:
+            if isinstance(m, Histogram):
+                out[m.name] = {
+                    "type": "histogram",
+                    "help": m.help,
+                    "buckets": {str(b): c for b, c in zip(m.buckets, m.counts)},
+                    "sum": m.sum,
+                    "count": m.count,
+                }
+            else:
+                kind = "counter" if isinstance(m, Counter) else "gauge"
+                out[m.name] = {"type": kind, "help": m.help, "value": m.value}
+        return out
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for m in self:
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            if isinstance(m, Histogram):
+                lines.append(f"# TYPE {m.name} histogram")
+                for bound, count in zip(m.buckets, m.counts):
+                    lines.append(f'{m.name}_bucket{{le="{_fmt(bound)}"}} {count}')
+                lines.append(f'{m.name}_bucket{{le="+Inf"}} {m.count}')
+                lines.append(f"{m.name}_sum {_fmt(m.sum)}")
+                lines.append(f"{m.name}_count {m.count}")
+            else:
+                kind = "counter" if isinstance(m, Counter) else "gauge"
+                lines.append(f"# TYPE {m.name} {kind}")
+                lines.append(f"{m.name} {_fmt(m.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- cross-process aggregation --------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-able copy suitable for :meth:`merge`."""
+        return self.to_json()
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last writer wins).
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name, data.get("help", "")).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(name, data.get("help", "")).set(data["value"])
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in data["buckets"])
+                hist = self.histogram(name, bounds, data.get("help", ""))
+                if hist.buckets != bounds:
+                    raise ConfigurationError(
+                        f"histogram {name!r} bucket mismatch on merge: "
+                        f"{hist.buckets} vs {bounds}"
+                    )
+                for i, c in enumerate(data["buckets"].values()):
+                    hist.counts[i] += c
+                hist.sum += data["sum"]
+                hist.count += data["count"]
+            else:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r} of unknown type {kind!r}"
+                )
+
+    def render(self) -> str:
+        """Compact human-readable dump (one metric per line)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number formatting (ints without trailing .0)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_DEFAULT: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = MetricsRegistry()
+    return _DEFAULT

@@ -1,0 +1,182 @@
+"""Reconstruct a campaign summary from a recorded run journal.
+
+The journal is a flat event stream; :func:`summarize_journal` folds it
+back into the questions an operator actually asks after a campaign:
+which cells dominated wall-clock, what got retried, how much the sweep
+cache saved, how evenly the pool workers were loaded, and what bounds
+further speedup (the critical path — the busiest worker's total cell
+time, which no amount of extra workers can shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.obs.events import JournalEvent
+
+__all__ = ["CellRecord", "RunSummary", "summarize_journal"]
+
+
+@dataclass
+class CellRecord:
+    """Everything the journal recorded about one cell."""
+
+    label: str
+    duration: float = 0.0
+    worker: str = ""
+    attempts: int = 0
+    retries: int = 0
+    cached: bool = False
+    failed: bool = False
+    sched_events: float = 0.0
+    migrations: float = 0.0
+
+
+@dataclass
+class RunSummary:
+    """Aggregate view of one recorded campaign.
+
+    Attributes
+    ----------
+    wall_seconds:
+        Journal span: last event timestamp minus first.
+    cells:
+        Per-cell records, keyed by label (a label that ran in several
+        contexts — e.g. fig7's per-host duplicates — accumulates).
+    worker_busy:
+        Busy seconds per worker (sum of its cells' durations).
+    retries_total / failures_total:
+        Retried and permanently failed attempts across the campaign.
+    """
+
+    wall_seconds: float
+    cells: dict[str, CellRecord] = field(default_factory=dict)
+    worker_busy: dict[str, float] = field(default_factory=dict)
+    retries_total: int = 0
+    failures_total: int = 0
+    pool_rebuilds: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Distinct cells the journal saw (executed or cache-resolved)."""
+        return len(self.cells)
+
+    @property
+    def n_cached(self) -> int:
+        """Cells resolved from the sweep cache."""
+        return sum(1 for c in self.cells.values() if c.cached)
+
+    @property
+    def n_executed(self) -> int:
+        """Cells that actually ran."""
+        return sum(1 for c in self.cells.values() if not c.cached)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Cache-resolved share of all cells (0 when the journal is empty)."""
+        return self.n_cached / self.n_cells if self.cells else 0.0
+
+    @property
+    def sched_events_total(self) -> float:
+        """Simulator scheduling events across all executed cells."""
+        return sum(c.sched_events for c in self.cells.values())
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator scheduling events per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sched_events_total / self.wall_seconds
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Busy time of the most loaded worker — the wall-clock floor
+        this cell placement cannot beat with more workers."""
+        return max(self.worker_busy.values(), default=0.0)
+
+    def slowest_cells(self, n: int = 5) -> list[CellRecord]:
+        """The ``n`` longest-running cells, slowest first."""
+        executed = [c for c in self.cells.values() if not c.cached]
+        return sorted(executed, key=lambda c: -c.duration)[:n]
+
+    def worker_utilization(self) -> dict[str, float]:
+        """Busy fraction of the journal span, per worker."""
+        if self.wall_seconds <= 0:
+            return {w: 0.0 for w in self.worker_busy}
+        return {
+            w: busy / self.wall_seconds for w, busy in sorted(self.worker_busy.items())
+        }
+
+    def render(self, top: int = 5) -> str:
+        """Human-readable summary block for the ``obs summary`` CLI."""
+        lines = [
+            f"cells        : {self.n_cells} "
+            f"({self.n_executed} executed, {self.n_cached} cache hits, "
+            f"hit ratio {self.cache_hit_ratio:.0%})",
+            f"wall clock   : {self.wall_seconds:.3f} s",
+            f"retries      : {self.retries_total}"
+            + (f"  failures: {self.failures_total}" if self.failures_total else ""),
+        ]
+        if self.pool_rebuilds:
+            lines.append(f"pool rebuilds: {self.pool_rebuilds}")
+        if self.sched_events_total:
+            lines.append(
+                f"sim events   : {self.sched_events_total:.0f} "
+                f"({self.events_per_second:,.0f}/s)"
+            )
+        util = self.worker_utilization()
+        if util:
+            lines.append(
+                f"critical path: {self.critical_path_seconds:.3f} s busiest worker"
+            )
+            lines.append("workers      :")
+            for w, u in util.items():
+                busy = self.worker_busy[w]
+                lines.append(f"  {w:<12s} busy {busy:8.3f} s  utilization {u:6.1%}")
+        slow = self.slowest_cells(top)
+        if slow:
+            lines.append(f"slowest cells (top {len(slow)}):")
+            for c in slow:
+                note = f"  ({c.retries} retries)" if c.retries else ""
+                lines.append(f"  {c.duration:8.3f} s  {c.label}{note}")
+        return "\n".join(lines)
+
+
+def summarize_journal(events: list[JournalEvent]) -> RunSummary:
+    """Fold a journal's event stream into a :class:`RunSummary`."""
+    if not events:
+        raise AnalysisError("cannot summarize an empty journal")
+    first = min(e.ts for e in events)
+    last = max(e.ts + e.duration for e in events)
+    summary = RunSummary(wall_seconds=max(0.0, last - first))
+
+    def cell(label: str) -> CellRecord:
+        rec = summary.cells.get(label)
+        if rec is None:
+            rec = summary.cells[label] = CellRecord(label=label)
+        return rec
+
+    for e in events:
+        if e.kind == "cell-finished":
+            rec = cell(e.label)
+            rec.duration += e.duration
+            rec.worker = e.worker or rec.worker
+            rec.attempts += max(1, e.attempt)
+            rec.sched_events += float(e.extra.get("sched_events", 0.0))
+            rec.migrations += float(e.extra.get("migrations", 0.0))
+            worker = e.worker or "(unknown)"
+            summary.worker_busy[worker] = (
+                summary.worker_busy.get(worker, 0.0) + e.duration
+            )
+        elif e.kind == "cell-cache-hit":
+            cell(e.label).cached = True
+        elif e.kind == "cell-retried":
+            cell(e.label).retries += 1
+            summary.retries_total += 1
+        elif e.kind == "cell-failed":
+            cell(e.label).failed = True
+            summary.failures_total += 1
+        elif e.kind == "pool-rebuilt":
+            summary.pool_rebuilds += 1
+    return summary

@@ -11,9 +11,11 @@ markdown document.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
+from repro.obs.journal import Journal
 from repro.analysis.stats import StatSummary, summarize
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import HostTopology, r830_host, small_host
@@ -197,6 +199,7 @@ def run_campaign(
     jobs: int = 1,
     runner: ParallelRunner | None = None,
     cache: SweepCache | None = None,
+    journal: Journal | None = None,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -215,9 +218,23 @@ def run_campaign(
         Optional :class:`~repro.run.persistence.SweepCache`; the Figs.
         3-6 sweeps are probed by content fingerprint before running and
         written back on completion.
+    journal:
+        Optional run journal; when attached, every cell/sweep lifecycle
+        event of the campaign is streamed into it (see
+        :mod:`repro.obs`).  Results are identical with or without.
     """
     campaign = campaign or Campaign()
-    runner = runner or ParallelRunner(jobs)
+    runner = runner or ParallelRunner(jobs, journal=journal)
+    if journal is not None and journal.enabled and not runner.journal.enabled:
+        runner.journal = journal
+    jl = runner.journal
+    t_start = time.perf_counter()
+    if jl.enabled:
+        jl.record(
+            "campaign-started",
+            label="campaign",
+            detail=",".join(campaign.include),
+        )
     big = [instance_type(n) for n in _BIG]
     sweeps: dict[str, SweepResult] = {}
 
@@ -231,6 +248,7 @@ def run_campaign(
             seed=campaign.seed,
             runner=runner,
             cache=cache,
+            journal=jl,
         )
 
     if "fig3" in campaign.include:
@@ -258,6 +276,12 @@ def run_campaign(
     if "fig8" in campaign.include:
         fig8 = _run_cell_summaries(runner, *_fig8_tasks(campaign))
 
+    if jl.enabled:
+        jl.record(
+            "campaign-finished",
+            label="campaign",
+            duration=time.perf_counter() - t_start,
+        )
     return CampaignResult(
         sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8
     )

@@ -16,6 +16,7 @@ from repro.engine.tracing import NullTraceSink, TraceSink
 from repro.errors import SimulationError
 from repro.hostmodel.storage import StorageModel
 from repro.hostmodel.topology import HostTopology
+from repro.obs.metrics import MetricsRegistry
 from repro.platforms.base import ExecutionPlatform
 from repro.rng import StreamSpec
 from repro.run.calibration import Calibration
@@ -81,6 +82,7 @@ def run_once(
     rng: np.random.Generator | None = None,
     rep: int = 0,
     trace: TraceSink | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """Execute one configuration once and return its result.
 
@@ -101,6 +103,10 @@ def run_once(
         Repetition index recorded in the result.
     trace:
         Optional engine event sink.
+    metrics:
+        Optional metrics registry; when given, the run's simulator
+        counters (scheduling events, migrations, IRQs) are folded into
+        it.  The default (None) skips all bookkeeping.
     """
     calib = calib or Calibration()
     rng = rng if rng is not None else np.random.default_rng(0)
@@ -136,6 +142,21 @@ def run_once(
         if workload.metric == "mean_response"
         else result.makespan
     )
+    if metrics is not None:
+        c = result.counters
+        metrics.counter(
+            "repro_sim_runs_total", "simulated repetitions executed"
+        ).inc()
+        metrics.counter(
+            "repro_sim_sched_events_total", "simulator scheduling events"
+        ).inc(c.sched_events)
+        metrics.counter(
+            "repro_sim_migrations_total",
+            "expected simulator thread migrations",
+        ).inc(c.migrations + c.wake_migrations)
+        metrics.counter(
+            "repro_sim_irqs_total", "simulated IO interrupts"
+        ).inc(c.irqs)
     return RunResult(
         workload=workload.name,
         platform_label=platform.label(),

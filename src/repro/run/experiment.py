@@ -10,11 +10,13 @@ seven-platform figure layout.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import HostTopology, r830_host
+from repro.obs.journal import NULL_JOURNAL, Journal
 from repro.platforms.base import ExecutionPlatform, PlatformKind
 from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform, paper_platform_set
@@ -82,6 +84,7 @@ def run_experiment(
     *,
     jobs: int = 1,
     runner: "ParallelRunner | None" = None,
+    journal: Journal | None = None,
 ) -> SweepResult:
     """Execute a sweep specification and return the result grid.
 
@@ -101,11 +104,32 @@ def run_experiment(
     runner:
         A pre-configured :class:`~repro.run.parallel.ParallelRunner`
         (overrides ``jobs``; use for custom timeout/retry/progress).
+    journal:
+        Optional run journal recording the sweep's lifecycle events.  A
+        journal-carrying serial run is routed through the runner's
+        inline path — the exact serial execution, plus telemetry;
+        results are identical either way.  With no journal (the
+        default) the serial path is left completely untouched.
     """
-    if runner is not None or jobs != 1:
+    journal = journal or NULL_JOURNAL
+    if runner is not None or jobs != 1 or journal.enabled:
         from repro.run.parallel import ParallelRunner
 
-        return (runner or ParallelRunner(jobs)).run_experiment(spec)
+        runner = runner or ParallelRunner(jobs, journal=journal)
+        if journal.enabled and not runner.journal.enabled:
+            runner.journal = journal
+        jl = runner.journal
+        if jl.enabled:
+            jl.record("sweep-started", label=spec.workload.name)
+        t0 = time.perf_counter()
+        sweep = runner.run_experiment(spec)
+        if jl.enabled:
+            jl.record(
+                "sweep-finished",
+                label=spec.workload.name,
+                duration=time.perf_counter() - t0,
+            )
+        return sweep
 
     factory = RngFactory(seed=spec.seed)
     cells: dict[tuple[str, str], ExperimentResult] = {}
@@ -180,6 +204,7 @@ def run_platform_sweep(
     jobs: int = 1,
     runner: "ParallelRunner | None" = None,
     cache: "SweepCache | None" = None,
+    journal: Journal | None = None,
 ) -> SweepResult:
     """Run the standard seven-platform figure sweep.
 
@@ -188,7 +213,9 @@ def run_platform_sweep(
     cells run on a worker pool (identical results, see
     :func:`run_experiment`); with a ``cache`` the sweep is first probed
     by content fingerprint and only executed (then written back) on a
-    miss.
+    miss.  Cache-resolved cells are still counted: they reach the
+    runner's progress callback as tagged cache hits and the ``journal``
+    as ``cell-cache-hit`` events, so ``(done, total)`` stays accurate.
     """
     spec = platform_sweep_spec(
         workload,
@@ -198,8 +225,31 @@ def run_platform_sweep(
         calib=calib,
         seed=seed,
     )
-    if cache is not None:
-        return cache.get_or_run(
-            spec, runner=lambda s: run_experiment(s, jobs=jobs, runner=runner)
+    journal = journal or NULL_JOURNAL
+    if cache is None:
+        return run_experiment(spec, jobs=jobs, runner=runner, journal=journal)
+
+    cached = cache.get(spec)
+    if journal.enabled:
+        journal.record(
+            "sweep-cache-probe",
+            label=workload.name,
+            cached=cached is not None,
+            detail=cache.path_for(spec).name,
         )
-    return run_experiment(spec, jobs=jobs, runner=runner)
+    if runner is not None and runner.metrics is not None:
+        runner.metrics.counter(
+            "repro_cache_probes_total", "sweep-cache fingerprint probes"
+        ).inc()
+    if cached is not None:
+        from repro.run.parallel import ParallelRunner, cell_tasks
+
+        reporter = runner or ParallelRunner(1, journal=journal)
+        if journal.enabled and not reporter.journal.enabled:
+            reporter.journal = journal
+        tasks, _ = cell_tasks(spec)
+        reporter.report_cached(tasks)
+        return cached
+    sweep = run_experiment(spec, jobs=jobs, runner=runner, journal=journal)
+    cache.put(spec, sweep)
+    return sweep

@@ -18,21 +18,32 @@ Failure handling: a task whose worker raises is resubmitted up to
 ``retries`` extra times; a broken pool (worker process killed) is
 rebuilt and the outstanding tasks resubmitted; a task exceeding the
 per-task ``timeout`` raises a structured
-:class:`~repro.errors.ParallelExecutionError` instead of hanging the
-campaign.  A ``progress`` callback reports ``(done, total, task)`` after
-each completed cell.
+:class:`~repro.errors.ParallelExecutionError` — carrying the per-attempt
+failure history — instead of hanging the campaign.  A ``progress``
+callback reports ``(done, total, task)`` after each completed cell,
+including cells resolved from the sweep cache (delivered as tagged
+:class:`CachedCell` payloads via :meth:`ParallelRunner.report_cached`).
+
+Telemetry: attach a :class:`~repro.obs.journal.Journal` to stream
+structured lifecycle events (cell queued / started / cache-hit / retried
+/ failed / finished, worker identity, durations, pool rebuilds) and a
+:class:`~repro.obs.metrics.MetricsRegistry` to accumulate campaign
+counters.  Both default to off, leaving the execution path untouched.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.errors import AttemptFailure, ConfigurationError, ParallelExecutionError
 from repro.hostmodel.topology import HostTopology
+from repro.obs.journal import NULL_JOURNAL, Journal
+from repro.obs.metrics import CELL_SECONDS_BUCKETS, MetricsRegistry
 from repro.platforms.base import PlatformKind
 from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform
@@ -45,6 +56,7 @@ from repro.sched.affinity import ProvisioningMode
 from repro.workloads.base import Workload
 
 __all__ = [
+    "CachedCell",
     "CellTask",
     "ParallelRunner",
     "ProgressFn",
@@ -59,6 +71,11 @@ ProgressFn = Callable[[int, int, object], None]
 def default_jobs() -> int:
     """A sensible worker count for this machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _worker_id() -> str:
+    """Journal-friendly identity of the current process."""
+    return f"pid-{os.getpid()}"
 
 
 @dataclass(frozen=True)
@@ -87,6 +104,23 @@ class CellTask:
         )
 
 
+@dataclass(frozen=True)
+class CachedCell:
+    """Progress payload for a cell resolved from the sweep cache.
+
+    Tags cache hits so progress consumers can tell replayed cells from
+    executed ones while still seeing an accurate ``(done, total)``.
+    """
+
+    task: object
+    cached: bool = True
+
+    @property
+    def label(self) -> str:
+        """Label of the underlying task."""
+        return _label(self.task, 0)
+
+
 def execute_cell(task: CellTask) -> list[RunResult]:
     """Worker entry point: run one cell's repetitions.
 
@@ -97,6 +131,52 @@ def execute_cell(task: CellTask) -> list[RunResult]:
     return run_cell(
         task.workload, platform, task.host, task.calib, list(task.streams)
     )
+
+
+@dataclass(frozen=True)
+class _Observed:
+    """Worker-side observation wrapped around a task result."""
+
+    result: object
+    worker: str
+    started: float
+    duration: float
+
+
+class _ObservedFailure(Exception):
+    """Worker-side observation wrapped around a task failure.
+
+    Carries the worker identity alongside the original exception so the
+    parent can journal which process failed.  The original exception
+    travels as ``cause`` (it must be picklable either way — the pool
+    pickles raised exceptions too).
+    """
+
+    def __init__(self, worker: str, cause: Exception) -> None:
+        self.worker = worker
+        self.cause = cause
+        super().__init__(worker, cause)
+
+    def __str__(self) -> str:
+        return str(self.cause)
+
+
+def _observed(worker: Callable, payload) -> _Observed:
+    """Run ``worker(payload)`` recording worker identity and timing.
+
+    Used in place of the bare worker when a journal is attached;
+    :class:`~repro.errors.ConfigurationError` passes through unwrapped
+    so the runner's no-retry rule still sees it.
+    """
+    started = time.time()
+    t0 = time.perf_counter()
+    try:
+        result = worker(payload)
+    except ConfigurationError:
+        raise
+    except Exception as exc:
+        raise _ObservedFailure(_worker_id(), exc) from exc
+    return _Observed(result, _worker_id(), started, time.perf_counter() - t0)
 
 
 def cell_tasks(spec: ExperimentSpec) -> tuple[list[CellTask], list[str]]:
@@ -156,6 +236,14 @@ class ParallelRunner:
     progress:
         Optional ``callback(done, total, task)`` invoked after every
         completed task, in completion-collection order.
+    journal:
+        Optional :class:`~repro.obs.journal.Journal`; when attached, the
+        runner streams cell lifecycle events into it (and routes pool
+        tasks through a worker shim that reports identity and timing).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+        campaign counters (cells completed, retries, cache hits,
+        simulator event totals).
     mp_context:
         Optional :mod:`multiprocessing` context for the pool (useful to
         force ``spawn`` in tests).
@@ -168,6 +256,8 @@ class ParallelRunner:
         timeout: float | None = None,
         retries: int = 1,
         progress: ProgressFn | None = None,
+        journal: Journal | None = None,
+        metrics: MetricsRegistry | None = None,
         mp_context=None,
     ) -> None:
         if jobs < 1:
@@ -180,6 +270,8 @@ class ParallelRunner:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.journal = journal or NULL_JOURNAL
+        self.metrics = metrics
         self.mp_context = mp_context
 
     # -- generic task execution ---------------------------------------------
@@ -195,26 +287,51 @@ class ParallelRunner:
         items = list(payloads)
         if not items:
             return []
+        if self.journal.enabled:
+            for i, payload in enumerate(items):
+                self.journal.record("cell-queued", label=_label(payload, i))
         if self.jobs == 1:
             return self._run_inline(worker, items)
         return self._run_pool(worker, items)
 
     def _run_inline(self, worker: Callable, items: Sequence) -> list:
         results = []
+        wid = _worker_id()
         for i, payload in enumerate(items):
+            label = _label(payload, i)
             attempts = 0
+            failures: list[AttemptFailure] = []
             while True:
                 attempts += 1
+                started = time.time()
+                t0 = time.perf_counter()
+                if self.journal.enabled:
+                    self.journal.record(
+                        "cell-started", label=label, worker=wid,
+                        attempt=attempts, ts=started,
+                    )
                 try:
-                    results.append(worker(payload))
-                    break
+                    result = worker(payload)
                 except ConfigurationError:
                     raise  # misconfiguration never heals on retry
                 except Exception as exc:
+                    failures.append(AttemptFailure(attempts, wid, repr(exc)))
+                    self._record_failure(
+                        label, wid, attempts, repr(exc),
+                        final=attempts > self.retries,
+                    )
                     if attempts > self.retries:
                         raise ParallelExecutionError(
-                            _label(payload, i), attempts, "exception", str(exc)
+                            label, attempts, "exception", str(exc),
+                            failures=failures,
                         ) from exc
+                    continue
+                results.append(result)
+                self._observe_completion(
+                    label, result, worker=wid, attempt=attempts,
+                    started=started, duration=time.perf_counter() - t0,
+                )
+                break
             self._report(i + 1, len(items), payload)
         return results
 
@@ -222,57 +339,111 @@ class ParallelRunner:
         n = len(items)
         results: list = [None] * n
         attempts = [0] * n
+        failures: list[list[AttemptFailure]] = [[] for _ in range(n)]
         collected = [False] * n
         done = 0
+        observe = self.journal.enabled
         executor = self._new_executor()
         index_future: dict[int, Future] = {}
 
         def submit(i: int) -> None:
             attempts[i] += 1
-            index_future[i] = executor.submit(worker, items[i])
+            if observe:
+                index_future[i] = executor.submit(_observed, worker, items[i])
+            else:
+                index_future[i] = executor.submit(worker, items[i])
 
         try:
             for i in range(n):
                 submit(i)
             for i in range(n):
+                label = _label(items[i], i)
                 while not collected[i]:
                     try:
-                        results[i] = index_future[i].result(
-                            timeout=self.timeout
-                        )
+                        value = index_future[i].result(timeout=self.timeout)
+                        if isinstance(value, _Observed):
+                            results[i] = value.result
+                            self._observe_completion(
+                                label, value.result, worker=value.worker,
+                                attempt=attempts[i], started=value.started,
+                                duration=value.duration,
+                            )
+                        else:
+                            results[i] = value
+                            self._observe_completion(
+                                label, value, worker="", attempt=attempts[i],
+                                started=None, duration=None,
+                            )
                         collected[i] = True
                     except FutureTimeoutError:
+                        failures[i].append(AttemptFailure(
+                            attempts[i], "", f"timeout: exceeded {self.timeout}s"
+                        ))
+                        self._record_failure(
+                            label, "", attempts[i],
+                            f"timeout after {self.timeout}s", final=True,
+                        )
                         raise ParallelExecutionError(
-                            _label(items[i], i),
+                            label,
                             attempts[i],
                             "timeout",
                             f"exceeded {self.timeout}s",
+                            failures=failures[i],
                         ) from None
                     except BrokenExecutor as exc:
                         # the pool is dead: every outstanding future is
                         # lost.  Rebuild it and resubmit the survivors.
+                        failures[i].append(AttemptFailure(
+                            attempts[i], "", f"broken-pool: {exc!r}"
+                        ))
                         if attempts[i] > self.retries:
+                            self._record_failure(
+                                label, "", attempts[i], repr(exc), final=True,
+                            )
                             raise ParallelExecutionError(
-                                _label(items[i], i),
+                                label,
                                 attempts[i],
                                 "broken-pool",
                                 str(exc),
+                                failures=failures[i],
                             ) from exc
                         executor.shutdown(wait=False, cancel_futures=True)
                         executor = self._new_executor()
+                        if self.journal.enabled:
+                            self.journal.record(
+                                "pool-rebuilt", label=label, detail=repr(exc)
+                            )
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "repro_pool_rebuilds_total",
+                                "worker-pool rebuilds after breakage",
+                            ).inc()
                         for j in range(n):
                             if not collected[j]:
                                 submit(j)
                     except ConfigurationError:
                         raise
                     except Exception as exc:
+                        cause, wid = (
+                            (exc.cause, exc.worker)
+                            if isinstance(exc, _ObservedFailure)
+                            else (exc, "")
+                        )
+                        failures[i].append(
+                            AttemptFailure(attempts[i], wid, repr(cause))
+                        )
+                        self._record_failure(
+                            label, wid, attempts[i], repr(cause),
+                            final=attempts[i] > self.retries,
+                        )
                         if attempts[i] > self.retries:
                             raise ParallelExecutionError(
-                                _label(items[i], i),
+                                label,
                                 attempts[i],
                                 "exception",
-                                str(exc),
-                            ) from exc
+                                str(cause),
+                                failures=failures[i],
+                            ) from cause
                         submit(i)
                 done += 1
                 self._report(done, n, items[i])
@@ -288,6 +459,100 @@ class ParallelRunner:
     def _report(self, done: int, total: int, payload) -> None:
         if self.progress is not None:
             self.progress(done, total, payload)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _observe_completion(
+        self,
+        label: str,
+        result,
+        *,
+        worker: str,
+        attempt: int,
+        started: float | None,
+        duration: float | None,
+    ) -> None:
+        """Journal + metrics bookkeeping for one successfully run cell."""
+        sim = _sim_counters(result)
+        if self.journal.enabled:
+            extra = dict(sim)
+            if started is not None:
+                extra["started"] = started
+            self.journal.record(
+                "cell-finished",
+                label=label,
+                worker=worker,
+                attempt=attempt,
+                duration=duration or 0.0,
+                extra=extra,
+            )
+        m = self.metrics
+        if m is not None:
+            m.counter(
+                "repro_cells_completed_total",
+                "campaign cells resolved (run or cached)",
+            ).inc()
+            if duration is not None:
+                m.histogram(
+                    "repro_cell_seconds", CELL_SECONDS_BUCKETS, "cell wall time"
+                ).observe(duration)
+            if sim:
+                m.counter(
+                    "repro_sim_runs_total", "simulated repetitions executed"
+                ).inc(sim["runs"])
+                m.counter(
+                    "repro_sim_sched_events_total", "simulator scheduling events"
+                ).inc(sim["sched_events"])
+                m.counter(
+                    "repro_sim_migrations_total",
+                    "expected simulator thread migrations",
+                ).inc(sim["migrations"])
+
+    def _record_failure(
+        self, label: str, worker: str, attempt: int, detail: str, *, final: bool
+    ) -> None:
+        """Journal + metrics bookkeeping for one failed attempt."""
+        if self.journal.enabled:
+            self.journal.record(
+                "cell-failed" if final else "cell-retried",
+                label=label,
+                worker=worker,
+                attempt=attempt,
+                detail=detail,
+            )
+        if self.metrics is not None:
+            name, help_text = (
+                ("repro_cell_failures_total", "cells that failed permanently")
+                if final
+                else ("repro_cell_retries_total",
+                      "cell attempts that failed and were retried")
+            )
+            self.metrics.counter(name, help_text).inc()
+
+    def report_cached(self, tasks: Sequence) -> None:
+        """Deliver cache-resolved cells to progress, journal, and metrics.
+
+        Cells satisfied by the sweep cache never reach the pool, so
+        without this call the progress stream under-reports ``(done,
+        total)``.  Each cell is reported as a tagged :class:`CachedCell`
+        and journaled as ``cell-cache-hit``.
+        """
+        n = len(tasks)
+        for i, task in enumerate(tasks):
+            if self.journal.enabled:
+                self.journal.record(
+                    "cell-cache-hit", label=_label(task, i), cached=True
+                )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_cells_completed_total",
+                    "campaign cells resolved (run or cached)",
+                ).inc()
+                self.metrics.counter(
+                    "repro_cache_hit_cells_total",
+                    "cells resolved from the sweep cache",
+                ).inc()
+            self._report(i + 1, n, CachedCell(task))
 
     # -- sweep execution ----------------------------------------------------
 
@@ -318,3 +583,19 @@ class ParallelRunner:
 
 def _label(payload, index: int) -> str:
     return getattr(payload, "label", None) or f"task-{index}"
+
+
+def _sim_counters(result) -> dict:
+    """Aggregate perf counters when a task result is a list of runs."""
+    if not isinstance(result, list) or not result:
+        return {}
+    sched = migrations = 0.0
+    runs = 0
+    for r in result:
+        counters = getattr(r, "counters", None)
+        if counters is None:
+            return {}
+        sched += float(counters.sched_events)
+        migrations += float(counters.migrations + counters.wake_migrations)
+        runs += 1
+    return {"runs": runs, "sched_events": sched, "migrations": migrations}

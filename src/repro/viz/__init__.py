@@ -5,9 +5,17 @@ renders the paper's grouped-bar figures as standalone SVG documents
 (openable in any browser) directly from a
 :class:`~repro.run.results.SweepResult`, and
 :mod:`repro.trace.timeline` (in the trace package) provides execution
-timelines.  The ASCII renderers live in :mod:`repro.analysis.figures`.
+timelines.  :mod:`repro.viz.flamegraph` renders the folded stacks of
+:mod:`repro.obs.export` as SVG flamegraphs.  The ASCII renderers live
+in :mod:`repro.analysis.figures`.
 """
 
+from repro.viz.flamegraph import render_flamegraph_svg, save_flamegraph_svg
 from repro.viz.svg import render_sweep_svg, save_sweep_svg
 
-__all__ = ["render_sweep_svg", "save_sweep_svg"]
+__all__ = [
+    "render_sweep_svg",
+    "save_sweep_svg",
+    "render_flamegraph_svg",
+    "save_flamegraph_svg",
+]

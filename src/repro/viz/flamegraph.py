@@ -1,0 +1,151 @@
+"""Dependency-free flamegraph SVG rendering from folded stacks.
+
+Takes the folded-stack lines produced by :mod:`repro.obs.export`
+(``frame;frame;frame weight`` — the input format of Brendan Gregg's
+``flamegraph.pl``) and renders a standalone SVG: one box per stack
+frame, width proportional to its inclusive weight, children stacked
+above parents.  Colors are derived deterministically from the frame
+name via :func:`repro.rng.stable_hash`, so the same stack renders
+identically everywhere.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.rng import stable_hash
+
+__all__ = ["parse_folded", "render_flamegraph_svg", "save_flamegraph_svg"]
+
+_BOX_H = 18
+_FONT = 11
+_MIN_TEXT_W = 35.0
+
+
+class _Frame:
+    """One node of the flame tree."""
+
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.children: dict[str, _Frame] = {}
+
+    def child(self, name: str) -> "_Frame":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _Frame(name)
+        return node
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children.values())
+
+
+def parse_folded(lines: list[str]) -> _Frame:
+    """Build the flame tree from folded-stack lines.
+
+    Each line is ``frame;frame;... weight`` with a non-negative integer
+    weight; malformed lines raise :class:`~repro.errors.AnalysisError`.
+    """
+    root = _Frame("all")
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, sep, weight_s = line.rpartition(" ")
+        if not sep or not stack:
+            raise AnalysisError(f"folded line {lineno}: missing weight in {line!r}")
+        try:
+            weight = float(weight_s)
+        except ValueError as exc:
+            raise AnalysisError(
+                f"folded line {lineno}: weight {weight_s!r} is not a number"
+            ) from exc
+        if weight < 0:
+            raise AnalysisError(f"folded line {lineno}: negative weight {weight}")
+        node = root
+        node.value += weight
+        for frame in stack.split(";"):
+            node = node.child(frame or "(anonymous)")
+            node.value += weight
+    return root
+
+
+def _color(name: str) -> str:
+    """Deterministic warm color for a frame name."""
+    h = stable_hash(name)
+    r = 205 + (h & 0x1F)  # 205..236
+    g = 80 + ((h >> 5) & 0x5F)  # 80..174
+    b = 30 + ((h >> 12) & 0x1F)  # 30..61
+    return f"rgb({r},{g},{b})"
+
+
+def render_flamegraph_svg(
+    lines: list[str], *, title: str = "Flame Graph", width: int = 1000
+) -> str:
+    """Render folded stacks as a standalone SVG flamegraph.
+
+    Box widths are proportional to inclusive weight; every box carries a
+    ``<title>`` tooltip with the frame name, weight, and share.
+    """
+    root = parse_folded(lines)
+    if root.value <= 0:
+        raise AnalysisError("flamegraph input has zero total weight")
+    depth = root.depth()
+    height = (depth + 1) * _BOX_H + 24
+    scale = width / root.value
+    boxes: list[str] = []
+
+    def emit(node: _Frame, x: float, level: int) -> None:
+        w = node.value * scale
+        y = height - (level + 1) * _BOX_H - 2
+        pct = node.value / root.value
+        name = escape(node.name)
+        boxes.append(
+            f'<g><title>{name} ({node.value:.0f}, {pct:.1%})</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+            f'height="{_BOX_H - 1}" fill="{_color(node.name)}" rx="1"/>'
+            + (
+                f'<text x="{x + 3:.2f}" y="{y + _BOX_H - 6}" '
+                f'font-size="{_FONT}" font-family="monospace">'
+                f"{escape(_fit(node.name, w))}</text>"
+                if w >= _MIN_TEXT_W
+                else ""
+            )
+            + "</g>"
+        )
+        cx = x
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            emit(child, cx, level + 1)
+            cx += child.value * scale
+
+    emit(root, 0.0, 0)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f'<rect width="100%" height="100%" fill="#fdfdfd"/>'
+        f'<text x="{width / 2:.0f}" y="15" text-anchor="middle" '
+        f'font-size="13" font-family="sans-serif">{escape(title)}</text>'
+        + "".join(boxes)
+        + "</svg>"
+    )
+
+
+def _fit(name: str, box_width: float) -> str:
+    """Truncate a label to what fits in a box of ``box_width`` pixels."""
+    max_chars = max(1, int(box_width / (_FONT * 0.62)))
+    if len(name) <= max_chars:
+        return name
+    return name[: max(1, max_chars - 1)] + "…"
+
+
+def save_flamegraph_svg(
+    lines: list[str], path: str | Path, *, title: str = "Flame Graph", width: int = 1000
+) -> None:
+    """Render and write a flamegraph SVG file."""
+    Path(path).write_text(render_flamegraph_svg(lines, title=title, width=width))

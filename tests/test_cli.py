@@ -30,6 +30,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "9"])
 
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_export_requires_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "export", "j.jsonl"])
+
+    def test_obs_export_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["obs", "export", "j.jsonl", "--format", "xml"]
+            )
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -153,6 +167,115 @@ class TestCommands:
             main(["trace", "ffmpeg", "--instance", "Large", "--timeline"]) == 0
         )
         assert "timeline" in capsys.readouterr().out
+
+    def test_trace_exports(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        folded = tmp_path / "stacks.folded"
+        svg = tmp_path / "flame.svg"
+        assert (
+            main(
+                [
+                    "trace", "ffmpeg", "--instance", "Large",
+                    "--chrome", str(chrome),
+                    "--folded", str(folded),
+                    "--flamegraph", str(svg),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "i", "M") for e in doc["traceEvents"])
+        assert all(
+            " " in line for line in folded.read_text().strip().splitlines()
+        )
+        assert svg.read_text().startswith("<svg")
+
+    def test_run_with_journal(self, capsys, tmp_path):
+        from repro.obs import read_journal
+
+        journal = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "run", "ffmpeg", "--instance", "Large",
+                    "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        assert "journal" in capsys.readouterr().out
+        events = read_journal(journal)
+        assert [e.kind for e in events] == ["run-started", "run-finished"]
+        assert events[1].duration > 0
+        assert events[1].extra["sched_events"] > 0
+
+    def test_report_journal_and_obs_commands(self, capsys, tmp_path):
+        """End-to-end observability loop: journal a small campaign, then
+        summarize and export it in all three formats."""
+        import json
+
+        from repro.obs import read_journal
+
+        journal = tmp_path / "campaign.jsonl"
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--only", "fig7", "--reps-fast", "1",
+                    "--out", str(out), "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events = read_journal(journal)  # schema-validates every line
+        kinds = {e.kind for e in events}
+        assert {"campaign-started", "campaign-finished", "cell-queued",
+                "cell-finished"} <= kinds
+
+        assert main(["obs", "summary", str(journal)]) == 0
+        assert "slowest cells" in capsys.readouterr().out
+
+        chrome = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "obs", "export", str(journal),
+                    "--format", "chrome", "--out", str(chrome),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(chrome.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+        svg = tmp_path / "flame.svg"
+        assert (
+            main(
+                [
+                    "obs", "export", str(journal),
+                    "--format", "folded", "--svg", str(svg),
+                ]
+            )
+            == 0
+        )
+        folded_out = capsys.readouterr().out
+        assert any(
+            line.startswith("campaign;") for line in folded_out.splitlines()
+        )
+        assert svg.read_text().startswith("<svg")
+
+        assert main(["obs", "export", str(journal), "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "repro_cells_completed_total" in prom
+
+    def test_obs_summary_missing_journal(self, capsys, tmp_path):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
 
     def test_sensitivity_command(self, capsys):
         assert (

@@ -26,8 +26,10 @@ from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.platforms.base import PlatformKind
 from repro.rng import StreamSpec
 from repro.run.campaign import Campaign, run_campaign
-from repro.run.experiment import ExperimentSpec
+from repro.errors import AttemptFailure
+from repro.run.experiment import ExperimentSpec, platform_sweep_spec
 from repro.run.parallel import (
+    CachedCell,
     CellTask,
     ParallelRunner,
     cell_tasks,
@@ -200,6 +202,10 @@ class TestFailureInjection:
         assert err.reason == "exception"
         assert err.attempts == 2  # first try + one retry
         assert "permanent failure" in str(err)
+        assert len(err.failures) == 2
+        assert [f.attempt for f in err.failures] == [1, 2]
+        assert all(isinstance(f, AttemptFailure) for f in err.failures)
+        assert all("permanent failure" in f.error for f in err.failures)
 
     def test_timeout_surfaces_instead_of_hanging(self):
         runner = ParallelRunner(2, timeout=0.2, retries=0)
@@ -217,8 +223,21 @@ class TestFailureInjection:
         assert os.path.exists(sentinel)
 
     def test_inline_retries_exhausted(self):
-        with pytest.raises(ParallelExecutionError):
+        with pytest.raises(ParallelExecutionError) as exc_info:
             ParallelRunner(1, retries=1).run_tasks(_always_fails, [1])
+        err = exc_info.value
+        assert len(err.failures) == 2
+        # the inline path runs in this process, so the worker id is known
+        assert all(f.worker == f"pid-{os.getpid()}" for f in err.failures)
+        assert "history" in str(err)
+
+    def test_timeout_error_carries_failure_history(self):
+        runner = ParallelRunner(2, timeout=0.2, retries=0)
+        with pytest.raises(ParallelExecutionError) as exc_info:
+            runner.run_tasks(_sleepy_worker, [30.0])
+        err = exc_info.value
+        assert len(err.failures) == 1
+        assert "timeout" in err.failures[0].error
 
 
 class TestRunnerConfig:
@@ -275,22 +294,28 @@ class TestCacheIntegration:
         )
         assert sweep_json(cached) == sweep_json(sweep)
 
-    def test_warm_cache_submits_nothing(self, tmp_path):
-        """Cache probe happens before submission: a warm cache produces
-        zero progress events (no cells ran)."""
+    def test_warm_cache_reports_tagged_progress(self, tmp_path):
+        """Cache probe happens before submission, but the resolved cells
+        still reach the progress callback — as tagged cache hits with an
+        accurate (done, total) — instead of silently vanishing."""
         cache = SweepCache(tmp_path)
         wl = SyntheticWorkload(threads_per_process=2, phases=2)
         insts = [instance_type("Large")]
         run_platform_sweep(wl, insts, reps=1, seed=3, cache=cache)
 
-        events: list[int] = []
+        events: list[tuple[int, int, object]] = []
         runner = ParallelRunner(
-            2, progress=lambda d, t, task: events.append(d)
+            2, progress=lambda d, t, task: events.append((d, t, task))
         )
         run_platform_sweep(
             wl, insts, reps=1, seed=3, runner=runner, cache=cache
         )
-        assert events == []
+        spec = platform_sweep_spec(wl, insts, reps=1, seed=3)
+        tasks, _ = cell_tasks(spec)
+        assert [d for d, _, _ in events] == list(range(1, len(tasks) + 1))
+        assert all(t == len(tasks) for _, t, _ in events)
+        assert all(isinstance(p, CachedCell) and p.cached for _, _, p in events)
+        assert [p.label for _, _, p in events] == [t.label for t in tasks]
 
     def test_serial_and_parallel_share_cache_entries(self, tmp_path):
         """Identical spec -> identical fingerprint -> one cache entry,

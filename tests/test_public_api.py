@@ -16,6 +16,7 @@ PUBLIC_PACKAGES = [
     "repro.cgroups",
     "repro.engine",
     "repro.hostmodel",
+    "repro.obs",
     "repro.platforms",
     "repro.run",
     "repro.sched",

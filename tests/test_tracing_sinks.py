@@ -1,0 +1,76 @@
+"""Tests for the engine trace sinks (:mod:`repro.engine.tracing`).
+
+Tracing is strictly opt-in: attaching any sink must not perturb the
+simulation, the null sink must stay a no-op, and the counting sink must
+agree with the recording sink on every event kind.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.events import EventKind, TraceEvent
+from repro.engine.tracing import CountingTraceSink, ListTraceSink, NullTraceSink
+from repro.hostmodel.topology import r830_host
+from repro.platforms.provisioning import instance_type
+from repro.platforms.registry import make_platform
+from repro.rng import RngFactory
+from repro.run.execution import run_once
+from repro.workloads.ffmpeg import FfmpegWorkload
+
+
+def _run(sink=None):
+    rng = RngFactory(seed=11).fresh_stream("tracing-sinks")
+    return run_once(
+        FfmpegWorkload(video_seconds=0.5, n_sync_chunks=4),
+        make_platform("CN", instance_type("Large"), "vanilla"),
+        r830_host(),
+        rng=rng,
+        trace=sink,
+    )
+
+
+class TestSinkBehavior:
+    def test_list_sink_preserves_order_and_time(self):
+        sink = ListTraceSink()
+        _run(sink)
+        assert sink.events, "a real run must emit events"
+        times = [e.time for e in sink.events]
+        assert times == sorted(times)
+        assert all(isinstance(e, TraceEvent) for e in sink.events)
+
+    def test_list_sink_kind_filter(self):
+        full = ListTraceSink()
+        _run(full)
+        done_only = ListTraceSink(kinds={EventKind.THREAD_DONE})
+        _run(done_only)
+        assert len(done_only.events) == full.count(EventKind.THREAD_DONE)
+        assert all(
+            e.kind is EventKind.THREAD_DONE for e in done_only.events
+        )
+
+    def test_counting_sink_matches_list_sink(self):
+        counting, recording = CountingTraceSink(), ListTraceSink()
+        _run(counting)
+        _run(recording)
+        assert counting.total == len(recording.events)
+        for kind, n in counting.counts.items():
+            assert recording.count(kind) == n
+        assert all(n > 0 for n in counting.counts.values())
+
+    def test_counting_sink_starts_empty(self):
+        sink = CountingTraceSink()
+        assert sink.total == 0
+        assert sink.counts == {}
+
+    def test_null_sink_is_noop(self):
+        NullTraceSink().emit(None)  # type: ignore[arg-type]
+
+
+class TestOptInCost:
+    def test_sinks_do_not_perturb_results(self):
+        """The acceptance bar for opt-in telemetry: identical results
+        with no sink, the null sink, and the full recording sink."""
+        baseline = json.dumps(_run(None).to_dict(), sort_keys=True)
+        for sink in (NullTraceSink(), ListTraceSink(), CountingTraceSink()):
+            assert json.dumps(_run(sink).to_dict(), sort_keys=True) == baseline
