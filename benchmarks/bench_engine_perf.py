@@ -1,9 +1,14 @@
 """Engine micro-benchmarks: simulation throughput itself.
 
 Not a paper artifact — these track the performance of the simulator so
-that regressions in the vectorized event loop are caught.  Timed with
-full pytest-benchmark statistics (multiple rounds), unlike the one-shot
-figure benches.
+that regressions in the compiled-table event loop are caught.  Timed
+with full pytest-benchmark statistics (multiple rounds), unlike the
+one-shot figure benches.
+
+The committed reference numbers for the four ``test_perf_*_run`` cases
+live in ``benchmarks/results/engine_throughput.json`` (recorded via
+``benchmarks/record_throughput.py``); CI's ``perf-smoke`` job fails only
+when a case regresses >2x against them.
 """
 
 from __future__ import annotations

@@ -10,9 +10,13 @@ arrays so each step is vectorized.
 
 * :mod:`repro.engine.events` -- event kinds and trace records;
 * :mod:`repro.engine.simulator` -- the engine;
+* :mod:`repro.engine.compile` -- columnar program tables for the hot path;
+* :mod:`repro.engine.calendar` -- wake-up heap and runnable-set index;
 * :mod:`repro.engine.tracing` -- optional per-event trace sinks.
 """
 
+from repro.engine.calendar import EventCalendar, RunnableIndex
+from repro.engine.compile import CompiledPrograms, compile_programs
 from repro.engine.events import EventKind, TraceEvent
 from repro.engine.simulator import (
     EngineConfig,
@@ -26,6 +30,10 @@ from repro.engine.tracing import ListTraceSink, NullTraceSink, TraceSink
 __all__ = [
     "EventKind",
     "TraceEvent",
+    "CompiledPrograms",
+    "compile_programs",
+    "EventCalendar",
+    "RunnableIndex",
     "Simulator",
     "EngineConfig",
     "EngineResult",

@@ -1,0 +1,180 @@
+"""Indexed event calendar for the simulation engine.
+
+Two small data structures replace the engine's per-step full-array
+scans:
+
+:class:`EventCalendar`
+    A lazy-deletion binary heap over pending wake-ups (IO and
+    communication completions) and thread arrivals.  The old loop
+    recomputed ``wake[state != _DONE].min()`` and
+    ``flatnonzero(wake <= t)`` over *all* threads at every step; the
+    calendar answers both in O(log n) amortized.  An entry ``(time,
+    tid)`` is valid iff ``time`` still equals the engine's
+    ``wake[tid]`` — the engine invalidates a wake-up simply by setting
+    ``wake[tid] = inf`` (delivery) or to a new value (reschedule), and
+    stale heap entries are discarded whenever they surface at the top.
+
+:class:`RunnableIndex`
+    An incrementally-maintained index of the runnable thread set: a
+    boolean membership mask, the total count, per-group counts, and a
+    lazily materialised sorted index array.  The engine notifies the
+    index on every state transition (O(1) each); ``flatnonzero`` runs
+    only when the membership actually changed since the last query.
+    The per-group counts double as the cache key for the engine's
+    rate/efficiency/timeslice records: two steps with the same runnable
+    multiset per group share one cached record.
+
+Neither structure performs any floating-point arithmetic of its own —
+times are stored and compared exactly as the engine computed them — so
+they cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+import numpy as np
+
+__all__ = ["EventCalendar", "RunnableIndex"]
+
+
+class EventCalendar:
+    """Lazy-deletion heap of ``(wake_time, tid)`` entries.
+
+    Parameters
+    ----------
+    wake:
+        The engine's wake-time array (shared by reference).  An entry is
+        valid iff its stored time equals ``wake[tid]`` bitwise; setting
+        ``wake[tid]`` to ``inf`` (or any other value) invalidates all
+        of that thread's outstanding entries.
+    """
+
+    __slots__ = ("_heap", "_wake")
+
+    def __init__(self, wake: np.ndarray) -> None:
+        self._heap: list[tuple[float, int]] = []
+        self._wake = wake
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        return len(self._heap)
+
+    def schedule(self, tid: int, time: float) -> None:
+        """Register that thread ``tid`` wakes at ``time``.
+
+        Must be called *after* the engine stored the same value in
+        ``wake[tid]`` (the heap entry is valid only while they agree).
+        """
+        heappush(self._heap, (time, tid))
+
+    def next_time(self) -> float:
+        """Earliest valid pending wake-up, or ``inf`` when none.
+
+        Pops stale entries encountered at the top; the valid head stays
+        in the heap.
+        """
+        heap = self._heap
+        wake = self._wake
+        while heap:
+            time, tid = heap[0]
+            if wake[tid] == time:
+                return time
+            heappop(heap)
+        return math.inf
+
+    def pop_due(self, cutoff: float) -> list[int]:
+        """Remove and return all threads with a valid wake ``<= cutoff``.
+
+        Returned tids are sorted ascending (the delivery order the
+        engine's sequential accounting depends on) and deduplicated —
+        a thread re-blocking at the exact time of a previous wake-up can
+        leave two simultaneously-valid entries for one tid.
+        """
+        heap = self._heap
+        wake = self._wake
+        due: list[int] = []
+        seen: set[int] = set()
+        while heap and heap[0][0] <= cutoff:
+            time, tid = heappop(heap)
+            if wake[tid] == time and tid not in seen:
+                seen.add(tid)
+                due.append(tid)
+        due.sort()
+        return due
+
+
+class RunnableIndex:
+    """Incrementally-maintained runnable thread set.
+
+    Attributes
+    ----------
+    mask:
+        Boolean membership mask over all threads.
+    count:
+        Number of runnable threads (``mask.sum()`` without the scan).
+    group_counts:
+        int64 per-group runnable counts; ``key()`` turns them into a
+        hashable cache key for per-multiset rate records.
+    """
+
+    __slots__ = (
+        "mask",
+        "count",
+        "group_counts",
+        "_group_of",
+        "_groups_run",
+        "_indices",
+        "_dirty",
+    )
+
+    def __init__(self, n_threads: int, n_groups: int, group_of: np.ndarray) -> None:
+        self.mask = np.zeros(n_threads, dtype=bool)
+        self.count = 0
+        self.group_counts = np.zeros(n_groups, dtype=np.int64)
+        self._group_of = group_of
+        self._groups_run = np.empty(0, dtype=np.int64)
+        self._indices = np.empty(0, dtype=np.int64)
+        self._dirty = False
+
+    def add(self, tid: int, group: int) -> None:
+        """Thread ``tid`` became runnable (caller checked it was not)."""
+        self.mask[tid] = True
+        self.count += 1
+        self.group_counts[group] += 1
+        self._dirty = True
+
+    def remove(self, tid: int, group: int) -> None:
+        """Thread ``tid`` stopped being runnable (caller checked it was)."""
+        self.mask[tid] = False
+        self.count -= 1
+        self.group_counts[group] -= 1
+        self._dirty = True
+
+    def remove_array(self, tids: np.ndarray) -> None:
+        """Batch removal (vectorized wave advance)."""
+        self.mask[tids] = False
+        self.count -= int(tids.size)
+        if self.group_counts.size == 1:
+            self.group_counts[0] -= int(tids.size)
+        else:
+            np.subtract.at(self.group_counts, self._group_of[tids], 1)
+        self._dirty = True
+
+    def indices(self) -> np.ndarray:
+        """Sorted runnable tids; rescans only after membership changed."""
+        if self._dirty:
+            self._indices = np.flatnonzero(self.mask)
+            self._groups_run = self._group_of[self._indices]
+            self._dirty = False
+        return self._indices
+
+    def groups_run(self) -> np.ndarray:
+        """Group of each runnable thread, aligned with :meth:`indices`."""
+        if self._dirty:
+            self.indices()
+        return self._groups_run
+
+    def key(self) -> bytes:
+        """Hashable key of the per-group runnable multiset."""
+        return self.group_counts.tobytes()

@@ -1,0 +1,315 @@
+"""Program compiler: columnar segment tables for the engine hot path.
+
+The simulator's inner loop used to re-discover each segment at every
+transition — ``isinstance`` dispatch, attribute loads, and per-event
+platform-penalty calls.  All of that is a pure function of the thread
+programs and the deployment's overhead constants, so it can be evaluated
+once, up front.  :func:`compile_programs` flattens every thread's segment
+list into one set of columnar numpy tables indexed by
+``seg_base[tid] + seg_ptr``:
+
+* ``kind`` — segment kind code (:data:`KIND_COMPUTE` … :data:`KIND_BARRIER`);
+* compute columns — ``work``, ``mem`` and the *precomputed* per-group
+  platform penalty ``pp``;
+* IO columns — write-penalty-adjusted device time, the fully precomputed
+  duration of network IO, the group's IO scale factor, the fixed IRQ
+  latency term, IRQ counts and the expected re-warm work / wake-migration
+  increments per issue;
+* comm columns — the fully precomputed exchange duration (local or
+  remote path);
+* barrier columns — an index into the interned rendezvous-key table;
+* mark columns — a boolean mask plus submission times for marked
+  operations, replacing per-thread dict lookups.
+
+Every precomputed value is produced by evaluating *exactly the same
+floating-point expression* the interpreted engine evaluated per event,
+on the same operands, so compiled runs are bit-for-bit identical to the
+historical per-segment dispatch.
+
+Python-list mirrors of the hot columns are materialised as well: the
+scalar advance path reads single elements, and plain ``float`` access
+through a list is several times faster than numpy scalar indexing while
+remaining IEEE-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hostmodel.irq import IrqKind
+from repro.hostmodel.network import NetworkModel
+from repro.hostmodel.storage import StorageModel
+from repro.workloads.segments import (
+    BarrierSegment,
+    CommSegment,
+    ComputeSegment,
+    IoSegment,
+    Segment,
+)
+
+__all__ = [
+    "KIND_COMPUTE",
+    "KIND_IO",
+    "KIND_COMM",
+    "KIND_BARRIER",
+    "CompiledPrograms",
+    "compile_programs",
+]
+
+# segment kind codes (values stored in CompiledPrograms.kind)
+KIND_COMPUTE = 0
+KIND_IO = 1
+KIND_COMM = 2
+KIND_BARRIER = 3
+
+
+def _barrier_key(pidx: int, seg: BarrierSegment) -> tuple[int, int]:
+    """Rendezvous key: global barriers share one namespace (-1)."""
+    return (-1 if seg.scope == "global" else pidx, seg.barrier_id)
+
+
+@dataclass
+class CompiledPrograms:
+    """Columnar tables over all segments of all threads.
+
+    Segment ``p`` of thread ``tid`` lives at flat row
+    ``seg_base[tid] + p``; a thread's rows are contiguous and
+    ``seg_count[tid]`` long.  Columns not applicable to a row's kind hold
+    zeros.  The ``*_l`` attributes are Python-list mirrors of the numpy
+    columns for fast scalar access.
+    """
+
+    n_threads: int
+    n_segments: int
+    seg_base: np.ndarray  # int64, n_threads + 1 (prefix offsets)
+    seg_count: np.ndarray  # int64, n_threads
+    kind: np.ndarray  # int8
+    work: np.ndarray  # float64: compute core-seconds
+    mem: np.ndarray  # float64: compute mem_intensity
+    pp: np.ndarray  # float64: per-group platform compute penalty
+    io_disk: np.ndarray  # bool
+    io_base: np.ndarray  # float64: device time, write penalty applied
+    io_raw: np.ndarray  # float64: unscaled device time (custom storage)
+    io_write: np.ndarray  # bool: disk IO is a write
+    io_net_dur: np.ndarray  # float64: full duration of non-disk IO
+    io_scale: np.ndarray  # float64: io_factor * thrash of the group
+    io_fixed: np.ndarray  # float64: irqs * irq_latency of the group
+    io_irqs: np.ndarray  # int64
+    io_extra: np.ndarray  # float64: irqs * wake_extra_work of the group
+    io_wakemig: np.ndarray  # float64: irqs * wake_migration_probability
+    comm_dur: np.ndarray  # float64: full exchange duration
+    bar_key: np.ndarray  # int32: index into bar_keys (-1 otherwise)
+    bar_keys: list[tuple[int, int]]
+    mark_mask: np.ndarray  # bool: segment completes a marked operation
+    mark_submit: np.ndarray  # float64: submission time of the mark
+    barrier_participants: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+
+    # list mirrors (populated by compile_programs)
+    seg_base_l: list[int] = field(default_factory=list)
+    kind_l: list[int] = field(default_factory=list)
+    work_l: list[float] = field(default_factory=list)
+    mem_l: list[float] = field(default_factory=list)
+    pp_l: list[float] = field(default_factory=list)
+    io_disk_l: list[bool] = field(default_factory=list)
+    io_base_l: list[float] = field(default_factory=list)
+    io_raw_l: list[float] = field(default_factory=list)
+    io_write_l: list[bool] = field(default_factory=list)
+    io_net_dur_l: list[float] = field(default_factory=list)
+    io_scale_l: list[float] = field(default_factory=list)
+    io_fixed_l: list[float] = field(default_factory=list)
+    io_irqs_l: list[int] = field(default_factory=list)
+    io_extra_l: list[float] = field(default_factory=list)
+    io_wakemig_l: list[float] = field(default_factory=list)
+    comm_dur_l: list[float] = field(default_factory=list)
+    bar_key_l: list[int] = field(default_factory=list)
+    mark_mask_l: list[bool] = field(default_factory=list)
+    mark_submit_l: list[float] = field(default_factory=list)
+
+    def finalize_mirrors(self) -> None:
+        """(Re)build the Python-list mirrors from the numpy columns."""
+        self.seg_base_l = self.seg_base.tolist()
+        self.kind_l = self.kind.tolist()
+        self.work_l = self.work.tolist()
+        self.mem_l = self.mem.tolist()
+        self.pp_l = self.pp.tolist()
+        self.io_disk_l = self.io_disk.tolist()
+        self.io_base_l = self.io_base.tolist()
+        self.io_raw_l = self.io_raw.tolist()
+        self.io_write_l = self.io_write.tolist()
+        self.io_net_dur_l = self.io_net_dur.tolist()
+        self.io_scale_l = self.io_scale.tolist()
+        self.io_fixed_l = self.io_fixed.tolist()
+        self.io_irqs_l = self.io_irqs.tolist()
+        self.io_extra_l = self.io_extra.tolist()
+        self.io_wakemig_l = self.io_wakemig.tolist()
+        self.comm_dur_l = self.comm_dur.tolist()
+        self.bar_key_l = self.bar_key.tolist()
+        self.mark_mask_l = self.mark_mask.tolist()
+        self.mark_submit_l = self.mark_submit.tolist()
+
+
+def compile_programs(
+    programs: list[list[Segment]],
+    proc_of: list[int],
+    group_of: list[int],
+    op_marks: dict[int, dict[int, float]],
+    deployments: list,
+    *,
+    storage: StorageModel,
+    network: NetworkModel,
+    g_wake_extra: np.ndarray,
+    g_p_wake: np.ndarray,
+    g_irq_latency: np.ndarray,
+    g_io_factor: np.ndarray,
+    g_thrash: np.ndarray,
+    g_comm_factor: np.ndarray,
+    g_net_factor: np.ndarray,
+) -> CompiledPrograms:
+    """Flatten thread programs into :class:`CompiledPrograms`.
+
+    The per-group overhead scalars are taken as arguments (rather than
+    recomputed) so the compiled values multiply exactly the operands the
+    interpreted engine multiplied.
+    """
+    n = len(programs)
+    seg_base = np.zeros(n + 1, dtype=np.int64)
+    for tid, prog in enumerate(programs):
+        seg_base[tid + 1] = seg_base[tid] + len(prog)
+    total = int(seg_base[n])
+
+    kind = np.zeros(total, dtype=np.int8)
+    work = np.zeros(total)
+    mem = np.zeros(total)
+    pp = np.zeros(total)
+    io_disk = np.zeros(total, dtype=bool)
+    io_base = np.zeros(total)
+    io_raw = np.zeros(total)
+    io_write = np.zeros(total, dtype=bool)
+    io_net_dur = np.zeros(total)
+    io_scale = np.zeros(total)
+    io_fixed = np.zeros(total)
+    io_irqs = np.zeros(total, dtype=np.int64)
+    io_extra = np.zeros(total)
+    io_wakemig = np.zeros(total)
+    comm_dur = np.zeros(total)
+    bar_key = np.full(total, -1, dtype=np.int32)
+    mark_mask = np.zeros(total, dtype=bool)
+    mark_submit = np.zeros(total)
+
+    bar_keys: list[tuple[int, int]] = []
+    bar_index: dict[tuple[int, int], int] = {}
+    barrier_participants: dict[tuple[int, int], int] = {}
+    # platform penalties are pure in (group, mem_intensity, kernel_share);
+    # memoise so 1000 identical request programs compile in O(1) lookups
+    pp_cache: dict[tuple[int, float, float], float] = {}
+    write_penalty = storage.write_penalty
+
+    for tid, prog in enumerate(programs):
+        g = group_of[tid]
+        pidx = proc_of[tid]
+        dep = deployments[g]
+        platform = dep.overhead.platform
+        calib = dep.overhead.calib
+        base = int(seg_base[tid])
+        marks = op_marks.get(tid)
+        if marks:
+            for seg_index, submitted in marks.items():
+                if 0 <= seg_index < len(prog):
+                    mark_mask[base + seg_index] = True
+                    mark_submit[base + seg_index] = submitted
+        for p, seg in enumerate(prog):
+            row = base + p
+            if isinstance(seg, ComputeSegment):
+                kind[row] = KIND_COMPUTE
+                work[row] = seg.work
+                mem[row] = seg.mem_intensity
+                key = (g, seg.mem_intensity, seg.kernel_share)
+                penalty = pp_cache.get(key)
+                if penalty is None:
+                    penalty = platform.compute_penalty(
+                        calib, seg.mem_intensity, seg.kernel_share
+                    )
+                    pp_cache[key] = penalty
+                pp[row] = penalty
+            elif isinstance(seg, IoSegment):
+                kind[row] = KIND_IO
+                disk = seg.kind is IrqKind.DISK
+                io_disk[row] = disk
+                # same products the interpreter evaluated per issue
+                scale = g_io_factor[g] * g_thrash[g]
+                fixed = seg.irqs * g_irq_latency[g]
+                io_scale[row] = scale
+                io_fixed[row] = fixed
+                io_irqs[row] = seg.irqs
+                io_extra[row] = seg.irqs * g_wake_extra[g]
+                io_wakemig[row] = seg.irqs * g_p_wake[g]
+                if disk:
+                    io_base[row] = seg.device_time * (
+                        write_penalty if seg.is_write else 1.0
+                    )
+                    io_raw[row] = seg.device_time
+                    io_write[row] = seg.is_write
+                else:
+                    device = seg.device_time
+                    device *= scale
+                    io_net_dur[row] = device + fixed
+            elif isinstance(seg, CommSegment):
+                kind[row] = KIND_COMM
+                if seg.remote:
+                    comm_dur[row] = (
+                        seg.base_latency * g_net_factor[g]
+                        + seg.cpu_work
+                        + network.transfer_time(
+                            seg.message_bytes,
+                            stack_factor=g_net_factor[g],
+                        )
+                    )
+                else:
+                    comm_dur[row] = (
+                        seg.base_latency * g_comm_factor[g] + seg.cpu_work
+                    )
+            else:  # BarrierSegment
+                kind[row] = KIND_BARRIER
+                key = _barrier_key(pidx, seg)
+                idx = bar_index.get(key)
+                if idx is None:
+                    idx = len(bar_keys)
+                    bar_index[key] = idx
+                    bar_keys.append(key)
+                bar_key[row] = idx
+                barrier_participants[key] = (
+                    barrier_participants.get(key, 0) + 1
+                )
+
+    tables = CompiledPrograms(
+        n_threads=n,
+        n_segments=total,
+        seg_base=seg_base,
+        seg_count=np.diff(seg_base),
+        kind=kind,
+        work=work,
+        mem=mem,
+        pp=pp,
+        io_disk=io_disk,
+        io_base=io_base,
+        io_raw=io_raw,
+        io_write=io_write,
+        io_net_dur=io_net_dur,
+        io_scale=io_scale,
+        io_fixed=io_fixed,
+        io_irqs=io_irqs,
+        io_extra=io_extra,
+        io_wakemig=io_wakemig,
+        comm_dur=comm_dur,
+        bar_key=bar_key,
+        bar_keys=bar_keys,
+        mark_mask=mark_mask,
+        mark_submit=mark_submit,
+        barrier_participants=barrier_participants,
+    )
+    tables.finalize_mirrors()
+    return tables

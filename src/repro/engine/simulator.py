@@ -36,6 +36,34 @@ Overheads are charged **in expectation** (probability x penalty per
 event); run-to-run variance comes from the workload builders' seeded
 jitter, mirroring how the paper's confidence intervals capture measured
 noise.
+
+Hot-path architecture
+---------------------
+The event loop is built around three components, all chosen so the
+results stay **bit-for-bit identical** to a straightforward per-segment
+interpreter (every floating-point operation happens in the same order on
+the same operands):
+
+* **Compiled program tables** (:mod:`repro.engine.compile`): each
+  thread's segment list is flattened up front into columnar tables —
+  segment kinds, compute work, precomputed per-group platform penalties,
+  IO and communication durations — so a segment transition is a handful
+  of list lookups instead of ``isinstance`` dispatch and per-event
+  overhead-model calls.
+
+* **Indexed event calendar** (:mod:`repro.engine.calendar`): pending
+  wake-ups and arrivals live in a lazy-deletion heap, and the runnable
+  set in an incrementally-maintained index, replacing per-step
+  full-array scans (``flatnonzero`` over all threads, ``min`` over all
+  pending wakes).
+
+* **Cached rate records**: the per-group share/efficiency/timeslice
+  computation depends only on the per-group runnable multiset, so it is
+  computed once per distinct multiset and reused; counter accumulation
+  collapses to scalar arithmetic on cached coefficients.  Homogeneous
+  completion waves (many identical threads finishing in one step) are
+  advanced through a vectorized batch path with the order-sensitive
+  parts (disk-queue depth, float accumulation order) kept sequential.
 """
 
 from __future__ import annotations
@@ -45,21 +73,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.calendar import EventCalendar, RunnableIndex
+from repro.engine.compile import (
+    KIND_BARRIER,
+    KIND_COMPUTE,
+    KIND_IO,
+    CompiledPrograms,
+    compile_programs,
+)
 from repro.engine.events import EventKind, TraceEvent
 from repro.engine.tracing import NullTraceSink, TraceSink
 from repro.errors import SimulationError
-from repro.hostmodel.irq import IrqKind
 from repro.hostmodel.network import NetworkModel
 from repro.hostmodel.storage import StorageModel
 from repro.sched.accounting import OverheadModel
 from repro.trace.counters import PerfCounters
 from repro.workloads.base import ProcessSpec
-from repro.workloads.segments import (
-    BarrierSegment,
-    CommSegment,
-    ComputeSegment,
-    IoSegment,
-)
 
 __all__ = [
     "EngineConfig",
@@ -82,10 +111,8 @@ _CAUSE_COMM = 2
 
 _EPS = 1e-12
 
-
-def _barrier_key(pidx: int, seg: BarrierSegment) -> tuple[int, int]:
-    """Rendezvous key: global barriers share one namespace (-1)."""
-    return (-1 if seg.scope == "global" else pidx, seg.barrier_id)
+# completion waves at least this large take the vectorized batch path
+_WAVE_MIN = 8
 
 
 def _waterfill(weights: np.ndarray, capacity: float) -> np.ndarray:
@@ -346,7 +373,6 @@ class Simulator:
         weights = []
         arrivals = []
         op_marks: dict[int, dict[int, float]] = {}
-        barrier_participants: dict[tuple[int, int], int] = {}
         tid = 0
         pidx = 0
         for gidx, dep in enumerate(deployments):
@@ -361,12 +387,6 @@ class Simulator:
                         op_marks[tid] = {
                             m.seg_index: m.submitted_at for m in th.op_marks
                         }
-                    for seg in th.program:
-                        if isinstance(seg, BarrierSegment):
-                            key = _barrier_key(pidx, seg)
-                            barrier_participants[key] = (
-                                barrier_participants.get(key, 0) + 1
-                            )
                     tid += 1
                 pidx += 1
 
@@ -375,7 +395,6 @@ class Simulator:
         self.programs = programs
         self.proc_of = proc_of
         self.op_marks = op_marks
-        self.barrier_participants = barrier_participants
 
         self.state = np.full(n, _PRE, dtype=np.int8)
         self.remaining = np.zeros(n)
@@ -393,9 +412,6 @@ class Simulator:
         self._uniform_weights = bool(
             np.all(self.thread_weight == self.thread_weight[0])
         )
-
-        self.barrier_remaining = dict(self.barrier_participants)
-        self.barrier_waiters: dict[tuple[int, int], list[int]] = {}
 
         self.outstanding_disk = 0
         self.counters = PerfCounters()
@@ -450,19 +466,199 @@ class Simulator:
             [d.overhead.cgroup_switch_cost for d in deployments]
         )
 
-    # ------------------------------------------------------------------
-    # segment transitions
+        # --- compiled tables + calendar + runnable index -------------------
+        self._compiled: CompiledPrograms = compile_programs(
+            programs,
+            proc_of,
+            group_of_list,
+            op_marks,
+            deployments,
+            storage=storage,
+            network=network,
+            g_wake_extra=self._g_wake_extra,
+            g_p_wake=self._g_p_wake,
+            g_irq_latency=self._g_irq_latency,
+            g_io_factor=self._g_io_factor,
+            g_thrash=self._g_thrash,
+            g_comm_factor=self._g_comm_factor,
+            g_net_factor=self._g_net_factor,
+        )
+        self.barrier_participants = self._compiled.barrier_participants
+        self.barrier_remaining = dict(self.barrier_participants)
+        self.barrier_waiters: dict[tuple[int, int], list[int]] = {}
 
-    def _record_mark(self, i: int, t: float) -> None:
-        marks = self.op_marks.get(i)
-        if marks is None:
-            return
-        submitted = marks.get(int(self.seg_ptr[i]))
-        if submitted is not None:
-            response = t - submitted
-            self.op_responses.append(response)
-            self.op_group.append(int(self.group_of[i]))
-            self.trace.emit(TraceEvent(t, EventKind.OP_COMPLETE, i, response))
+        self._group_of_l = group_of_list
+        self._calendar = EventCalendar(self.wake)
+        for j, a in enumerate(arrivals):
+            self._calendar.schedule(j, a)
+        self._index = RunnableIndex(n, self.n_groups, self.group_of)
+        self._gm = np.zeros(n)  # gamma * mem_intensity of current segment
+
+        # emit calls are skipped entirely for the exact null sink; traced
+        # runs keep the fully sequential path so the event stream is the
+        # interpreter's, event for event
+        self._traced = type(trace) is not NullTraceSink
+        self._single = self.n_groups == 1 and self._uniform_weights
+        self._plain_storage = type(storage) is StorageModel
+        self._disk_conc = storage.effective_concurrency
+
+        # scalar mirrors of the per-group constants (single-group path)
+        self._cap0 = float(self._g_capacity[0])
+        self._thrash0 = float(self._g_thrash[0])
+        self._steady0 = float(self._g_steady[0])
+        self._bg0 = float(self._g_background[0])
+        self._p_mig0 = float(self._g_p_mig[0])
+        self._cgsw0 = float(self._g_cgroup_switch[0])
+
+        # rate records keyed by the runnable multiset (see _sg_record)
+        self._sg_cache: dict[int, tuple] = {}
+        self._mg_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # rate records
+    #
+    # Everything the step needs that depends only on the per-group
+    # runnable counts — shares, efficiency, migration slowdown, event
+    # rate, timeslice, and the counter coefficients derived from them —
+    # is computed once per distinct runnable multiset and cached.  The
+    # record computations replay the historical per-step expressions
+    # verbatim, so a cache hit yields the same bits as a recompute.
+
+    def _sg_record(self, n_run: int) -> tuple:
+        """Rate record for the single-group uniform-weights fast path."""
+        n = float(n_run)
+        cap = self._cap0
+        host_scale = min(1.0, self.host_capacity / min(n, cap))
+        osr = n / cap
+        ov = self.deployments[0].overhead
+        eff = ov.efficiency(osr)
+        mig = ov.migration_slowdown(osr)
+        er = self._cfs.event_rate(osr)
+        ts = self._cfs.timeslice(osr)
+        osr_host = n_run / self.host_capacity
+        cfac = min(1.0, max(0.0, osr_host - 1.0) / self._osr_ref)
+        share = min(1.0, cap / n) * host_scale
+        busy = n * share
+        rec = (
+            cfac,
+            mig,
+            share * eff,  # rate numerator
+            busy,
+            er * busy,  # scheduling events per unit time
+            busy * eff,  # useful core-seconds per unit time
+            self._steady0 * busy,
+            self._bg0 * busy,
+            1.0 - 1.0 / mig,
+            float(ts),
+        )
+        self._sg_cache[n_run] = rec
+        return rec
+
+    def _mg_record(self, key) -> tuple:
+        """Rate record for the general (multi-group / weighted) path."""
+        index = self._index
+        n_g = index.group_counts.astype(float)
+        active = n_g > 0
+        alloc = np.minimum(n_g, self._g_capacity)
+        total_alloc = float(alloc.sum())
+        host_scale = min(1.0, self.host_capacity / total_alloc)
+
+        osr_g = np.divide(
+            n_g, self._g_capacity, out=np.zeros_like(n_g), where=active
+        )
+        osr_host = index.count / self.host_capacity
+        share_g = (
+            np.minimum(1.0, np.divide(
+                self._g_capacity, n_g, out=np.ones_like(n_g), where=active
+            ))
+            * host_scale
+        )
+        eff_g = np.ones(self.n_groups)
+        mig_g = np.ones(self.n_groups)
+        event_rate_g = np.zeros(self.n_groups)
+        timeslice_g = np.zeros(self.n_groups)
+        for g in range(self.n_groups):
+            if not active[g]:
+                continue
+            ov = self.deployments[g].overhead
+            eff_g[g] = ov.efficiency(float(osr_g[g]))
+            mig_g[g] = ov.migration_slowdown(float(osr_g[g]))
+            event_rate_g[g] = self._cfs.event_rate(float(osr_g[g]))
+            timeslice_g[g] = self._cfs.timeslice(float(osr_g[g]))
+        cfac = min(1.0, max(0.0, osr_host - 1.0) / self._osr_ref)
+        busy_g = n_g * share_g
+        rec = (
+            cfac,
+            mig_g,
+            share_g * eff_g,  # per-group rate numerator
+            eff_g,
+            host_scale,
+            busy_g,
+            event_rate_g * busy_g,  # events per unit time
+            float(busy_g.sum()),
+            float((busy_g * eff_g).sum()),
+            float((self._g_steady * busy_g).sum()),
+            float((self._g_background * busy_g).sum()),
+            1.0 - 1.0 / mig_g,
+            [
+                (float(timeslice_g[g]), float(busy_g[g]))
+                for g in range(self.n_groups)
+                if active[g]
+            ],
+        )
+        self._mg_cache[key] = rec
+        return rec
+
+    # ------------------------------------------------------------------
+    # segment transitions (compiled scalar path)
+
+    def _issue_io(self, j: int, row: int, t: float) -> None:
+        """Block thread ``j`` on the IO segment at table ``row``."""
+        c = self._compiled
+        if c.io_disk_l[row]:
+            out = self.outstanding_disk + 1
+            if self._plain_storage:
+                conc = self._disk_conc
+                device = c.io_base_l[row] * (
+                    1.0 if out <= conc else out / conc
+                )
+            else:
+                device = self.storage.device_time(
+                    c.io_raw_l[row],
+                    is_write=c.io_write_l[row],
+                    outstanding_ios=out,
+                )
+            device = device * c.io_scale_l[row]
+            duration = device + c.io_fixed_l[row]
+            self.outstanding_disk = out
+            self.is_disk_io[j] = True
+        else:
+            duration = c.io_net_dur_l[row]
+            self.is_disk_io[j] = False
+        self.blocked_cause[j] = _CAUSE_IO
+        wake_t = t + duration
+        self.wake[j] = wake_t
+        self._calendar.schedule(j, wake_t)
+        self.pending_extra[j] += c.io_extra_l[row]
+        cnt = self.counters
+        cnt.irqs += c.io_irqs_l[row]
+        cnt.wake_migrations += c.io_wakemig_l[row]
+        cnt.io_blocked_seconds += duration
+        if self._traced:
+            self.trace.emit(TraceEvent(t, EventKind.IO_ISSUE, j, duration))
+
+    def _issue_comm(self, j: int, row: int, t: float) -> None:
+        """Block thread ``j`` on the communication segment at ``row``."""
+        c = self._compiled
+        duration = c.comm_dur_l[row]
+        self.blocked_cause[j] = _CAUSE_COMM
+        self.is_disk_io[j] = False
+        wake_t = t + duration
+        self.wake[j] = wake_t
+        self._calendar.schedule(j, wake_t)
+        self.counters.comm_blocked_seconds += duration
+        if self._traced:
+            self.trace.emit(TraceEvent(t, EventKind.COMM_ISSUE, j, duration))
 
     def _advance(self, i: int, t: float) -> None:
         """Move thread ``i`` past its just-completed segment at time ``t``.
@@ -475,105 +671,157 @@ class Simulator:
             self._advance_one(j, t, queue)
 
     def _advance_one(self, j: int, t: float, queue: list[int]) -> None:
-        if self.seg_ptr[j] >= 0:
-            self._record_mark(j, t)
-        program = self.programs[j]
-        g = int(self.group_of[j])
-        dep = self.deployments[g]
+        c = self._compiled
+        base = c.seg_base_l[j]
+        end = c.seg_base_l[j + 1]
+        row = base + int(self.seg_ptr[j])
+        if row >= base:  # a segment just completed: record its mark
+            if c.mark_mask_l[row]:
+                response = t - c.mark_submit_l[row]
+                self.op_responses.append(response)
+                self.op_group.append(self._group_of_l[j])
+                if self._traced:
+                    self.trace.emit(
+                        TraceEvent(t, EventKind.OP_COMPLETE, j, response)
+                    )
+        index = self._index
+        mask = index.mask
+        kind_l = c.kind_l
         while True:
-            self.seg_ptr[j] += 1
-            ptr = int(self.seg_ptr[j])
-            if ptr >= len(program):
+            row += 1
+            if row >= end:
+                self.seg_ptr[j] = row - base
                 self.state[j] = _DONE
                 self.finish[j] = t
                 self.n_done += 1
-                self.trace.emit(TraceEvent(t, EventKind.THREAD_DONE, j))
+                if mask[j]:
+                    index.remove(j, self._group_of_l[j])
+                if self._traced:
+                    self.trace.emit(TraceEvent(t, EventKind.THREAD_DONE, j))
                 return
-            seg = program[ptr]
-            if isinstance(seg, ComputeSegment):
+            k = kind_l[row]
+            if k == KIND_COMPUTE:
+                self.seg_ptr[j] = row - base
                 self.state[j] = _RUN
                 # re-warm work owed from preceding IRQ wake-ups executes
                 # at the head of the next compute burst
-                self.remaining[j] = seg.work + self.pending_extra[j]
+                self.remaining[j] = c.work_l[row] + self.pending_extra[j]
                 self.pending_extra[j] = 0.0
-                self.mem_int[j] = seg.mem_intensity
-                self.platform_penalty[j] = dep.overhead.platform.compute_penalty(
-                    dep.overhead.calib, seg.mem_intensity, seg.kernel_share
-                )
+                self.mem_int[j] = c.mem_l[row]
+                self.platform_penalty[j] = c.pp_l[row]
+                self._gm[j] = self._gamma * c.mem_l[row]
                 self.wake[j] = np.inf
+                if not mask[j]:
+                    index.add(j, self._group_of_l[j])
                 return
-            if isinstance(seg, IoSegment):
-                duration = self._io_duration(seg, g)
+            if k == KIND_IO:
+                self.seg_ptr[j] = row - base
                 self.state[j] = _BLOCK
-                self.blocked_cause[j] = _CAUSE_IO
-                disk = seg.kind is IrqKind.DISK
-                self.is_disk_io[j] = disk
-                if disk:
-                    self.outstanding_disk += 1
-                self.wake[j] = t + duration
-                self.pending_extra[j] += seg.irqs * self._g_wake_extra[g]
-                self.counters.irqs += seg.irqs
-                self.counters.wake_migrations += seg.irqs * self._g_p_wake[g]
-                self.counters.io_blocked_seconds += duration
-                self.trace.emit(TraceEvent(t, EventKind.IO_ISSUE, j, duration))
+                if mask[j]:
+                    index.remove(j, self._group_of_l[j])
+                self._issue_io(j, row, t)
                 return
-            if isinstance(seg, CommSegment):
-                if seg.remote:
-                    # network path: the whole exchange rides the (virtual)
-                    # NIC stack, not the in-host communication path
-                    duration = (
-                        seg.base_latency * self._g_net_factor[g]
-                        + seg.cpu_work
-                        + self.network.transfer_time(
-                            seg.message_bytes,
-                            stack_factor=self._g_net_factor[g],
+            if k == KIND_BARRIER:
+                self.seg_ptr[j] = row - base
+                key = c.bar_keys[c.bar_key_l[row]]
+                rem = self.barrier_remaining[key] - 1
+                self.barrier_remaining[key] = rem
+                if rem > 0:
+                    self.state[j] = _BARRIER
+                    self.barrier_enter[j] = t
+                    self.wake[j] = np.inf
+                    if mask[j]:
+                        index.remove(j, self._group_of_l[j])
+                    self.barrier_waiters.setdefault(key, []).append(j)
+                    if self._traced:
+                        self.trace.emit(
+                            TraceEvent(t, EventKind.BARRIER_WAIT, j, key[1])
                         )
+                    return
+                # last arriver: release everyone else, continue own program
+                waiters = self.barrier_waiters.pop(key, [])
+                cnt = self.counters
+                enter = self.barrier_enter
+                for w in waiters:
+                    cnt.barrier_blocked_seconds += t - enter[w]
+                    queue.append(w)
+                if self._traced:
+                    self.trace.emit(
+                        TraceEvent(t, EventKind.BARRIER_RELEASE, j, key[1])
                     )
-                else:
-                    duration = (
-                        seg.base_latency * self._g_comm_factor[g] + seg.cpu_work
-                    )
-                self.state[j] = _BLOCK
-                self.blocked_cause[j] = _CAUSE_COMM
-                self.is_disk_io[j] = False
-                self.wake[j] = t + duration
-                self.counters.comm_blocked_seconds += duration
-                self.trace.emit(TraceEvent(t, EventKind.COMM_ISSUE, j, duration))
-                return
-            # BarrierSegment
-            key = _barrier_key(self.proc_of[j], seg)
-            self.barrier_remaining[key] -= 1
-            if self.barrier_remaining[key] > 0:
-                self.state[j] = _BARRIER
-                self.barrier_enter[j] = t
-                self.wake[j] = np.inf
-                self.barrier_waiters.setdefault(key, []).append(j)
-                self.trace.emit(
-                    TraceEvent(t, EventKind.BARRIER_WAIT, j, seg.barrier_id)
-                )
-                return
-            # last arriver: release everyone else, then continue own program
-            waiters = self.barrier_waiters.pop(key, [])
-            for w in waiters:
-                self.counters.barrier_blocked_seconds += t - self.barrier_enter[w]
-                queue.append(w)
-            self.trace.emit(
-                TraceEvent(t, EventKind.BARRIER_RELEASE, j, seg.barrier_id)
-            )
-            # fall through: loop to this thread's next segment
+                continue  # fall through to this thread's next segment
+            # KIND_COMM
+            self.seg_ptr[j] = row - base
+            self.state[j] = _BLOCK
+            if mask[j]:
+                index.remove(j, self._group_of_l[j])
+            self._issue_comm(j, row, t)
+            return
 
-    def _io_duration(self, seg: IoSegment, g: int) -> float:
-        """Wall-time of one IO segment under current disk load."""
-        if seg.kind is IrqKind.DISK:
-            device = self.storage.device_time(
-                seg.device_time,
-                is_write=seg.is_write,
-                outstanding_ios=self.outstanding_disk + 1,
-            )
-        else:
-            device = seg.device_time
-        device *= self._g_io_factor[g] * self._g_thrash[g]
-        return device + seg.irqs * self._g_irq_latency[g]
+    # ------------------------------------------------------------------
+    # vectorized wave advance
+
+    def _advance_wave(self, batch: np.ndarray, t: float) -> None:
+        """Advance a completion wave of compute segments in one pass.
+
+        Only reached when tracing is off.  Falls back to the sequential
+        path when any thread's next segment is a barrier (releases
+        cascade in data-dependent order).  Marked-operation recording
+        and IO/communication issue stay sequential in ascending thread
+        id: disk-queue depth feeds back into IO durations, and float
+        accumulation order is part of the bit-for-bit contract.
+        """
+        c = self._compiled
+        ptr = self.seg_ptr[batch]
+        rows = c.seg_base[batch] + ptr
+        nrows = rows + 1
+        live = nrows < c.seg_base[batch + 1]
+        nkind = np.where(live, c.kind[np.where(live, nrows, 0)], -1)
+        if (nkind == KIND_BARRIER).any():
+            for j in batch.tolist():
+                self.remaining[j] = 0.0
+                self._advance(j, t)
+            return
+        mm = c.mark_mask[rows]
+        if mm.any():
+            resp = self.op_responses
+            ogr = self.op_group
+            gof = self._group_of_l
+            submit = c.mark_submit_l
+            for j, row in zip(batch[mm].tolist(), rows[mm].tolist()):
+                resp.append(t - submit[row])
+                ogr.append(gof[j])
+        self.remaining[batch] = 0.0
+        self.seg_ptr[batch] = ptr + 1
+        done = ~live
+        if done.any():
+            dj = batch[done]
+            self.state[dj] = _DONE
+            self.finish[dj] = t
+            self.n_done += int(done.sum())
+        comp = nkind == KIND_COMPUTE
+        if comp.any():
+            cj = batch[comp]
+            crows = nrows[comp]
+            self.remaining[cj] = c.work[crows] + self.pending_extra[cj]
+            self.pending_extra[cj] = 0.0
+            m = c.mem[crows]
+            self.mem_int[cj] = m
+            self.platform_penalty[cj] = c.pp[crows]
+            self._gm[cj] = self._gamma * m
+            # state stays _RUN, wake stays inf: no index change
+        ioc = ~done & ~comp
+        if ioc.any():
+            self.state[batch[ioc]] = _BLOCK
+            kind_l = c.kind_l
+            for j, row in zip(batch[ioc].tolist(), nrows[ioc].tolist()):
+                if kind_l[row] == KIND_IO:
+                    self._issue_io(j, row, t)
+                else:
+                    self._issue_comm(j, row, t)
+        gone = done | ioc
+        if gone.any():
+            self._index.remove_array(batch[gone])
 
     # ------------------------------------------------------------------
     # main loop
@@ -581,6 +829,16 @@ class Simulator:
     def run(self) -> EngineResult:
         """Simulate to completion and return the results."""
         steps = 0
+        cal = self._calendar
+        index = self._index
+        traced = self._traced
+        trace = self.trace
+        cnt = self.counters
+        single = self._single
+        state = self.state
+        wake = self.wake
+        sg_cache = self._sg_cache
+        mg_cache = self._mg_cache
         while self.n_done < self.n_threads:
             steps += 1
             if steps > self.max_steps:
@@ -588,33 +846,32 @@ class Simulator:
                     f"exceeded {self.max_steps} engine steps at t={self.t:.3f}s"
                 )
 
-            # 1. deliver due wake-ups / arrivals
-            due = np.flatnonzero(
-                (self.wake <= self.t + _EPS)
-                & ((self.state == _PRE) | (self.state == _BLOCK))
-            )
-            if due.size:
+            # 1. deliver due wake-ups / arrivals (ascending thread id)
+            due = cal.pop_due(self.t + _EPS)
+            if due:
                 for j in due:
-                    j = int(j)
-                    if self.state[j] == _PRE:
-                        self.trace.emit(TraceEvent(self.t, EventKind.ARRIVAL, j))
+                    if state[j] == _PRE:
+                        if traced:
+                            trace.emit(TraceEvent(self.t, EventKind.ARRIVAL, j))
                     elif self.blocked_cause[j] == _CAUSE_IO:
                         if self.is_disk_io[j]:
                             self.outstanding_disk -= 1
-                        self.trace.emit(TraceEvent(self.t, EventKind.IO_WAKE, j))
+                        if traced:
+                            trace.emit(TraceEvent(self.t, EventKind.IO_WAKE, j))
                     else:
-                        self.trace.emit(TraceEvent(self.t, EventKind.COMM_DONE, j))
-                    self.wake[j] = np.inf
+                        if traced:
+                            trace.emit(
+                                TraceEvent(self.t, EventKind.COMM_DONE, j)
+                            )
+                    wake[j] = np.inf
                     self._advance(j, self.t)
                 continue
 
-            run_idx = np.flatnonzero(self.state == _RUN)
-            n_run = run_idx.size
+            n_run = index.count
 
             # 2. nothing runnable: jump to the next wake-up
             if n_run == 0:
-                pending = self.wake[self.state != _DONE]
-                next_wake = float(pending.min()) if pending.size else math.inf
+                next_wake = cal.next_time()
                 if not math.isfinite(next_wake):
                     raise SimulationError(
                         "deadlock: no runnable threads and no pending wake-ups "
@@ -625,69 +882,51 @@ class Simulator:
                 self.t = max(self.t, next_wake)
                 continue
 
-            # 3. two-level processor-sharing rates
-            groups_run = self.group_of[run_idx]
-            n_g = np.bincount(groups_run, minlength=self.n_groups).astype(float)
-            active = n_g > 0
-            # nominal cores each instance would occupy
-            alloc = np.minimum(n_g, self._g_capacity)
-            total_alloc = float(alloc.sum())
-            host_scale = min(1.0, self.host_capacity / total_alloc)
+            run_idx = index.indices()
 
-            osr_g = np.divide(
-                n_g, self._g_capacity, out=np.zeros_like(n_g), where=active
-            )
-            osr_host = n_run / self.host_capacity
-            share_g = (
-                np.minimum(1.0, np.divide(
-                    self._g_capacity, n_g, out=np.ones_like(n_g), where=active
-                ))
-                * host_scale
-            )
-            eff_g = np.ones(self.n_groups)
-            mig_g = np.ones(self.n_groups)
-            event_rate_g = np.zeros(self.n_groups)
-            timeslice_g = np.zeros(self.n_groups)
-            for g in range(self.n_groups):
-                if not active[g]:
-                    continue
-                ov = self.deployments[g].overhead
-                eff_g[g] = ov.efficiency(float(osr_g[g]))
-                mig_g[g] = ov.migration_slowdown(float(osr_g[g]))
-                event_rate_g[g] = self._cfs.event_rate(float(osr_g[g]))
-                timeslice_g[g] = self._cfs.timeslice(float(osr_g[g]))
-
-            contention = 1.0 + self._gamma * self.mem_int[run_idx] * min(
-                1.0, max(0.0, osr_host - 1.0) / self._osr_ref
-            )
-            slowdown = (
-                self.platform_penalty[run_idx]
-                * contention
-                * mig_g[groups_run]
-                * self._g_thrash[groups_run]
-            )
-            if self._uniform_weights:
-                thread_share = share_g[groups_run]
+            # 3. two-level processor-sharing rates (cached per multiset)
+            if single:
+                rec = sg_cache.get(n_run)
+                if rec is None:
+                    rec = self._sg_record(n_run)
+                (cfac, mig, num, busy, ev_coeff, u_coeff, s_coeff, b_coeff,
+                 migfac, ts_f) = rec
+                cont = 1.0 + self._gm[run_idx] * cfac
+                slow = self.platform_penalty[run_idx] * cont
+                slow *= mig
+                slow *= self._thrash0
+                rate = num / slow
             else:
-                # CFS group weights: water-fill each instance's capacity
-                # proportionally to the runnable threads' weights
-                thread_share = np.empty(n_run)
-                for g in range(self.n_groups):
-                    mask = groups_run == g
-                    if not mask.any():
-                        continue
-                    cap = float(self._g_capacity[g]) * host_scale
-                    thread_share[mask] = _waterfill(
-                        self.thread_weight[run_idx[mask]], cap
-                    )
-            rate = (thread_share * eff_g[groups_run]) / slowdown
+                key = n_run if self.n_groups == 1 else index.key()
+                rec = mg_cache.get(key)
+                if rec is None:
+                    rec = self._mg_record(key)
+                (cfac, mig_g, num_g, eff_g, host_scale, busy_g, ev_coeff_g,
+                 busy_sum, u_sum, s_sum, b_sum, migfac_g, ts_items) = rec
+                groups_run = index.groups_run()
+                cont = 1.0 + self._gm[run_idx] * cfac
+                slow = self.platform_penalty[run_idx] * cont
+                slow *= mig_g[groups_run]
+                slow *= self._g_thrash[groups_run]
+                if self._uniform_weights:
+                    rate = num_g[groups_run] / slow
+                else:
+                    # CFS group weights: water-fill each instance's capacity
+                    # proportionally to the runnable threads' weights
+                    thread_share = np.empty(n_run)
+                    for g in range(self.n_groups):
+                        gmask = groups_run == g
+                        if not gmask.any():
+                            continue
+                        cap = float(self._g_capacity[g]) * host_scale
+                        thread_share[gmask] = _waterfill(
+                            self.thread_weight[run_idx[gmask]], cap
+                        )
+                    rate = (thread_share * eff_g[groups_run]) / slow
 
             ttf = self.remaining[run_idx] / rate
             dt_finish = float(ttf.min())
-            blocked = (self.state == _BLOCK) | (self.state == _PRE)
-            next_wake = (
-                float(self.wake[blocked].min()) if blocked.any() else math.inf
-            )
+            next_wake = cal.next_time()
             dt = min(dt_finish, next_wake - self.t)
             if dt < 0:
                 dt = 0.0
@@ -695,35 +934,35 @@ class Simulator:
             # 4. advance and account
             if dt > 0:
                 self.remaining[run_idx] -= rate * dt
-                busy_g = n_g * share_g
-                events_g = event_rate_g * busy_g * dt
-                busy_total = float(busy_g.sum()) * dt
-                self.counters.busy_core_seconds += busy_total
-                self.counters.useful_core_seconds += float(
-                    (busy_g * eff_g).sum()
-                ) * dt
-                self.counters.sched_events += float(events_g.sum())
-                self.counters.migrations += float(
-                    (events_g * self._g_p_mig).sum()
-                )
-                self.counters.ctx_switch_time += (
-                    float(events_g.sum()) * self._ctx_cost
-                )
-                self.counters.cgroup_time += float(
-                    (self._g_steady * busy_g).sum() * dt
-                    + (events_g * self._g_cgroup_switch).sum()
-                )
-                self.counters.migration_time += float(
-                    (busy_g * dt * (1.0 - 1.0 / mig_g)).sum()
-                )
-                self.counters.background_time += float(
-                    (self._g_background * busy_g).sum() * dt
-                )
-                for g in range(self.n_groups):
-                    if active[g]:
-                        self.counters.add_timeslice(
-                            float(timeslice_g[g]), float(busy_g[g] * dt)
-                        )
+                if single:
+                    busy_dt = busy * dt
+                    e = ev_coeff * dt
+                    cnt.busy_core_seconds += busy_dt
+                    cnt.useful_core_seconds += u_coeff * dt
+                    cnt.sched_events += e
+                    cnt.migrations += e * self._p_mig0
+                    cnt.ctx_switch_time += e * self._ctx_cost
+                    cnt.cgroup_time += s_coeff * dt + e * self._cgsw0
+                    cnt.migration_time += busy_dt * migfac
+                    cnt.background_time += b_coeff * dt
+                    cnt.add_timeslice(ts_f, busy_dt)
+                else:
+                    events_g = ev_coeff_g * dt
+                    e_sum = float(events_g.sum())
+                    cnt.busy_core_seconds += busy_sum * dt
+                    cnt.useful_core_seconds += u_sum * dt
+                    cnt.sched_events += e_sum
+                    cnt.migrations += float((events_g * self._g_p_mig).sum())
+                    cnt.ctx_switch_time += e_sum * self._ctx_cost
+                    cnt.cgroup_time += float(
+                        s_sum * dt + (events_g * self._g_cgroup_switch).sum()
+                    )
+                    cnt.migration_time += float(
+                        ((busy_g * dt) * migfac_g).sum()
+                    )
+                    cnt.background_time += b_sum * dt
+                    for tsl, busy_f in ts_items:
+                        cnt.add_timeslice(tsl, busy_f * dt)
                 self.t += dt
                 if self.t > self.max_time:
                     raise SimulationError(
@@ -733,11 +972,17 @@ class Simulator:
 
             # 5. complete finished compute segments (grouped waves)
             finished = run_idx[ttf <= dt + _EPS]
-            for j in finished:
-                j = int(j)
-                self.remaining[j] = 0.0
-                self.trace.emit(TraceEvent(self.t, EventKind.COMPUTE_DONE, j))
-                self._advance(j, self.t)
+            if finished.size >= _WAVE_MIN and not traced:
+                self._advance_wave(finished, self.t)
+            else:
+                for j in finished:
+                    j = int(j)
+                    self.remaining[j] = 0.0
+                    if traced:
+                        trace.emit(
+                            TraceEvent(self.t, EventKind.COMPUTE_DONE, j)
+                        )
+                    self._advance(j, self.t)
 
         return self._build_result()
 
@@ -751,8 +996,12 @@ class Simulator:
             mask = self.group_of == g
             g_finish = finish[mask]
             g_makespan = float(np.nanmax(g_finish)) if g_finish.size else 0.0
+            # each group gets its own array: a shared empty-array object
+            # would let one group's consumer mutate every other group's
             g_resp = (
-                responses[op_groups == g] if responses.size else responses
+                responses[op_groups == g]
+                if responses.size
+                else np.empty(0, dtype=float)
             )
             groups.append(
                 GroupResult(

@@ -5,8 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.engine.calendar import EventCalendar, RunnableIndex
 from repro.engine.events import EventKind
-from repro.engine.simulator import EngineConfig, Simulator
+from repro.engine.simulator import (
+    EngineConfig,
+    InstanceDeployment,
+    Simulator,
+    _waterfill,
+)
 from repro.engine.tracing import ListTraceSink, NullTraceSink
 from repro.errors import SimulationError
 from repro.hostmodel.irq import IrqKind
@@ -268,6 +274,228 @@ class TestCounters:
     def test_timeslice_histogram_populated(self):
         res = run([proc(compute_thread(1.0))])
         assert res.counters.timeslice_weight
+
+
+class TestWaterfill:
+    def test_proportional_when_uncapped(self):
+        shares = _waterfill(np.array([1.0, 3.0]), 0.8)
+        assert shares == pytest.approx([0.2, 0.6])
+
+    def test_cap_redistributes_excess(self):
+        # the heavy thread saturates one core; the rest of the capacity
+        # is split proportionally among the remaining weights
+        shares = _waterfill(np.array([100.0, 1.0, 1.0]), 2.0)
+        assert shares[0] == 1.0
+        assert shares[1] == pytest.approx(0.5)
+        assert shares[2] == pytest.approx(0.5)
+
+    def test_capacity_exceeding_thread_count(self):
+        shares = _waterfill(np.array([2.0, 1.0, 5.0]), 10.0)
+        assert shares == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_zero_weights_get_nothing(self):
+        shares = _waterfill(np.zeros(3), 4.0)
+        assert shares == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_zero_weight_among_positive(self):
+        shares = _waterfill(np.array([0.0, 1.0, 1.0]), 1.0)
+        assert shares[0] == 0.0
+        assert shares[1] == pytest.approx(0.5)
+        assert shares[2] == pytest.approx(0.5)
+
+    def test_conservation_under_cap(self):
+        weights = np.array([5.0, 2.0, 1.0, 1.0, 1.0])
+        capacity = 3.0
+        shares = _waterfill(weights, capacity)
+        assert float(shares.sum()) == pytest.approx(capacity)
+        assert (shares <= 1.0 + 1e-12).all()
+
+
+class TestColocatedAccounting:
+    def _deployment(self, threads, label, capacity=4.0):
+        return InstanceDeployment(
+            processes=[proc(*threads)],
+            capacity=capacity,
+            overhead=bm_overhead(4),
+            label=label,
+        )
+
+    def _mixed_threads(self, n, mark=False):
+        return [
+            ThreadSpec(
+                program=[
+                    ComputeSegment(work=0.2, mem_intensity=0.3),
+                    IoSegment(device_time=0.01, irqs=1),
+                    ComputeSegment(work=0.1, mem_intensity=0.1),
+                ],
+                op_marks=[OpMark(seg_index=2, submitted_at=0.0)] if mark else [],
+            )
+            for _ in range(n)
+        ]
+
+    def test_two_identical_instances_double_the_counters(self):
+        """On an uncontended host, counters accumulate per group: two
+        identical instances cost exactly twice one isolated instance."""
+        single = Simulator.colocated(
+            [self._deployment(self._mixed_threads(6), "a")],
+            host_capacity=16.0,
+        ).run()
+        double = Simulator.colocated(
+            [
+                self._deployment(self._mixed_threads(6), "a"),
+                self._deployment(self._mixed_threads(6), "b"),
+            ],
+            host_capacity=16.0,
+        ).run()
+        assert double.makespan == pytest.approx(single.makespan, rel=1e-9)
+        for field in (
+            "busy_core_seconds",
+            "useful_core_seconds",
+            "sched_events",
+            "io_blocked_seconds",
+            "irqs",
+            "cgroup_time",
+            "migration_time",
+            "background_time",
+        ):
+            got = getattr(double.counters, field)
+            ref = getattr(single.counters, field)
+            assert got == pytest.approx(2.0 * ref, rel=1e-9), field
+
+    def test_busy_core_seconds_bounded_by_host(self):
+        res = Simulator.colocated(
+            [
+                self._deployment(self._mixed_threads(8), "a", capacity=2.0),
+                self._deployment(self._mixed_threads(8), "b", capacity=2.0),
+            ],
+            host_capacity=2.0,
+        ).run()
+        c = res.counters
+        assert c.busy_core_seconds <= 2.0 * res.makespan + 1e-9
+        assert c.useful_core_seconds <= c.busy_core_seconds
+
+    def test_op_responses_split_by_group(self):
+        res = Simulator.colocated(
+            [
+                self._deployment(self._mixed_threads(4, mark=True), "marked"),
+                self._deployment(self._mixed_threads(4), "plain"),
+            ],
+            host_capacity=16.0,
+        ).run()
+        assert res.group("marked").op_responses.size == 4
+        assert res.group("plain").op_responses.size == 0
+        assert res.op_responses.size == 4
+
+    def test_groups_get_distinct_empty_response_arrays(self):
+        """No marked ops anywhere: each group must own its empty array
+        (a shared object would alias mutations across groups)."""
+        res = Simulator.colocated(
+            [
+                self._deployment([compute_thread(0.1)], "a"),
+                self._deployment([compute_thread(0.1)], "b"),
+            ],
+            host_capacity=16.0,
+        ).run()
+        a, b = res.group("a").op_responses, res.group("b").op_responses
+        assert a.size == 0 and b.size == 0
+        assert a is not b
+        assert a is not res.op_responses
+
+
+class TestWaveScalarEquivalence:
+    def test_homogeneous_wave_matches_traced_scalar_path(self):
+        """A 64-thread homogeneous wave (batched advance) must produce
+        bit-identical results to the traced run, which always takes the
+        sequential per-thread path."""
+
+        def build():
+            return [
+                proc(
+                    *[
+                        ThreadSpec(
+                            program=[
+                                ComputeSegment(work=0.3, mem_intensity=0.4),
+                                IoSegment(device_time=0.02, irqs=2),
+                                ComputeSegment(work=0.1, mem_intensity=0.2),
+                            ],
+                            op_marks=[OpMark(seg_index=2, submitted_at=0.0)],
+                        )
+                        for _ in range(64)
+                    ]
+                )
+            ]
+
+        plain = run(build(), cores=4)
+        traced = run(build(), cores=4, trace=ListTraceSink())
+        assert np.array_equal(
+            plain.thread_finish_times, traced.thread_finish_times
+        )
+        assert np.array_equal(plain.op_responses, traced.op_responses)
+        assert plain.makespan == traced.makespan
+        assert plain.counters.to_dict() == traced.counters.to_dict()
+
+
+class TestEventCalendar:
+    def test_stale_entries_are_skipped(self):
+        wake = np.array([1.0, 2.0, 3.0])
+        cal = EventCalendar(wake)
+        for tid in range(3):
+            cal.schedule(tid, wake[tid])
+        wake[0] = np.inf  # invalidate without touching the heap
+        assert cal.next_time() == 2.0
+        assert cal.pop_due(2.5) == [1]
+
+    def test_pop_due_sorted_and_deduped(self):
+        wake = np.array([5.0, 5.0, 5.0])
+        cal = EventCalendar(wake)
+        cal.schedule(2, 5.0)
+        cal.schedule(0, 5.0)
+        cal.schedule(1, 5.0)
+        cal.schedule(2, 5.0)  # duplicate valid entry for one tid
+        assert cal.pop_due(5.0) == [0, 1, 2]
+        assert cal.next_time() == np.inf
+
+    def test_reschedule_invalidates_old_entry(self):
+        wake = np.array([1.0])
+        cal = EventCalendar(wake)
+        cal.schedule(0, 1.0)
+        wake[0] = 4.0
+        cal.schedule(0, 4.0)
+        assert cal.pop_due(2.0) == []
+        assert cal.next_time() == 4.0
+
+
+class TestRunnableIndex:
+    def test_incremental_counts_and_indices(self):
+        group_of = np.array([0, 0, 1, 1])
+        idx = RunnableIndex(4, 2, group_of)
+        idx.add(2, 1)
+        idx.add(0, 0)
+        assert idx.count == 2
+        assert list(idx.indices()) == [0, 2]
+        assert list(idx.groups_run()) == [0, 1]
+        idx.remove(0, 0)
+        assert list(idx.indices()) == [2]
+        assert idx.group_counts.tolist() == [0, 1]
+
+    def test_batch_removal_updates_group_counts(self):
+        group_of = np.array([0, 1, 0, 1])
+        idx = RunnableIndex(4, 2, group_of)
+        for tid in range(4):
+            idx.add(tid, int(group_of[tid]))
+        idx.remove_array(np.array([1, 2]))
+        assert idx.count == 2
+        assert idx.group_counts.tolist() == [1, 1]
+        assert list(idx.indices()) == [0, 3]
+
+    def test_key_tracks_multiset_not_membership(self):
+        group_of = np.array([0, 0])
+        idx = RunnableIndex(2, 1, group_of)
+        idx.add(0, 0)
+        k1 = idx.key()
+        idx.remove(0, 0)
+        idx.add(1, 0)  # different member, same multiset
+        assert idx.key() == k1
 
 
 class TestGuards:

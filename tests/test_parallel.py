@@ -159,6 +159,36 @@ class TestSerialParallelEquivalence:
         assert (a == b).all()
 
 
+class TestLargeNGolden:
+    def test_multitask_split30_matches_pre_refactor_engine(self):
+        """480 threads with barriers on a 16-core instance — the largest
+        homogeneous-wave case — pinned bit-for-bit against the output of
+        the pre-compiled-tables engine (tests/golden/engine_large_n.json).
+
+        Exact float equality on purpose: the compiled-table/calendar hot
+        path guarantees IEEE-identical results, and this is the case
+        that exercises the batched wave advance hardest.
+        """
+        from pathlib import Path
+
+        from repro import make_platform, r830_host, run_once
+        from repro.rng import RngFactory
+
+        golden = json.loads(
+            (Path(__file__).parent / "golden" / "engine_large_n.json")
+            .read_text()
+        )
+        rng = RngFactory().fresh_stream("perf")
+        rr = run_once(
+            FfmpegWorkload().split(30),
+            make_platform("CN", instance_type("4xLarge"), "vanilla"),
+            r830_host(),
+            rng=rng,
+        )
+        assert rr.value == golden["value"]
+        assert rr.makespan == golden["makespan"]
+
+
 class TestFailureInjection:
     def test_crashing_worker_retries_to_identical_output(self, tmp_path):
         """A worker that raises once is retried; the final sweep is
