@@ -161,3 +161,66 @@ def test_perf_journal_overhead(benchmark, results_dir, tmp_path):
     print(f"\noff {t_off:.2f}s  null {t_null:.2f}s  jsonl {t_on:.2f}s  "
           f"ratio x{record['overhead_ratio']:.3f}")
     assert t_on / t_off < 1.5  # journaling must stay cheap vs simulation
+
+
+def test_perf_profiler_overhead(benchmark, results_dir):
+    """Scheduler-profiler cost on the acceptance case (FFmpeg on
+    VM/16xLarge): profiler detached vs a full :class:`SchedProfiler`.
+
+    An attached profiler records every state transition and rate step,
+    which also forces the sequential (traced) event path, so it is the
+    most expensive observability hook in the tree — the ledger's
+    "measure the cost of measuring" discipline applied to itself.
+    Checks byte-identity of results either way, records the wall clocks
+    and ratio to ``results/profiler_overhead.json``, and fails if
+    profiling ever costs more than 4x the untraced run.
+    """
+    from repro.analysis.ledger import OverheadLedger
+    from repro.trace.schedprof import SchedProfiler
+
+    def once(profiler=None):
+        rng = RngFactory().fresh_stream("profiler-overhead")
+        return run_once(
+            FfmpegWorkload(),
+            make_platform("VM", instance_type("16xLarge"), "vanilla"),
+            r830_host(),
+            rng=rng,
+            profiler=profiler,
+        )
+
+    rounds = 5
+    once()  # warm caches / JIT-free but import-heavy first call
+    t0 = time.perf_counter()
+    off = [once() for _ in range(rounds)]
+    t_off = time.perf_counter() - t0
+
+    profilers = [SchedProfiler() for _ in range(rounds)]
+
+    def profiled_runs():
+        return [once(profiler=p) for p in profilers]
+
+    t0 = time.perf_counter()
+    on = benchmark.pedantic(profiled_runs, rounds=1, iterations=1)
+    t_on = time.perf_counter() - t0
+
+    # profiling must not change results (byte-identity, JSON form)
+    assert json.dumps(on[0].to_dict(), sort_keys=True) == json.dumps(
+        off[0].to_dict(), sort_keys=True
+    )
+    ledger = OverheadLedger.from_profile(profilers[0].profile()).check()
+
+    record = {
+        "profiler_off_s": t_off / rounds,
+        "profiler_on_s": t_on / rounds,
+        "overhead_ratio": t_on / t_off,
+        "rounds": rounds,
+        "ledger_residual": ledger.residual,
+        "dominant_mechanism": ledger.dominant_mechanism(),
+    }
+    (results_dir / "profiler_overhead.json").write_text(
+        json.dumps(record, indent=2)
+    )
+    print(f"\noff {t_off / rounds * 1e3:.1f}ms  "
+          f"profiled {t_on / rounds * 1e3:.1f}ms  "
+          f"ratio x{record['overhead_ratio']:.3f}")
+    assert t_on / t_off < 4.0  # profiling stays within small-integer cost

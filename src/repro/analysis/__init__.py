@@ -4,6 +4,8 @@
   bootstrap (the paper reports mean + 95 % CI);
 * :mod:`repro.analysis.overhead` -- overhead ratios and the paper's
   PTO / PSO classification (Section IV);
+* :mod:`repro.analysis.ledger` -- additive per-mechanism decomposition
+  of a run's core-seconds with a conservation invariant (Section IV);
 * :mod:`repro.analysis.chr` -- Container-to-Host core Ratio analysis and
   the suitable-CHR range estimator (Section IV-A);
 * :mod:`repro.analysis.bestpractices` -- the Section-VI advisor as code;
@@ -15,6 +17,12 @@ from repro.analysis.bestpractices import BestPracticeAdvisor, Recommendation
 from repro.analysis.chr import chr_of, estimate_suitable_chr_range
 from repro.analysis.energy import EnergyEstimate, EnergyModel
 from repro.analysis.figures import FigureSeries, figure_from_sweep, render_figure
+from repro.analysis.ledger import (
+    COMPONENTS,
+    MECHANISM_OF,
+    MECHANISMS,
+    OverheadLedger,
+)
 from repro.analysis.model import (
     PredictedTime,
     WorkloadCharacterization,
@@ -52,6 +60,10 @@ __all__ = [
     "overhead_ratios",
     "classify_overhead",
     "OverheadClass",
+    "OverheadLedger",
+    "COMPONENTS",
+    "MECHANISMS",
+    "MECHANISM_OF",
     "chr_of",
     "estimate_suitable_chr_range",
     "WorkloadCharacterization",

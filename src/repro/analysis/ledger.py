@@ -1,0 +1,324 @@
+"""Overhead ledger: an *additive* decomposition of a run's core-seconds.
+
+The paper's Section IV explains measured overhead ratios by mechanism —
+the VM abstraction tax behind PTO, the cgroups/CFS placement tax behind
+PSO, migration and cache effects, the IRQ path — but, like most
+benchmarking studies, stops at end-to-end ratios.  The ledger goes one
+step further: every thread-second between a thread's arrival and its
+completion is booked to exactly one component, and the books must
+balance — a hard **conservation invariant** checked by :meth:`check`
+(and by CI) at 1e-9 relative tolerance.
+
+Two constructors:
+
+* :meth:`OverheadLedger.from_profile` — exact attribution from a
+  :class:`~repro.trace.schedprof.SchedProfile` (profiler attached):
+  multiplicative slowdowns are split by log weights, efficiency taxes
+  are rescaled onto the measured tax total, and the IRQ re-warm work
+  hidden inside "progress" is pulled back out.
+* :meth:`OverheadLedger.from_counters` — a coarse ledger from the
+  always-on :class:`~repro.trace.counters.PerfCounters`; stretch terms
+  that counters cannot see are zero and the cache/migration charge
+  stands in for the migration stretch.
+
+Component → paper-mechanism mapping lives in :data:`MECHANISM_OF` (see
+also ``docs/MODEL.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConservationError
+
+__all__ = [
+    "OverheadLedger",
+    "COMPONENTS",
+    "MECHANISMS",
+    "MECHANISM_OF",
+]
+
+#: Ledger components, in render order.  Every thread-second of a run is
+#: booked to exactly one of these.
+COMPONENTS: tuple[str, ...] = (
+    "useful_work",
+    "sched_wait",
+    "ctx_switch_tax",
+    "migration_stretch",
+    "contention_stretch",
+    "thrash_stretch",
+    "cgroup_tax",
+    "background_tax",
+    "abstraction_stretch",
+    "irq_rewarm",
+    "io_blocked",
+    "comm_blocked",
+    "barrier_blocked",
+)
+
+#: Component → Section-IV mechanism grouping ("which mechanism dominates
+#: which cell").
+MECHANISM_OF: dict[str, str] = {
+    "useful_work": "useful-work",
+    "sched_wait": "scheduler-wait",
+    "ctx_switch_tax": "migration-cache",
+    "migration_stretch": "migration-cache",
+    "contention_stretch": "migration-cache",
+    "thrash_stretch": "migration-cache",
+    "cgroup_tax": "cgroup-cpuset",
+    "background_tax": "virtualization",
+    "abstraction_stretch": "virtualization",
+    "irq_rewarm": "irq-io",
+    "io_blocked": "irq-io",
+    "comm_blocked": "barrier-comm-skew",
+    "barrier_blocked": "barrier-comm-skew",
+}
+
+#: Mechanism groups, in render order.
+MECHANISMS: tuple[str, ...] = (
+    "useful-work",
+    "scheduler-wait",
+    "migration-cache",
+    "cgroup-cpuset",
+    "virtualization",
+    "irq-io",
+    "barrier-comm-skew",
+)
+
+
+def _rescale(parts: dict[str, float], target: float) -> dict[str, float]:
+    """Scale non-negative ``parts`` so they sum exactly to ``target``.
+
+    Used to push raw efficiency-tax charges onto the measured tax total
+    (the engine's ``min_efficiency`` clamp can make raw charges exceed
+    what was actually lost).  A zero raw sum books the whole target onto
+    the first key.
+    """
+    raw = sum(parts.values())
+    if target <= 0:
+        return {k: 0.0 for k in parts}
+    if raw <= 0:
+        out = {k: 0.0 for k in parts}
+        out[next(iter(parts))] = target
+        return out
+    scale = target / raw
+    return {k: v * scale for k, v in parts.items()}
+
+
+@dataclass(frozen=True)
+class OverheadLedger:
+    """Additive decomposition of one run's thread-seconds by mechanism.
+
+    Attributes
+    ----------
+    total_core_seconds:
+        The independently measured total being decomposed: the sum over
+        threads of (finish − arrival) seconds.
+    components:
+        Seconds booked per :data:`COMPONENTS` entry; all non-negative,
+        summing to ``total_core_seconds`` within float tolerance.
+    source:
+        ``"profile"`` (exact) or ``"counters"`` (coarse).
+    """
+
+    total_core_seconds: float
+    components: dict[str, float]
+    source: str = "profile"
+    meta: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def from_profile(cls, profile) -> "OverheadLedger":
+        """Exact ledger from a :class:`~repro.trace.schedprof.SchedProfile`."""
+        acc = profile.ledger
+        granted = acc["granted"]
+        progress = acc["progress"]
+        eff_granted = acc["eff_granted"]
+        # efficiency taxes: what the scheduler granted but efficiency ate;
+        # rescaled so the clamp cannot break additivity
+        taxes = _rescale(
+            {
+                "cgroup_tax": acc["raw_cgroup"],
+                "ctx_switch_tax": acc["raw_ctx"],
+                "background_tax": acc["raw_background"],
+            },
+            max(0.0, granted - eff_granted),
+        )
+        rewarm = min(max(0.0, acc["irq_rewarm"]), progress)
+        components = {
+            "useful_work": progress - rewarm,
+            "sched_wait": acc["sched_wait"],
+            "ctx_switch_tax": taxes["ctx_switch_tax"],
+            "migration_stretch": acc["migration_stretch"],
+            "contention_stretch": acc["contention_stretch"],
+            "thrash_stretch": acc["thrash_stretch"],
+            "cgroup_tax": taxes["cgroup_tax"],
+            "background_tax": taxes["background_tax"],
+            "abstraction_stretch": acc["abstraction_stretch"],
+            "irq_rewarm": rewarm,
+            "io_blocked": acc["io_blocked"],
+            "comm_blocked": acc["comm_blocked"],
+            "barrier_blocked": acc["barrier_blocked"],
+        }
+        return cls(
+            total_core_seconds=acc["lifetime"],
+            components=components,
+            source="profile",
+            meta={
+                "granted": granted,
+                "progress": progress,
+                "stretch_total": eff_granted - progress,
+            },
+        )
+
+    @classmethod
+    def from_counters(cls, counters) -> "OverheadLedger":
+        """Coarse ledger from :class:`~repro.trace.counters.PerfCounters`.
+
+        Counters cannot separate the multiplicative stretches from useful
+        work, so the engine's cache/migration re-warm charge
+        (``migration_time``) stands in for the migration stretch and the
+        other stretch terms are zero; conservation holds by construction.
+        """
+        busy = counters.busy_core_seconds
+        useful = counters.useful_core_seconds
+        total = (
+            busy
+            + counters.sched_wait_seconds
+            + counters.io_blocked_seconds
+            + counters.comm_blocked_seconds
+            + counters.barrier_blocked_seconds
+        )
+        mig_part = min(max(0.0, counters.migration_time), useful)
+        taxes = _rescale(
+            {
+                "cgroup_tax": counters.cgroup_time,
+                "ctx_switch_tax": counters.ctx_switch_time,
+                "background_tax": counters.background_time,
+            },
+            max(0.0, busy - useful),
+        )
+        components = {
+            "useful_work": useful - mig_part,
+            "sched_wait": counters.sched_wait_seconds,
+            "ctx_switch_tax": taxes["ctx_switch_tax"],
+            "migration_stretch": mig_part,
+            "contention_stretch": 0.0,
+            "thrash_stretch": 0.0,
+            "cgroup_tax": taxes["cgroup_tax"],
+            "background_tax": taxes["background_tax"],
+            "abstraction_stretch": 0.0,
+            "irq_rewarm": 0.0,
+            "io_blocked": counters.io_blocked_seconds,
+            "comm_blocked": counters.comm_blocked_seconds,
+            "barrier_blocked": counters.barrier_blocked_seconds,
+        }
+        return cls(
+            total_core_seconds=total,
+            components=components,
+            source="counters",
+            meta={"granted": busy, "progress": useful},
+        )
+
+    # ------------------------------------------------------------------
+    # the invariant
+
+    @property
+    def booked(self) -> float:
+        """Sum of all components."""
+        return math.fsum(self.components.values())
+
+    @property
+    def residual(self) -> float:
+        """Measured total minus booked components (should be ~0)."""
+        return self.total_core_seconds - self.booked
+
+    def check(self, rel_tol: float = 1e-9) -> "OverheadLedger":
+        """Enforce the conservation invariant; returns ``self``.
+
+        Raises :class:`~repro.errors.ConservationError` when the
+        components do not sum to the measured total within ``rel_tol``
+        (relative to the total, with a matching absolute floor for
+        near-zero runs), or when any component is negative beyond float
+        noise.
+        """
+        scale = max(abs(self.total_core_seconds), 1.0)
+        if abs(self.residual) > rel_tol * scale:
+            raise ConservationError(
+                f"ledger does not conserve: total {self.total_core_seconds!r}"
+                f" vs booked {self.booked!r} "
+                f"(residual {self.residual:.3e}, tol {rel_tol:g} rel)"
+            )
+        for name, value in self.components.items():
+            if value < -rel_tol * scale:
+                raise ConservationError(
+                    f"ledger component {name} is negative: {value!r}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # views
+
+    def mechanisms(self) -> dict[str, float]:
+        """Seconds per Section-IV mechanism group (:data:`MECHANISMS`)."""
+        out = {m: 0.0 for m in MECHANISMS}
+        for name, value in self.components.items():
+            out[MECHANISM_OF[name]] += value
+        return out
+
+    def dominant_mechanism(self, include_useful: bool = False) -> str:
+        """The mechanism group with the most booked seconds.
+
+        By default ``useful-work`` is excluded so the answer names the
+        dominant *overhead*; pass ``include_useful=True`` for the raw
+        argmax.
+        """
+        mechs = self.mechanisms()
+        if not include_useful:
+            mechs.pop("useful-work")
+        return max(mechs, key=lambda m: mechs[m])
+
+    def render(self) -> str:
+        """Aligned text table: components, mechanism subtotals, and the
+        conservation line."""
+        total = self.total_core_seconds
+        out = [
+            f"overhead ledger ({self.source}) — "
+            f"total {total:.6f} core-seconds"
+        ]
+        out.append(f"{'component':<22} {'seconds':>14} {'share':>8}")
+        out.append("-" * 46)
+        for name in COMPONENTS:
+            value = self.components[name]
+            share = value / total if total > 0 else 0.0
+            out.append(f"{name:<22} {value:>14.6f} {share:>7.2%}")
+        out.append("-" * 46)
+        out.append(f"{'sum of components':<22} {self.booked:>14.6f}")
+        out.append(
+            f"{'measured total':<22} {total:>14.6f}   "
+            f"(residual {self.residual:+.3e})"
+        )
+        out.append("")
+        out.append("by mechanism (paper Section IV):")
+        for mech, value in self.mechanisms().items():
+            share = value / total if total > 0 else 0.0
+            out.append(f"  {mech:<20} {value:>14.6f} {share:>7.2%}")
+        out.append(
+            f"dominant overhead mechanism: {self.dominant_mechanism()}"
+        )
+        return "\n".join(out)
+
+    def to_dict(self) -> dict:
+        """JSON-ready projection (CI artifact / journal payload form)."""
+        return {
+            "source": self.source,
+            "total_core_seconds": self.total_core_seconds,
+            "components": dict(self.components),
+            "mechanisms": self.mechanisms(),
+            "residual": self.residual,
+            "dominant_mechanism": self.dominant_mechanism(),
+            "meta": dict(self.meta),
+        }

@@ -28,6 +28,11 @@ Subcommands mirror the paper's artifacts:
 ``obs``
     Summarize or export a recorded run journal (``summary``,
     ``export --format chrome|folded|prom``).
+``perf``
+    Scheduler profiling of one run (``perf sched`` analogs):
+    ``timehist`` (per-thread time history), ``map`` (per-core occupancy
+    map), ``ledger`` (additive per-mechanism overhead decomposition with
+    a conservation check).
 """
 
 from __future__ import annotations
@@ -247,6 +252,64 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="render the time attribution as an SVG flamegraph",
     )
+    trace_p.add_argument(
+        "--ledger",
+        action="store_true",
+        help="also print the coarse overhead ledger (counter-based "
+        "additive decomposition; see 'repro perf ledger' for the exact one)",
+    )
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="scheduler profiling of one run (perf sched analogs)",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    for name, help_text in (
+        ("timehist", "per-thread scheduling time history"),
+        ("map", "per-core occupancy map"),
+        ("ledger", "additive per-mechanism overhead ledger"),
+    ):
+        p = perf_sub.add_parser(name, help=help_text)
+        p.add_argument("workload", choices=sorted(_WORKLOADS))
+        p.add_argument(
+            "--platform", default="CN", choices=["BM", "VM", "CN", "VMCN", "SG"]
+        )
+        p.add_argument(
+            "--mode", default="vanilla", choices=["vanilla", "pinned"]
+        )
+        p.add_argument(
+            "--instance", default="Large", choices=instance_type_names()
+        )
+        if name == "timehist":
+            p.add_argument(
+                "--rows", type=int, default=40,
+                help="max transition/thread rows to print",
+            )
+            p.add_argument(
+                "--chrome", metavar="PATH",
+                help="export the profile as Chrome trace JSON",
+            )
+            p.add_argument(
+                "--folded", metavar="PATH",
+                help="export per-thread folded stacks (flamegraph.pl input)",
+            )
+        elif name == "map":
+            p.add_argument(
+                "--width", type=int, default=72, help="columns of the map"
+            )
+            p.add_argument(
+                "--svg", metavar="PATH",
+                help="also render the occupancy map as an SVG heat strip",
+            )
+        else:  # ledger
+            p.add_argument(
+                "--json", metavar="PATH", dest="json_out",
+                help="write the ledger as JSON (CI artifact form)",
+            )
+            p.add_argument(
+                "--flamegraph", metavar="PATH",
+                help="render the decomposition as an SVG flamegraph",
+            )
 
     rep_p = sub.add_parser(
         "report", help="run the full campaign and write a markdown report"
@@ -635,6 +698,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 title=f"{workload.name} on {platform.label()}",
             )
             print(f"rendered flamegraph to {args.flamegraph}")
+    if args.ledger:
+        from repro.analysis.ledger import OverheadLedger
+
+        print("\noverhead ledger (coarse, counter-based):")
+        print(OverheadLedger.from_counters(result.counters).check().render())
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.analysis.ledger import OverheadLedger
+    from repro.trace.schedprof import SchedProfiler
+
+    workload = _WORKLOADS[args.workload]()
+    platform = make_platform(
+        args.platform, instance_type(args.instance), args.mode
+    )
+    profiler = SchedProfiler()
+    rng = RngFactory(seed=args.seed).fresh_stream("cli-perf")
+    result = run_once(
+        workload, platform, r830_host(), rng=rng, profiler=profiler
+    )
+    profile = profiler.profile()
+    print(
+        f"{workload.name} on {platform.label()} @ {args.instance}: "
+        f"{result.value:.2f}s\n"
+    )
+    if args.perf_command == "timehist":
+        print(profile.timehist(max_rows=args.rows))
+        if args.chrome:
+            from repro.obs.export import schedprof_to_chrome
+
+            with open(args.chrome, "w") as fh:
+                json.dump(schedprof_to_chrome(profile), fh)
+            print(f"\nwrote Chrome trace to {args.chrome}")
+        if args.folded:
+            from repro.obs.export import schedprof_to_folded
+
+            with open(args.folded, "w") as fh:
+                fh.write("\n".join(schedprof_to_folded(profile)) + "\n")
+            print(f"wrote folded stacks to {args.folded}")
+        return 0
+    if args.perf_command == "map":
+        print(profile.core_map(width=args.width))
+        if args.svg:
+            from repro.viz.occupancy import save_occupancy_svg
+
+            save_occupancy_svg(
+                profile,
+                args.svg,
+                title=f"{workload.name} on {platform.label()}",
+            )
+            print(f"\nrendered occupancy map to {args.svg}")
+        return 0
+
+    # ledger: exact per-mechanism decomposition, conservation enforced
+    ledger = OverheadLedger.from_profile(profile).check()
+    print(ledger.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(ledger.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote ledger JSON to {args.json_out}")
+    if args.flamegraph:
+        from repro.obs.export import ledger_to_folded
+        from repro.viz.flamegraph import save_flamegraph_svg
+
+        save_flamegraph_svg(
+            ledger_to_folded(ledger, root=workload.name),
+            args.flamegraph,
+            title=f"{workload.name} on {platform.label()} overhead ledger",
+        )
+        print(f"rendered ledger flamegraph to {args.flamegraph}")
     return 0
 
 
@@ -665,7 +800,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_journal
 
-    events = read_journal(args.journal)
+    events = read_journal(args.journal, strict=False)
     if args.obs_command == "summary":
         print(summarize_journal(events).render(top=args.top))
         return 0
@@ -722,6 +857,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sensitivity(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "obs":

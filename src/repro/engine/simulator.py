@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -82,13 +83,16 @@ from repro.engine.compile import (
     compile_programs,
 )
 from repro.engine.events import EventKind, TraceEvent
-from repro.engine.tracing import NullTraceSink, TraceSink
+from repro.engine.tracing import NullTraceSink, TeeTraceSink, TraceSink
 from repro.errors import SimulationError
 from repro.hostmodel.network import NetworkModel
 from repro.hostmodel.storage import StorageModel
 from repro.sched.accounting import OverheadModel
 from repro.trace.counters import PerfCounters
 from repro.workloads.base import ProcessSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.trace.schedprof import SchedProfiler
 
 __all__ = [
     "EngineConfig",
@@ -164,6 +168,12 @@ class EngineConfig:
         Event-loop step guard against livelock.
     trace:
         Optional event sink.
+    profiler:
+        Optional :class:`~repro.trace.schedprof.SchedProfiler`.  When
+        attached the engine tees it into the trace stream and invokes
+        its per-step hooks; detached (the default) the only cost is one
+        ``is not None`` check per accounting step, and results are
+        byte-identical either way.
     """
 
     capacity: float
@@ -174,6 +184,7 @@ class EngineConfig:
     max_time: float = 1e6
     max_steps: int = 5_000_000
     trace: TraceSink = field(default_factory=NullTraceSink)
+    profiler: "SchedProfiler | None" = None
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -309,6 +320,7 @@ class Simulator:
             max_time=config.max_time,
             max_steps=config.max_steps,
             trace=config.trace,
+            profiler=config.profiler,
         )
 
     @classmethod
@@ -322,6 +334,7 @@ class Simulator:
         max_time: float = 1e6,
         max_steps: int = 5_000_000,
         trace: TraceSink | None = None,
+        profiler: "SchedProfiler | None" = None,
     ) -> "Simulator":
         """Build a simulator with several instances sharing one host.
 
@@ -341,6 +354,7 @@ class Simulator:
             max_time=max_time,
             max_steps=max_steps,
             trace=trace or NullTraceSink(),
+            profiler=profiler,
         )
         return self
 
@@ -357,7 +371,17 @@ class Simulator:
         max_time: float,
         max_steps: int,
         trace: TraceSink,
+        profiler: "SchedProfiler | None" = None,
     ) -> None:
+        # an attached profiler observes the event stream like any other
+        # sink; teeing keeps a user-provided sink observing too
+        self._profiler = profiler
+        if profiler is not None:
+            trace = (
+                profiler
+                if type(trace) is NullTraceSink
+                else TeeTraceSink(profiler, trace)
+            )
         self.deployments = deployments
         self.host_capacity = float(host_capacity)
         self.storage = storage
@@ -514,6 +538,9 @@ class Simulator:
         self._sg_cache: dict[int, tuple] = {}
         self._mg_cache: dict = {}
 
+        if profiler is not None:
+            profiler.bind(self)
+
     # ------------------------------------------------------------------
     # rate records
     #
@@ -550,6 +577,8 @@ class Simulator:
             self._bg0 * busy,
             1.0 - 1.0 / mig,
             float(ts),
+            share,
+            n - busy,  # runnable-but-waiting thread count
         )
         self._sg_cache[n_run] = rec
         return rec
@@ -605,6 +634,8 @@ class Simulator:
                 for g in range(self.n_groups)
                 if active[g]
             ],
+            share_g,
+            float(n_g.sum()) - float(busy_g.sum()),
         )
         self._mg_cache[key] = rec
         return rec
@@ -745,6 +776,8 @@ class Simulator:
                 for w in waiters:
                     cnt.barrier_blocked_seconds += t - enter[w]
                     queue.append(w)
+                if self._profiler is not None and waiters:
+                    self._profiler.on_barrier_release(t, waiters)
                 if self._traced:
                     self.trace.emit(
                         TraceEvent(t, EventKind.BARRIER_RELEASE, j, key[1])
@@ -833,6 +866,7 @@ class Simulator:
         index = self._index
         traced = self._traced
         trace = self.trace
+        prof = self._profiler
         cnt = self.counters
         single = self._single
         state = self.state
@@ -890,7 +924,7 @@ class Simulator:
                 if rec is None:
                     rec = self._sg_record(n_run)
                 (cfac, mig, num, busy, ev_coeff, u_coeff, s_coeff, b_coeff,
-                 migfac, ts_f) = rec
+                 migfac, ts_f, share_f, w_coeff) = rec
                 cont = 1.0 + self._gm[run_idx] * cfac
                 slow = self.platform_penalty[run_idx] * cont
                 slow *= mig
@@ -902,7 +936,8 @@ class Simulator:
                 if rec is None:
                     rec = self._mg_record(key)
                 (cfac, mig_g, num_g, eff_g, host_scale, busy_g, ev_coeff_g,
-                 busy_sum, u_sum, s_sum, b_sum, migfac_g, ts_items) = rec
+                 busy_sum, u_sum, s_sum, b_sum, migfac_g, ts_items,
+                 share_g, w_sum) = rec
                 groups_run = index.groups_run()
                 cont = 1.0 + self._gm[run_idx] * cfac
                 slow = self.platform_penalty[run_idx] * cont
@@ -945,6 +980,7 @@ class Simulator:
                     cnt.cgroup_time += s_coeff * dt + e * self._cgsw0
                     cnt.migration_time += busy_dt * migfac
                     cnt.background_time += b_coeff * dt
+                    cnt.sched_wait_seconds += w_coeff * dt
                     cnt.add_timeslice(ts_f, busy_dt)
                 else:
                     events_g = ev_coeff_g * dt
@@ -961,8 +997,20 @@ class Simulator:
                         ((busy_g * dt) * migfac_g).sum()
                     )
                     cnt.background_time += b_sum * dt
+                    cnt.sched_wait_seconds += w_sum * dt
                     for tsl, busy_f in ts_items:
                         cnt.add_timeslice(tsl, busy_f * dt)
+                if prof is not None:
+                    if single:
+                        prof.on_step_single(
+                            self.t, dt, n_run, rec, run_idx, rate, cont
+                        )
+                    else:
+                        prof.on_step_multi(
+                            self.t, dt, n_run, rec, run_idx, rate, cont,
+                            groups_run,
+                            None if self._uniform_weights else thread_share,
+                        )
                 self.t += dt
                 if self.t > self.max_time:
                     raise SimulationError(

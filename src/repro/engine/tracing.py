@@ -13,7 +13,13 @@ from typing import Protocol
 
 from repro.engine.events import EventKind, TraceEvent
 
-__all__ = ["TraceSink", "NullTraceSink", "ListTraceSink", "CountingTraceSink"]
+__all__ = [
+    "TraceSink",
+    "NullTraceSink",
+    "ListTraceSink",
+    "CountingTraceSink",
+    "TeeTraceSink",
+]
 
 
 class TraceSink(Protocol):
@@ -54,6 +60,25 @@ class ListTraceSink:
     def count(self, kind: EventKind) -> int:
         """Number of stored events of one kind."""
         return sum(1 for e in self.events if e.kind is kind)
+
+
+class TeeTraceSink:
+    """Forwards every event to several sinks, in order.
+
+    Used by the engine when a :class:`repro.trace.schedprof.SchedProfiler`
+    is attached alongside a user-provided sink: both observe the exact
+    same event stream.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Forward the event to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
 
 
 class CountingTraceSink:

@@ -22,6 +22,7 @@ __all__ = [
     "ParallelExecutionError",
     "CgroupError",
     "AnalysisError",
+    "ConservationError",
 ]
 
 
@@ -122,3 +123,9 @@ class CgroupError(ConfigurationError):
 
 class AnalysisError(ReproError, ValueError):
     """Post-processing was asked to analyze inconsistent result sets."""
+
+
+class ConservationError(AnalysisError):
+    """An overhead-ledger decomposition failed to sum to the measured
+    total core-seconds within tolerance (see
+    :meth:`repro.analysis.ledger.OverheadLedger.check`)."""

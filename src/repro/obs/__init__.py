@@ -33,7 +33,10 @@ from repro.obs.export import (
     journal_to_folded,
     journal_to_metrics,
     journal_to_prometheus,
+    ledger_to_folded,
     offcpu_to_folded,
+    schedprof_to_chrome,
+    schedprof_to_folded,
     timeline_to_chrome,
     timeline_to_folded,
 )
@@ -89,4 +92,7 @@ __all__ = [
     "timeline_to_chrome",
     "timeline_to_folded",
     "offcpu_to_folded",
+    "schedprof_to_chrome",
+    "schedprof_to_folded",
+    "ledger_to_folded",
 ]

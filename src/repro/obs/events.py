@@ -39,6 +39,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "cell-retried",
         "cell-failed",
         "cell-finished",
+        "cell-ledger",
         "pool-rebuilt",
         "run-started",
         "run-finished",

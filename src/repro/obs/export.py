@@ -17,11 +17,17 @@ or ``chrome://tracing``; the folded output feeds Brendan Gregg's
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.obs.events import JournalEvent
 from repro.obs.metrics import CELL_SECONDS_BUCKETS, MetricsRegistry
 from repro.obs.summary import summarize_journal
 from repro.trace.offcputime import OffCpuReport
 from repro.trace.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.ledger import OverheadLedger
+    from repro.trace.schedprof import SchedProfile
 
 __all__ = [
     "journal_to_chrome",
@@ -31,6 +37,9 @@ __all__ = [
     "timeline_to_chrome",
     "timeline_to_folded",
     "offcpu_to_folded",
+    "schedprof_to_chrome",
+    "schedprof_to_folded",
+    "ledger_to_folded",
 ]
 
 _US = 1_000_000  # Chrome trace timestamps are in microseconds
@@ -217,6 +226,98 @@ def timeline_to_folded(timeline: Timeline) -> list[str]:
     return [
         f"sim;T{thread};{activity} {int(round(seconds * _US))}"
         for (thread, activity), seconds in sorted(weights.items())
+    ]
+
+
+def schedprof_to_chrome(
+    profile: "SchedProfile", *, pid: int = 3, name: str = "schedprof"
+) -> dict:
+    """Convert a scheduler profile into Chrome trace events.
+
+    Per-thread state intervals (run / io / comm / barrier) become
+    complete spans on one track per thread, and the busy-core step
+    series becomes a ``"C"`` counter track — the ``perf sched map``
+    view as a Perfetto area chart.
+    """
+    trace_events: list[dict] = [_meta(pid, name)]
+    for j in range(profile.n_threads):
+        trace_events.append(_meta(pid, f"T{j}", j + 1))
+    for t0, t1, state, j in profile.intervals:
+        trace_events.append(
+            {
+                "name": state,
+                "cat": "sched",
+                "ph": "X",
+                "ts": t0 * _US,
+                "dur": (t1 - t0) * _US,
+                "pid": pid,
+                "tid": j + 1,
+                "args": {"thread": j, "group": profile.group_of[j]},
+            }
+        )
+    for t0, dt, busy in profile.steps:
+        trace_events.append(
+            {
+                "name": "busy_cores",
+                "cat": "sched",
+                "ph": "C",
+                "ts": t0 * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"busy": busy},
+            }
+        )
+    if profile.steps:
+        t0, dt, _ = profile.steps[-1]
+        trace_events.append(
+            {
+                "name": "busy_cores",
+                "cat": "sched",
+                "ph": "C",
+                "ts": (t0 + dt) * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"busy": 0.0},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def schedprof_to_folded(profile: "SchedProfile") -> list[str]:
+    """Folded stacks of profiled thread time.
+
+    Each thread's seconds split into on-CPU (granted), runnable-wait,
+    and the blocked causes: ``sched;g<g>;T<i>;<state> us``.
+    """
+    rows: list[str] = []
+    for h in profile.thread_hist():
+        base = f"sched;g{h.group};T{h.thread}"
+        for state, seconds in (
+            ("run", h.granted),
+            ("runnable_wait", h.run_wait),
+            ("io", h.io_blocked),
+            ("comm", h.comm_blocked),
+            ("barrier", h.barrier_blocked),
+        ):
+            if seconds > 0:
+                rows.append(f"{base};{state} {int(round(seconds * _US))}")
+    return rows
+
+
+def ledger_to_folded(ledger: "OverheadLedger", root: str = "run") -> list[str]:
+    """Folded stacks of an overhead ledger: ``run;mechanism;component us``.
+
+    The flamegraph form of the additive decomposition — frame widths
+    *are* booked core-seconds, so the picture conserves by construction.
+    """
+    from repro.analysis.ledger import MECHANISM_OF
+
+    root = _frame(root)
+    return [
+        f"{root};{_frame(MECHANISM_OF[name])};{_frame(name)} "
+        f"{int(round(seconds * _US))}"
+        for name, seconds in sorted(ledger.components.items())
+        if seconds > 0
     ]
 
 

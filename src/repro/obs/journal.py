@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Protocol
 
@@ -145,29 +146,50 @@ def open_journal(path: str | Path | None) -> Journal:
     return NULL_JOURNAL if path is None else JsonlJournal(path)
 
 
-def read_journal(path: str | Path) -> list[JournalEvent]:
+def read_journal(path: str | Path, *, strict: bool = True) -> list[JournalEvent]:
     """Parse and schema-validate a JSONL journal file.
 
     Raises :class:`~repro.errors.ConfigurationError` naming the first
     malformed line (bad JSON or schema violation).
+
+    With ``strict=False`` a journal whose *final* line is not valid JSON
+    — the signature of a campaign killed mid-write — is read anyway: the
+    partial trailing line is skipped with a :class:`UserWarning`.  Bad
+    JSON anywhere else and schema violations still raise; truncation can
+    only ever affect the last record of a flush-per-event journal, so
+    anything beyond that is real corruption, not a crash artifact.  The
+    ``obs summary`` / ``obs export`` CLI reads with ``strict=False`` so
+    crashed campaigns stay diagnosable.
     """
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"journal file {path} does not exist")
-    events: list[JournalEvent] = []
     with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: invalid JSON in journal: {exc}"
-                ) from exc
-            try:
-                events.append(JournalEvent.from_dict(payload))
-            except ConfigurationError as exc:
-                raise ConfigurationError(f"{path}:{lineno}: {exc}") from exc
+        lines = fh.readlines()
+    last_lineno = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip():
+            last_lineno = lineno
+    events: list[JournalEvent] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if not strict and lineno == last_lineno:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping partial trailing journal "
+                    f"line (truncated by a crashed/killed run): {exc}",
+                    stacklevel=2,
+                )
+                break
+            raise ConfigurationError(
+                f"{path}:{lineno}: invalid JSON in journal: {exc}"
+            ) from exc
+        try:
+            events.append(JournalEvent.from_dict(payload))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{path}:{lineno}: {exc}") from exc
     return events

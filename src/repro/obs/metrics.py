@@ -186,11 +186,12 @@ class MetricsRegistry:
         lines: list[str] = []
         for m in self:
             if m.help:
-                lines.append(f"# HELP {m.name} {m.help}")
+                lines.append(f"# HELP {m.name} {_escape_help(m.help)}")
             if isinstance(m, Histogram):
                 lines.append(f"# TYPE {m.name} histogram")
                 for bound, count in zip(m.buckets, m.counts):
-                    lines.append(f'{m.name}_bucket{{le="{_fmt(bound)}"}} {count}')
+                    le = _escape_label(_fmt(bound))
+                    lines.append(f'{m.name}_bucket{{le="{le}"}} {count}')
                 lines.append(f'{m.name}_bucket{{le="+Inf"}} {m.count}')
                 lines.append(f"{m.name}_sum {_fmt(m.sum)}")
                 lines.append(f"{m.name}_count {m.count}")
@@ -238,6 +239,20 @@ class MetricsRegistry:
     def render(self) -> str:
         """Compact human-readable dump (one metric per line)."""
         return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format: backslash and
+    line feed (help text is terminated by the line it sits on)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, line
+    feed, and the double quote delimiting the value."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
 
 
 def _fmt(value: float) -> str:

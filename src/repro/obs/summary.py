@@ -31,6 +31,20 @@ class CellRecord:
     failed: bool = False
     sched_events: float = 0.0
     migrations: float = 0.0
+    #: core-seconds per overhead-ledger mechanism (``cell-ledger`` events)
+    mechanisms: dict[str, float] = field(default_factory=dict)
+    ledger_total: float = 0.0
+
+    @property
+    def dominant_mechanism(self) -> str:
+        """The mechanism with the most booked overhead core-seconds
+        (excluding useful work), or ``""`` without ledger data."""
+        overhead = {
+            m: v for m, v in self.mechanisms.items() if m != "useful-work"
+        }
+        if not overhead:
+            return ""
+        return max(overhead, key=lambda m: overhead[m])
 
 
 @dataclass
@@ -140,6 +154,20 @@ class RunSummary:
             for c in slow:
                 note = f"  ({c.retries} retries)" if c.retries else ""
                 lines.append(f"  {c.duration:8.3f} s  {c.label}{note}")
+        ledgered = [c for c in self.cells.values() if c.mechanisms]
+        if ledgered:
+            lines.append("dominant overhead mechanism per cell:")
+            for c in sorted(ledgered, key=lambda c: c.label):
+                mech = c.dominant_mechanism
+                share = (
+                    c.mechanisms.get(mech, 0.0) / c.ledger_total
+                    if c.ledger_total > 0
+                    else 0.0
+                )
+                lines.append(
+                    f"  {c.label:<40s} {mech:<18s} "
+                    f"{share:6.1%} of {c.ledger_total:10.3f} core-s"
+                )
         return "\n".join(lines)
 
 
@@ -169,6 +197,11 @@ def summarize_journal(events: list[JournalEvent]) -> RunSummary:
             summary.worker_busy[worker] = (
                 summary.worker_busy.get(worker, 0.0) + e.duration
             )
+        elif e.kind == "cell-ledger":
+            rec = cell(e.label)
+            rec.ledger_total += float(e.extra.get("total_core_seconds", 0.0))
+            for mech, v in e.extra.get("mechanisms", {}).items():
+                rec.mechanisms[mech] = rec.mechanisms.get(mech, 0.0) + float(v)
         elif e.kind == "cell-cache-hit":
             cell(e.label).cached = True
         elif e.kind == "cell-retried":

@@ -9,6 +9,8 @@ selects the storage profile, runs the simulator, and packages a
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.engine.simulator import EngineConfig, Simulator
@@ -23,6 +25,9 @@ from repro.run.calibration import Calibration
 from repro.run.results import RunResult
 from repro.sched.accounting import OverheadModel
 from repro.workloads.base import ProcessSpec, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.schedprof import SchedProfiler
 
 __all__ = ["run_once", "run_cell", "assemble_overhead_model"]
 
@@ -83,6 +88,7 @@ def run_once(
     rep: int = 0,
     trace: TraceSink | None = None,
     metrics: MetricsRegistry | None = None,
+    profiler: "SchedProfiler | None" = None,
 ) -> RunResult:
     """Execute one configuration once and return its result.
 
@@ -107,6 +113,10 @@ def run_once(
         Optional metrics registry; when given, the run's simulator
         counters (scheduling events, migrations, IRQs) are folded into
         it.  The default (None) skips all bookkeeping.
+    profiler:
+        Optional :class:`~repro.trace.schedprof.SchedProfiler`; when
+        given it observes this run and ``profiler.profile()`` is valid
+        afterwards.  Results are byte-identical with and without it.
     """
     calib = calib or Calibration()
     rng = rng if rng is not None else np.random.default_rng(0)
@@ -134,6 +144,7 @@ def run_once(
         storage=storage,
         thrash_factor=thrash,
         trace=trace or NullTraceSink(),
+        profiler=profiler,
     )
     result = Simulator(processes, config).run()
 

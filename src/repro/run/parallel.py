@@ -486,6 +486,15 @@ class ParallelRunner:
                 duration=duration or 0.0,
                 extra=extra,
             )
+            ledger = _cell_ledger(result)
+            if ledger is not None:
+                self.journal.record(
+                    "cell-ledger",
+                    label=label,
+                    worker=worker,
+                    attempt=attempt,
+                    extra=ledger,
+                )
         m = self.metrics
         if m is not None:
             m.counter(
@@ -599,3 +608,30 @@ def _sim_counters(result) -> dict:
         migrations += float(counters.migrations + counters.wake_migrations)
         runs += 1
     return {"runs": runs, "sched_events": sched, "migrations": migrations}
+
+
+def _cell_ledger(result) -> dict | None:
+    """Coarse overhead-ledger payload for one cell's merged counters.
+
+    Returns the ``cell-ledger`` event extra (mechanism decomposition of
+    the cell's core-seconds, from the always-on perf counters), or None
+    when the result carries no counters.  The worker already paid for
+    the counters; the fold is a handful of scalar ops per cell.
+    """
+    if not isinstance(result, list) or not result:
+        return None
+    merged = None
+    for r in result:
+        counters = getattr(r, "counters", None)
+        if counters is None:
+            return None
+        merged = counters if merged is None else merged.merge(counters)
+    from repro.analysis.ledger import OverheadLedger
+
+    ledger = OverheadLedger.from_counters(merged)
+    return {
+        "total_core_seconds": ledger.total_core_seconds,
+        "mechanisms": ledger.mechanisms(),
+        "dominant": ledger.dominant_mechanism(),
+        "residual": ledger.residual,
+    }

@@ -10,12 +10,25 @@ III-A).  The same observability exists here over the simulated kernel:
 * :mod:`repro.trace.cpudist` -- distribution of on-CPU stretches
   (BCC ``cpudist`` analog);
 * :mod:`repro.trace.offcputime` -- where threads spend their blocked time
-  (BCC ``offcputime`` analog).
+  (BCC ``offcputime`` analog);
+* :mod:`repro.trace.schedprof` -- ``perf sched timehist`` / ``perf sched
+  map`` analog: opt-in per-thread state history, per-core occupancy, and
+  the exact accumulators behind the overhead ledger.
 """
 
 from repro.trace.counters import PerfCounters
 from repro.trace.cpudist import CpuDist
 from repro.trace.offcputime import OffCpuReport
+from repro.trace.schedprof import SchedProfile, SchedProfiler, ThreadHist
 from repro.trace.timeline import Interval, Timeline
 
-__all__ = ["PerfCounters", "CpuDist", "OffCpuReport", "Timeline", "Interval"]
+__all__ = [
+    "PerfCounters",
+    "CpuDist",
+    "OffCpuReport",
+    "Timeline",
+    "Interval",
+    "SchedProfiler",
+    "SchedProfile",
+    "ThreadHist",
+]

@@ -40,6 +40,10 @@ class PerfCounters:
         Seconds of cache/IO re-warm cost charged at scheduling events.
     background_time:
         Seconds of platform background machinery charged.
+    sched_wait_seconds:
+        Thread-seconds spent runnable but not granted a core (runqueue
+        wait under processor sharing); the raw material of the ledger's
+        *scheduler wait* component.
     io_blocked_seconds / comm_blocked_seconds / barrier_blocked_seconds:
         Thread-seconds spent off-CPU by cause (the ``offcputime`` data).
     timeslice_weight:
@@ -48,6 +52,7 @@ class PerfCounters:
 
     busy_core_seconds: float = 0.0
     useful_core_seconds: float = 0.0
+    sched_wait_seconds: float = 0.0
     sched_events: float = 0.0
     migrations: float = 0.0
     wake_migrations: float = 0.0
@@ -84,6 +89,7 @@ class PerfCounters:
         out = {
             "busy_core_seconds": self.busy_core_seconds,
             "useful_core_seconds": self.useful_core_seconds,
+            "sched_wait_seconds": self.sched_wait_seconds,
             "sched_events": self.sched_events,
             "migrations": self.migrations,
             "wake_migrations": self.wake_migrations,
@@ -106,6 +112,7 @@ class PerfCounters:
         merged = PerfCounters(
             busy_core_seconds=self.busy_core_seconds + other.busy_core_seconds,
             useful_core_seconds=self.useful_core_seconds + other.useful_core_seconds,
+            sched_wait_seconds=self.sched_wait_seconds + other.sched_wait_seconds,
             sched_events=self.sched_events + other.sched_events,
             migrations=self.migrations + other.migrations,
             wake_migrations=self.wake_migrations + other.wake_migrations,

@@ -6,11 +6,14 @@ renders the paper's grouped-bar figures as standalone SVG documents
 :class:`~repro.run.results.SweepResult`, and
 :mod:`repro.trace.timeline` (in the trace package) provides execution
 timelines.  :mod:`repro.viz.flamegraph` renders the folded stacks of
-:mod:`repro.obs.export` as SVG flamegraphs.  The ASCII renderers live
-in :mod:`repro.analysis.figures`.
+:mod:`repro.obs.export` as SVG flamegraphs, and
+:mod:`repro.viz.occupancy` renders the scheduler profiler's per-core
+occupancy map (``perf sched map`` analog) as an SVG heat strip.  The
+ASCII renderers live in :mod:`repro.analysis.figures`.
 """
 
 from repro.viz.flamegraph import render_flamegraph_svg, save_flamegraph_svg
+from repro.viz.occupancy import render_occupancy_svg, save_occupancy_svg
 from repro.viz.svg import render_sweep_svg, save_sweep_svg
 
 __all__ = [
@@ -18,4 +21,6 @@ __all__ = [
     "save_sweep_svg",
     "render_flamegraph_svg",
     "save_flamegraph_svg",
+    "render_occupancy_svg",
+    "save_occupancy_svg",
 ]

@@ -1,0 +1,112 @@
+"""Dependency-free SVG rendering of the per-core occupancy map.
+
+The SVG counterpart of :meth:`repro.trace.schedprof.SchedProfile.core_map`
+(the ``perf sched map`` analog): one row per fluid core lane, one column
+per time bin, each cell shaded by how much of that unit of capacity the
+scheduler kept busy during the bin.  Standalone SVG, openable in any
+browser, in the same spirit as :mod:`repro.viz.svg` and
+:mod:`repro.viz.flamegraph`.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+__all__ = ["render_occupancy_svg", "save_occupancy_svg"]
+
+_CELL_W = 9
+_CELL_H = 14
+_MARGIN_L = 64
+_MARGIN_T = 34
+_MARGIN_B = 26
+_FONT = 11
+
+
+def _shade(fraction: float) -> str:
+    """Occupancy fraction in [0, 1] -> a white-to-dark-blue fill."""
+    f = min(max(fraction, 0.0), 1.0)
+    r = int(round(247 - f * (247 - 33)))
+    g = int(round(251 - f * (251 - 102)))
+    b = int(round(255 - f * (255 - 172)))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_occupancy_svg(
+    profile, *, bins: int = 96, title: str = "core occupancy"
+) -> str:
+    """Render a profile's per-core occupancy map as an SVG document.
+
+    Lane ``i``'s occupancy in a bin is the time-integral of
+    ``clamp(busy - i, 0, 1)`` over the bin, so the rows stack exactly
+    like the text renderer's.
+    """
+    if profile.t_end <= 0 or not profile.steps:
+        raise AnalysisError("cannot render an empty scheduler profile")
+    peak = max(busy for _, _, busy in profile.steps)
+    lanes = max(1, int(math.ceil(peak - 1e-9)))
+    bin_w = profile.t_end / bins
+    occ = [[0.0] * bins for _ in range(lanes)]
+    for t0, dt, busy in profile.steps:
+        if dt <= 0 or busy <= 0:
+            continue
+        hi_t = min(t0 + dt, profile.t_end)
+        b0 = min(int(t0 / bin_w), bins - 1)
+        b1 = min(int(hi_t / bin_w - 1e-12), bins - 1)
+        for b in range(b0, b1 + 1):
+            seg = min(hi_t, (b + 1) * bin_w) - max(t0, b * bin_w)
+            if seg <= 0:
+                continue
+            for lane in range(lanes):
+                share = min(max(busy - lane, 0.0), 1.0)
+                if share > 0:
+                    occ[lane][b] += share * seg
+
+    width = _MARGIN_L + bins * _CELL_W + 12
+    height = _MARGIN_T + lanes * _CELL_H + _MARGIN_B
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{_FONT}">',
+        f'<text x="{_MARGIN_L}" y="18">{escape(title)} '
+        f"(peak {peak:.2f} busy cores, {bin_w:.4f}s/col)</text>",
+    ]
+    for lane in range(lanes):
+        # top row is the highest lane, like the text map
+        y = _MARGIN_T + (lanes - 1 - lane) * _CELL_H
+        parts.append(
+            f'<text x="4" y="{y + _CELL_H - 3}">core {lane}</text>'
+        )
+        for b in range(bins):
+            frac = occ[lane][b] / bin_w
+            x = _MARGIN_L + b * _CELL_W
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{_CELL_W}" '
+                f'height="{_CELL_H}" fill="{_shade(frac)}">'
+                f"<title>core {lane} @ {b * bin_w:.4f}s: "
+                f"{frac:.0%} busy</title></rect>"
+            )
+    axis_y = _MARGIN_T + lanes * _CELL_H + 16
+    parts.append(f'<text x="{_MARGIN_L}" y="{axis_y}">0s</text>')
+    parts.append(
+        f'<text x="{_MARGIN_L + bins * _CELL_W - 40}" y="{axis_y}">'
+        f"{profile.t_end:.2f}s</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_occupancy_svg(
+    profile, path: str | Path, *, bins: int = 96,
+    title: str = "core occupancy",
+) -> Path:
+    """Render and write the occupancy SVG; returns the path."""
+    path = Path(path)
+    path.write_text(
+        render_occupancy_svg(profile, bins=bins, title=title),
+        encoding="utf-8",
+    )
+    return path

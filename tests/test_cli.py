@@ -193,6 +193,88 @@ class TestCommands:
         )
         assert svg.read_text().startswith("<svg")
 
+    def test_trace_ledger(self, capsys):
+        assert (
+            main(["trace", "ffmpeg", "--instance", "Large", "--ledger"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "overhead ledger" in out
+        assert "useful_work" in out
+
+    def test_perf_ledger_acceptance(self, capsys):
+        """The acceptance command: exact additive decomposition on
+        ffmpeg VM/16xLarge, conservation enforced inside the command."""
+        assert (
+            main(
+                [
+                    "perf", "ledger", "ffmpeg",
+                    "--platform", "VM", "--instance", "16xLarge",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "by mechanism" in out
+        assert "dominant overhead mechanism" in out
+
+    def test_perf_ledger_json_and_flamegraph(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "ledger.json"
+        svg = tmp_path / "ledger.svg"
+        assert (
+            main(
+                [
+                    "perf", "ledger", "mpi", "--instance", "Large",
+                    "--json", str(out_json), "--flamegraph", str(svg),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_json.read_text())
+        assert doc["total_core_seconds"] > 0
+        assert "useful_work" in doc["components"]
+        assert svg.read_text().startswith("<svg")
+
+    def test_perf_timehist(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "sched.json"
+        folded = tmp_path / "sched.folded"
+        assert (
+            main(
+                [
+                    "perf", "timehist", "mpi", "--instance", "Large",
+                    "--rows", "5",
+                    "--chrome", str(chrome), "--folded", str(folded),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scheduler time history" in out
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+        assert folded.read_text().startswith("sched;")
+
+    def test_perf_map(self, capsys, tmp_path):
+        svg = tmp_path / "occ.svg"
+        assert (
+            main(
+                [
+                    "perf", "map", "mpi", "--instance", "Large",
+                    "--width", "40", "--svg", str(svg),
+                ]
+            )
+            == 0
+        )
+        assert "core occupancy map" in capsys.readouterr().out
+        assert svg.read_text().startswith("<svg")
+
+    def test_perf_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
     def test_run_with_journal(self, capsys, tmp_path):
         from repro.obs import read_journal
 

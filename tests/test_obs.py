@@ -174,6 +174,33 @@ class TestJournalSinks:
         with pytest.raises(ConfigurationError, match=r":1:"):
             read_journal(path)
 
+    def test_tolerant_read_skips_truncated_final_line(self, tmp_path):
+        """``strict=False``: a half-written trailing line (crashed or
+        still-running producer) is skipped with a warning instead of
+        failing the whole read."""
+        path = tmp_path / "j.jsonl"
+        ok = json.dumps(valid_event())
+        path.write_text(ok + "\n" + ok[: len(ok) // 2])
+        with pytest.warns(UserWarning, match="truncated"):
+            events = read_journal(path, strict=False)
+        assert [e.kind for e in events] == ["cell-finished"]
+        # strict mode (the default) still refuses the same file
+        with pytest.raises(ConfigurationError, match=r":2:"):
+            read_journal(path)
+
+    def test_tolerant_read_still_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ok = json.dumps(valid_event())
+        path.write_text(ok + "\n{not json\n" + ok + "\n")
+        with pytest.raises(ConfigurationError, match=r":2:"):
+            read_journal(path, strict=False)
+
+    def test_tolerant_read_still_rejects_schema_violations(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(valid_event(kind="bogus")) + "\n")
+        with pytest.raises(ConfigurationError, match=r":1:"):
+            read_journal(path, strict=False)
+
 
 class TestJournalFromRuns:
     def test_serial_run_emits_cell_lifecycle(self):
@@ -354,6 +381,27 @@ class TestMetricsRegistry:
                 assert re.match(
                     r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \S+$', line
                 ), line
+
+    def test_prometheus_escapes_help_and_label_values(self):
+        """Exposition-format 0.0.4 escaping: backslash and newline in
+        HELP text, plus double quotes in label values."""
+        reg = MetricsRegistry()
+        reg.counter("repro_c", 'path "C:\\tmp"\nsecond line').inc(1)
+        text = reg.to_prometheus()
+        assert '# HELP repro_c path "C:\\\\tmp"\\nsecond line' in text
+        assert "\nsecond line" not in text.replace("\\n", "")
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert "\n" not in line  # single physical line
+
+    def test_prometheus_escapes_histogram_bound_labels(self):
+        # no numeric bound ever needs escaping, but the label path must
+        # round-trip backslash/quote/newline if a bound formats oddly
+        from repro.obs.metrics import _escape_label
+
+        assert _escape_label('a"b') == 'a\\"b'
+        assert _escape_label("a\\b") == "a\\\\b"
+        assert _escape_label("a\nb") == "a\\nb"
 
     def test_snapshot_merge_adds_counters(self):
         a, b = MetricsRegistry(), MetricsRegistry()
