@@ -69,8 +69,9 @@ from repro.obs import (
     read_journal,
     summarize_journal,
 )
+from repro.faults import FAULT_SITES, FaultInjector, FaultPlan, FaultSpec
 from repro.run.parallel import CachedCell, ParallelRunner, default_jobs
-from repro.run.persistence import SweepCache
+from repro.run.persistence import CellStore, SweepCache
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
 from repro.workloads import (
@@ -124,6 +125,12 @@ __all__ = [
     "CachedCell",
     "default_jobs",
     "SweepCache",
+    "CellStore",
+    # fault injection / resume
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
     # observability
     "JournalEvent",
     "JsonlJournal",

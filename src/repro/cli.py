@@ -24,10 +24,14 @@ Subcommands mirror the paper's artifacts:
     Cost/SLO placement optimization over the whole deployment grid.
 ``report``
     Run the full campaign and write a markdown report (optionally with
-    a ``--journal`` telemetry stream).
+    a ``--journal`` telemetry stream, a ``--checkpoint`` store for
+    crash-safe ``--resume``, and a ``--fault-plan`` chaos schedule).
 ``obs``
     Summarize or export a recorded run journal (``summary``,
     ``export --format chrome|folded|prom``).
+``faults``
+    Deterministic fault injection: list the built-in fault sites
+    (``sites``) or generate a seeded chaos schedule (``plan``).
 ``perf``
     Scheduler profiling of one run (``perf sched`` analogs):
     ``timehist`` (per-thread time history), ``map`` (per-core occupancy
@@ -50,7 +54,8 @@ from repro.analysis.report import generate_report
 from repro.analysis.figures import figure_from_sweep, render_figure
 from repro.analysis.overhead import overhead_ratios
 from repro.analysis.tables import render_table1, render_table2, render_table3
-from repro.errors import ReproError
+from repro.errors import InjectedFault, ParallelExecutionError, ReproError
+from repro.faults import FAULT_SITES, FaultInjector, FaultPlan
 from repro.hostmodel.topology import r830_host, small_host
 from repro.obs.journal import open_journal, read_journal
 from repro.platforms.provisioning import (
@@ -62,7 +67,7 @@ from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.run.campaign import KNOWN_EXPERIMENTS, Campaign, run_campaign
 from repro.run.parallel import default_jobs
-from repro.run.persistence import SweepCache
+from repro.run.persistence import CellStore, SweepCache
 from repro.run.colocation import Tenant, run_colocated
 from repro.run.execution import run_once
 from repro.run.experiment import run_platform_sweep
@@ -334,6 +339,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream campaign lifecycle events to a JSONL journal "
         "(inspect with 'repro obs')",
     )
+    rep_p.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="per-cell checkpoint store: completed cells are persisted "
+        "as they finish, enabling crash-safe --resume "
+        "(default with --cache: <cache>/cells)",
+    )
+    rep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed campaign: replay verified checkpoints and "
+        "cache entries, re-run only missing/corrupt cells, append to "
+        "--journal; the report is byte-identical to an uninterrupted run",
+    )
+    rep_p.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="arm a deterministic fault plan (see 'repro faults plan') "
+        "across the campaign's machinery",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -365,6 +390,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--svg",
         metavar="PATH",
         help="(with --format folded) also render an SVG flamegraph",
+    )
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="deterministic fault injection: list sites, generate plans",
+    )
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser("sites", help="list the built-in fault sites")
+    plan_p = faults_sub.add_parser(
+        "plan", help="generate a seeded chaos schedule as JSON"
+    )
+    plan_p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="plan seed (same seed, same plan)",
+    )
+    plan_p.add_argument(
+        "--n-faults", type=int, default=2, help="faults to schedule"
+    )
+    plan_p.add_argument(
+        "--sites",
+        metavar="S1,S2",
+        help="restrict candidate sites (comma-separated; "
+        "see 'repro faults sites')",
+    )
+    plan_p.add_argument(
+        "--abort",
+        action="store_true",
+        help="make worker faults permanent (exhaust the runner's retries) "
+        "so the campaign dies instead of healing — what chaos tests that "
+        "exercise resume want",
+    )
+    plan_p.add_argument(
+        "--delay", type=float, default=1.0,
+        help="seconds task.timeout faults sleep on the pool path",
+    )
+    plan_p.add_argument(
+        "--out", required=True, metavar="PATH", help="where to write the plan"
     )
     return parser
 
@@ -782,10 +844,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     jobs = _jobs(args)
     cache = SweepCache(args.cache) if args.cache else None
-    journal = open_journal(args.journal)
+    checkpoint = CellStore(args.checkpoint) if args.checkpoint else None
+    if args.resume and checkpoint is None and cache is None:
+        raise ReproError("--resume needs --checkpoint and/or --cache")
+    faults = (
+        FaultInjector(FaultPlan.load(args.fault_plan))
+        if args.fault_plan
+        else None
+    )
+    journal = open_journal(args.journal, append=args.resume)
     print(f"running campaign {campaign.include} with {jobs} job(s) ...")
     try:
-        result = run_campaign(campaign, jobs=jobs, cache=cache, journal=journal)
+        result = run_campaign(
+            campaign,
+            jobs=jobs,
+            cache=cache,
+            journal=journal,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            faults=faults,
+        )
     finally:
         journal.close()
     text = generate_report(result)
@@ -794,6 +872,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"wrote {args.out} ({len(text)} chars)")
     if args.journal:
         print(f"journal: {args.journal} (inspect with 'repro obs summary')")
+    if faults is not None and faults.fired:
+        sites = ", ".join(sorted(faults.fired_sites()))
+        print(f"faults fired: {len(faults.fired)} ({sites})")
     return 0
 
 
@@ -833,6 +914,33 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command == "sites":
+        width = max(len(s) for s in FAULT_SITES)
+        for site in sorted(FAULT_SITES):
+            print(f"{site:<{width}s}  {FAULT_SITES[site]}")
+        return 0
+    # plan
+    sites = (
+        tuple(s.strip() for s in args.sites.split(",") if s.strip())
+        if args.sites
+        else None
+    )
+    plan = FaultPlan.random(
+        args.seed,
+        n_faults=args.n_faults,
+        sites=sites,
+        abort=args.abort,
+        delay=args.delay,
+    )
+    plan.save(args.out)
+    print(
+        f"wrote fault plan seed={args.seed} "
+        f"sites=[{', '.join(plan.sites)}] to {args.out}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -863,7 +971,20 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "obs":
             return _cmd_obs(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         raise AssertionError(f"unhandled command {args.command!r}")
+    except (ParallelExecutionError, InjectedFault) as exc:
+        # a crashed/aborted campaign is distinguishable from a usage
+        # error: completed cells are checkpointed, so the operator can
+        # re-run with --resume instead of starting over.
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "campaign aborted; completed cells persist in the checkpoint/"
+            "cache stores — re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -20,6 +20,8 @@ __all__ = [
     "SimulationError",
     "AttemptFailure",
     "ParallelExecutionError",
+    "InjectedFault",
+    "InjectedCrash",
     "CgroupError",
     "AnalysisError",
     "ConservationError",
@@ -115,6 +117,48 @@ class ParallelExecutionError(SimulationError):
             )
             msg += f" (history: {history})"
         super().__init__(msg)
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic fault fired by :mod:`repro.faults`.
+
+    Raised at the scheduled injection site in place of the real failure
+    it models (transient pickle/IPC error, ENOSPC during persistence,
+    ...).  Carries the site name so chaos tests can assert coverage.
+
+    Attributes
+    ----------
+    site:
+        The fault-site name (see :data:`repro.faults.FAULT_SITES`).
+    label:
+        Identity of the subject the fault hit (cell label, cache entry).
+    detail:
+        Optional free-form context.
+    """
+
+    def __init__(self, site: str, label: str = "", detail: str = "") -> None:
+        self.site = site
+        self.label = label
+        self.detail = detail
+        super().__init__(site, label, detail)
+
+    def __str__(self) -> str:
+        msg = f"injected fault [{self.site}]"
+        if self.label:
+            msg += f" at {self.label!r}"
+        if self.detail:
+            msg += f": {self.detail}"
+        return msg
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated process death (kill / power loss) from :mod:`repro.faults`.
+
+    Unlike :class:`InjectedFault` this is never retried: it propagates
+    straight out of the executor, aborting the campaign exactly where a
+    real ``SIGKILL`` would have — so crash-safe resume can be exercised
+    in-process, without actually killing the test runner.
+    """
 
 
 class CgroupError(ConfigurationError):

@@ -1,0 +1,280 @@
+"""Seeded, serializable schedules of deterministic faults.
+
+A :class:`FaultPlan` is a pure piece of data: a tuple of
+:class:`FaultSpec` records naming *where* (a fault site from
+:data:`FAULT_SITES`), *when* (the Nth check at that site, or a set of
+attempt numbers), and *what* should go wrong.  Because a plan carries no
+live state it pickles cleanly into worker processes and serializes to
+JSON, so the exact chaos schedule that killed a campaign can be
+committed next to its journal and replayed bit-for-bit.
+
+Two matching disciplines keep injection deterministic regardless of
+pool scheduling:
+
+* **worker sites** (:data:`WORKER_SITES`) match on ``(label, attempt)``
+  only — pure functions of the task, evaluated inside whichever process
+  runs it, so no cross-process counter is needed;
+* **parent sites** (:data:`PARENT_SITES`) fire on the Nth occurrence of
+  the site in the coordinating process, counted by the stateful
+  :class:`~repro.faults.inject.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_SITES",
+    "PARENT_SITES",
+    "WORKER_SITES",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+#: Every built-in fault site, with a one-line description of the real
+#: failure it models.
+FAULT_SITES: dict[str, str] = {
+    "worker.kill": (
+        "worker process dies mid-cell (pool breakage; simulated crash "
+        "of the whole campaign on the inline path)"
+    ),
+    "task.timeout": "cell exceeds the runner's per-task timeout",
+    "task.error": "transient pickle/IPC-style exception inside the worker",
+    "cache.corrupt": "persisted entry truncated just after write (torn write)",
+    "journal.truncate": "journal line cut mid-write (crash during append)",
+    "disk.full": "persistence raises an ENOSPC-style error before writing",
+}
+
+#: Sites matched on (label, attempt) inside the executing worker.
+WORKER_SITES: frozenset[str] = frozenset(
+    {"worker.kill", "task.timeout", "task.error"}
+)
+
+#: Sites fired by occurrence count in the coordinating (parent) process.
+PARENT_SITES: frozenset[str] = frozenset(FAULT_SITES) - WORKER_SITES
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    site:
+        A fault-site name from :data:`FAULT_SITES`.
+    match:
+        Substring the site label must contain for the spec to apply
+        (empty = any label).
+    at:
+        For **parent** sites: fire on the ``at``-th matching check of
+        this site (1-based).
+    attempts:
+        For **worker** sites: attempt numbers on which to fire.  The
+        default ``(1,)`` makes the fault transient — the runner's retry
+        succeeds; ``(1, 2)`` exhausts a ``retries=1`` runner and aborts
+        the campaign permanently.
+    delay:
+        For ``task.timeout`` on the pool path: seconds the worker
+        sleeps, which must exceed the runner's ``timeout`` to fire.
+    """
+
+    site: str
+    match: str = ""
+    at: int = 1
+    attempts: tuple[int, ...] = (1,)
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known: {sorted(FAULT_SITES)}"
+            )
+        if self.at < 1:
+            raise ConfigurationError(f"at must be >= 1, got {self.at}")
+        if not self.attempts or any(a < 1 for a in self.attempts):
+            raise ConfigurationError(
+                f"attempts must be non-empty 1-based ints, got {self.attempts}"
+            )
+        if self.delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {self.delay}")
+
+    def matches_label(self, label: str) -> bool:
+        """True when this spec applies to ``label``."""
+        return self.match in label
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "site": self.site,
+            "match": self.match,
+            "at": self.at,
+            "attempts": list(self.attempts),
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                site=d["site"],
+                match=d.get("match", ""),
+                at=int(d.get("at", 1)),
+                attempts=tuple(int(a) for a in d.get("attempts", (1,))),
+                delay=float(d.get("delay", 1.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault spec {d!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, serializable schedule of faults.
+
+    Attributes
+    ----------
+    specs:
+        The scheduled faults, in declaration order.
+    seed:
+        Provenance: the seed :meth:`random` generated the plan from
+        (``None`` for hand-written plans).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Distinct sites this plan schedules, sorted."""
+        return tuple(sorted({s.site for s in self.specs}))
+
+    def worker_fault(self, label: str, attempt: int) -> FaultSpec | None:
+        """The worker-site spec firing for ``(label, attempt)``, if any.
+
+        Pure function of its arguments, so any process holding the plan
+        reaches the same verdict — the mechanism that keeps injection
+        deterministic across pool scheduling.
+        """
+        for spec in self.specs:
+            if (
+                spec.site in WORKER_SITES
+                and spec.matches_label(label)
+                and attempt in spec.attempts
+            ):
+                return spec
+        return None
+
+    def parent_fault(self, site: str, label: str, occurrence: int) -> FaultSpec | None:
+        """The parent-site spec firing at the ``occurrence``-th check."""
+        for spec in self.specs:
+            if (
+                spec.site == site
+                and spec.matches_label(label)
+                and spec.at == occurrence
+            ):
+                return spec
+        return None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        out: dict = {"specs": [s.to_dict() for s in self.specs]}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(d, dict) or "specs" not in d:
+            raise ConfigurationError(f"malformed fault plan {d!r}")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in d["specs"]),
+            seed=d.get("seed"),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a plan written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"fault plan {path} does not exist")
+        try:
+            return cls.from_dict(json.loads(path.read_text()))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"corrupt fault plan {path}: {exc}") from exc
+
+    # -- generation ---------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 2,
+        sites: tuple[str, ...] | None = None,
+        abort: bool = False,
+        delay: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded, reproducible chaos schedule.
+
+        The first scheduled site rotates with the seed
+        (``sites[seed % len(sites)]``), so a sweep of consecutive seeds
+        is guaranteed to cover every site; the remaining ``n_faults - 1``
+        are drawn uniformly.  With ``abort=True`` every worker-site spec
+        fires on attempts ``(1, 2)`` — exhausting a ``retries=1`` runner
+        so the campaign dies instead of healing, which is what chaos
+        tests that exercise *resume* want.
+
+        Parameters
+        ----------
+        seed:
+            Plan seed; same seed, same plan.
+        n_faults:
+            Number of fault specs to schedule.
+        sites:
+            Candidate sites (default: all of :data:`FAULT_SITES`, in
+            sorted order).
+        abort:
+            Make worker faults permanent rather than transient.
+        delay:
+            Sleep injected by ``task.timeout`` specs on the pool path.
+        """
+        if n_faults < 1:
+            raise ConfigurationError(f"n_faults must be >= 1, got {n_faults}")
+        pool = tuple(sites) if sites else tuple(sorted(FAULT_SITES))
+        for s in pool:
+            if s not in FAULT_SITES:
+                raise ConfigurationError(
+                    f"unknown fault site {s!r}; known: {sorted(FAULT_SITES)}"
+                )
+        rng = random.Random(seed)
+        chosen = [pool[seed % len(pool)]]
+        chosen += [rng.choice(pool) for _ in range(n_faults - 1)]
+        specs = []
+        for site in chosen:
+            attempts = (1, 2) if abort else ((1,) if rng.random() < 0.7 else (1, 2))
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    at=rng.randint(1, 4),
+                    attempts=attempts,
+                    delay=delay,
+                )
+            )
+        return cls(specs=tuple(specs), seed=seed)

@@ -1,9 +1,10 @@
 """Versioned schema of campaign-journal events.
 
 A run journal is a stream of :class:`JournalEvent` records describing the
-lifecycle of a campaign: cells queued, started, resolved from cache,
-retried, failed, and finished, plus sweep/campaign spans and worker-pool
-rebuilds.  The schema is versioned (:data:`SCHEMA_VERSION`) so journals
+lifecycle of a campaign: cells queued, started, resolved from cache or
+replayed from a resume checkpoint, retried, failed, and finished, plus
+sweep/campaign spans, worker-pool rebuilds, and deterministic fault
+injections (``fault-injected`` / ``checkpoint-corrupt``).  The schema is versioned (:data:`SCHEMA_VERSION`) so journals
 written by one release can be rejected loudly — not misread silently —
 by another, and :func:`validate_event` is the single gate every reader
 passes records through.
@@ -36,10 +37,13 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "cell-queued",
         "cell-started",
         "cell-cache-hit",
+        "cell-resumed",
         "cell-retried",
         "cell-failed",
         "cell-finished",
         "cell-ledger",
+        "checkpoint-corrupt",
+        "fault-injected",
         "pool-rebuilt",
         "run-started",
         "run-finished",

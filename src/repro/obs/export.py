@@ -94,7 +94,15 @@ def journal_to_chrome(events: list[JournalEvent]) -> dict:
                     "args": {"attempt": e.attempt, "worker": e.worker},
                 }
             )
-        elif e.kind in ("cell-retried", "cell-failed", "cell-cache-hit", "pool-rebuilt"):
+        elif e.kind in (
+            "cell-retried",
+            "cell-failed",
+            "cell-cache-hit",
+            "cell-resumed",
+            "checkpoint-corrupt",
+            "fault-injected",
+            "pool-rebuilt",
+        ):
             trace_events.append(
                 {
                     "name": f"{e.kind}: {e.label}" if e.label else e.kind,

@@ -117,16 +117,63 @@ class JsonlJournal(_RecordingJournal):
     The file is truncated on open (a journal describes one run) and every
     event is flushed immediately, so a killed campaign still leaves every
     record it reached on disk.
+
+    Parameters
+    ----------
+    path:
+        Where the JSONL stream lives.
+    append:
+        Open in append mode instead of truncating — the resume path uses
+        this so one journal documents the whole (crash-interrupted)
+        campaign.  A partial trailing line left by a run killed mid-write
+        is trimmed first, so the appended journal parses strictly.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` arming the
+        ``journal.truncate`` site: the scheduled event is cut mid-line
+        (flushed without its tail) and the simulated crash
+        (:class:`~repro.errors.InjectedCrash`) propagates, exactly like
+        a power loss during the append.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        append: bool = False,
+        faults=None,
+    ) -> None:
+        from repro.faults import NULL_INJECTOR
+
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w", encoding="utf-8")
+        self.faults = faults or NULL_INJECTOR
+        if append and self.path.exists():
+            self._trim_partial_tail()
+            self._fh = self.path.open("a", encoding="utf-8")
+        else:
+            self._fh = self.path.open("w", encoding="utf-8")
+
+    def _trim_partial_tail(self) -> None:
+        """Drop a trailing line with no newline (a crash-torn write)."""
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            keep = data.rfind(b"\n") + 1
+            self.path.write_bytes(data[:keep])
 
     def emit(self, event: JournalEvent) -> None:
         """Append one JSON line and flush."""
-        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+        if self.faults.enabled:
+            spec = self.faults.fire("journal.truncate", event.kind)
+            if spec is not None:
+                from repro.errors import InjectedCrash
+
+                self._fh.write(line[: max(1, len(line) // 2)])
+                self._fh.flush()
+                raise InjectedCrash(
+                    "journal.truncate", event.kind, "crash mid-append"
+                )
+        self._fh.write(line)
         self._fh.flush()
 
     def close(self) -> None:
@@ -141,9 +188,16 @@ class JsonlJournal(_RecordingJournal):
         self.close()
 
 
-def open_journal(path: str | Path | None) -> Journal:
-    """A :class:`JsonlJournal` at ``path``, or the no-op sink for None."""
-    return NULL_JOURNAL if path is None else JsonlJournal(path)
+def open_journal(
+    path: str | Path | None, *, append: bool = False
+) -> Journal:
+    """A :class:`JsonlJournal` at ``path``, or the no-op sink for None.
+
+    ``append=True`` opens the journal in resume mode: the existing
+    stream is kept (a crash-torn trailing line is trimmed) and new
+    events are appended.
+    """
+    return NULL_JOURNAL if path is None else JsonlJournal(path, append=append)
 
 
 def read_journal(path: str | Path, *, strict: bool = True) -> list[JournalEvent]:

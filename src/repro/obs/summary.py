@@ -28,6 +28,7 @@ class CellRecord:
     attempts: int = 0
     retries: int = 0
     cached: bool = False
+    resumed: bool = False
     failed: bool = False
     sched_events: float = 0.0
     migrations: float = 0.0
@@ -70,6 +71,8 @@ class RunSummary:
     retries_total: int = 0
     failures_total: int = 0
     pool_rebuilds: int = 0
+    faults_injected: int = 0
+    checkpoint_corrupt: int = 0
 
     @property
     def n_cells(self) -> int:
@@ -82,9 +85,16 @@ class RunSummary:
         return sum(1 for c in self.cells.values() if c.cached)
 
     @property
+    def n_resumed(self) -> int:
+        """Cells replayed from resume checkpoints."""
+        return sum(1 for c in self.cells.values() if c.resumed)
+
+    @property
     def n_executed(self) -> int:
         """Cells that actually ran."""
-        return sum(1 for c in self.cells.values() if not c.cached)
+        return sum(
+            1 for c in self.cells.values() if not c.cached and not c.resumed
+        )
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -111,7 +121,9 @@ class RunSummary:
 
     def slowest_cells(self, n: int = 5) -> list[CellRecord]:
         """The ``n`` longest-running cells, slowest first."""
-        executed = [c for c in self.cells.values() if not c.cached]
+        executed = [
+            c for c in self.cells.values() if not c.cached and not c.resumed
+        ]
         return sorted(executed, key=lambda c: -c.duration)[:n]
 
     def worker_utilization(self) -> dict[str, float]:
@@ -124,16 +136,24 @@ class RunSummary:
 
     def render(self, top: int = 5) -> str:
         """Human-readable summary block for the ``obs summary`` CLI."""
+        resumed = (
+            f", {self.n_resumed} resumed from checkpoints" if self.n_resumed else ""
+        )
         lines = [
             f"cells        : {self.n_cells} "
             f"({self.n_executed} executed, {self.n_cached} cache hits, "
-            f"hit ratio {self.cache_hit_ratio:.0%})",
+            f"hit ratio {self.cache_hit_ratio:.0%}{resumed})",
             f"wall clock   : {self.wall_seconds:.3f} s",
             f"retries      : {self.retries_total}"
             + (f"  failures: {self.failures_total}" if self.failures_total else ""),
         ]
         if self.pool_rebuilds:
             lines.append(f"pool rebuilds: {self.pool_rebuilds}")
+        if self.faults_injected or self.checkpoint_corrupt:
+            lines.append(
+                f"faults       : {self.faults_injected} injected, "
+                f"{self.checkpoint_corrupt} corrupt checkpoints re-run"
+            )
         if self.sched_events_total:
             lines.append(
                 f"sim events   : {self.sched_events_total:.0f} "
@@ -204,6 +224,12 @@ def summarize_journal(events: list[JournalEvent]) -> RunSummary:
                 rec.mechanisms[mech] = rec.mechanisms.get(mech, 0.0) + float(v)
         elif e.kind == "cell-cache-hit":
             cell(e.label).cached = True
+        elif e.kind == "cell-resumed":
+            cell(e.label).resumed = True
+        elif e.kind == "fault-injected":
+            summary.faults_injected += 1
+        elif e.kind == "checkpoint-corrupt":
+            summary.checkpoint_corrupt += 1
         elif e.kind == "cell-retried":
             cell(e.label).retries += 1
             summary.retries_total += 1

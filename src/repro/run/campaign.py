@@ -23,9 +23,10 @@ from repro.platforms.provisioning import instance_type, instance_types_upto
 from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.run.calibration import Calibration
+from repro.faults import FaultInjector
 from repro.run.experiment import run_platform_sweep
 from repro.run.parallel import CellTask, ParallelRunner, execute_cell
-from repro.run.persistence import SweepCache
+from repro.run.persistence import CellStore, SweepCache
 from repro.run.results import SweepResult
 from repro.workloads.cassandra import CassandraWorkload
 from repro.workloads.ffmpeg import FfmpegWorkload
@@ -200,6 +201,9 @@ def run_campaign(
     runner: ParallelRunner | None = None,
     cache: SweepCache | None = None,
     journal: Journal | None = None,
+    checkpoint: CellStore | None = None,
+    resume: bool = False,
+    faults: FaultInjector | None = None,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -222,66 +226,119 @@ def run_campaign(
         Optional run journal; when attached, every cell/sweep lifecycle
         event of the campaign is streamed into it (see
         :mod:`repro.obs`).  Results are identical with or without.
+    checkpoint:
+        Optional :class:`~repro.run.persistence.CellStore`.  Attached to
+        the runner so every completed cell is persisted as it finishes
+        and verified checkpoints are replayed instead of re-run.
+    resume:
+        Resume a crashed campaign: requires a ``checkpoint`` store (or a
+        ``cache``, from which the conventional ``<cache>/cells`` store
+        is derived).  Completed cells are reconstructed from verified
+        checkpoints and sweep-cache entries; only missing or corrupt
+        cells re-execute.  The result — and the report generated from it
+        — is byte-identical to the uninterrupted run.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` arming a
+        deterministic fault plan across the campaign's machinery
+        (runner worker sites, cache/checkpoint persistence, journal
+        appends).  Default: no injection, byte-identical results.
     """
     campaign = campaign or Campaign()
+    if resume and checkpoint is None:
+        if cache is None:
+            raise ConfigurationError(
+                "resume=True needs a checkpoint store, or a cache whose "
+                "directory can host the conventional cells/ store"
+            )
+        checkpoint = CellStore(cache.directory / "cells")
     runner = runner or ParallelRunner(jobs, journal=journal)
     if journal is not None and journal.enabled and not runner.journal.enabled:
         runner.journal = journal
+    if checkpoint is not None and runner.checkpoint is None:
+        runner.checkpoint = checkpoint
+    # Arm the injector across the campaign's machinery for the duration
+    # of this call only: attachments are restored on the way out, so the
+    # same cache/checkpoint/journal objects can be reused for a clean
+    # resume run without stale faults re-firing.
+    armed: list[tuple[object, object]] = []
+
+    def arm(obj) -> None:
+        armed.append((obj, obj.faults))
+        obj.faults = faults
+
+    if faults is not None and faults.enabled:
+        if not runner.faults.enabled:
+            arm(runner)
+        if cache is not None and not cache.faults.enabled:
+            arm(cache)
+        if runner.checkpoint is not None and not runner.checkpoint.faults.enabled:
+            arm(runner.checkpoint)
+        if runner.journal.enabled:
+            if hasattr(runner.journal, "faults") and not runner.journal.faults.enabled:
+                arm(runner.journal)
+            faults.journal = runner.journal
     jl = runner.journal
     t_start = time.perf_counter()
-    if jl.enabled:
-        jl.record(
-            "campaign-started",
-            label="campaign",
-            detail=",".join(campaign.include),
-        )
-    big = [instance_type(n) for n in _BIG]
-    sweeps: dict[str, SweepResult] = {}
+    try:
+        if jl.enabled:
+            jl.record(
+                "campaign-started",
+                label="campaign",
+                detail=",".join(campaign.include)
+                + (" [resume]" if resume else ""),
+            )
+        big = [instance_type(n) for n in _BIG]
+        sweeps: dict[str, SweepResult] = {}
 
-    def sweep(workload, instances, reps) -> SweepResult:
-        return run_platform_sweep(
-            workload,
-            instances,
-            host=campaign.host,
-            reps=reps,
-            calib=campaign.calib,
-            seed=campaign.seed,
-            runner=runner,
-            cache=cache,
-            journal=jl,
-        )
-
-    if "fig3" in campaign.include:
-        sweeps["fig3"] = sweep(
-            FfmpegWorkload(), instance_types_upto(16), campaign.reps_fast
-        )
-    if "fig4" in campaign.include:
-        sweeps["fig4"] = sweep(MpiSearchWorkload(), big, campaign.reps_fast)
-    if "fig5" in campaign.include:
-        sweeps["fig5"] = sweep(WordPressWorkload(), big, campaign.reps_io)
-    if "fig6" in campaign.include:
-        sweeps["fig6"] = sweep(CassandraWorkload(), big, campaign.reps_io)
-
-    chr_bands: dict[str, ChrRange] = {}
-    for fig, name in (("fig3", "FFmpeg"), ("fig5", "WordPress"), ("fig6", "Cassandra")):
-        if fig in sweeps:
-            chr_bands[name] = estimate_suitable_chr_range(
-                sweeps[fig], campaign.host
+        def sweep(workload, instances, reps) -> SweepResult:
+            return run_platform_sweep(
+                workload,
+                instances,
+                host=campaign.host,
+                reps=reps,
+                calib=campaign.calib,
+                seed=campaign.seed,
+                runner=runner,
+                cache=cache,
+                journal=jl,
             )
 
-    fig7: dict[tuple[str, str], StatSummary] = {}
-    if "fig7" in campaign.include:
-        fig7 = _run_cell_summaries(runner, *_fig7_tasks(campaign))
-    fig8: dict[tuple[str, str], StatSummary] = {}
-    if "fig8" in campaign.include:
-        fig8 = _run_cell_summaries(runner, *_fig8_tasks(campaign))
+        if "fig3" in campaign.include:
+            sweeps["fig3"] = sweep(
+                FfmpegWorkload(), instance_types_upto(16), campaign.reps_fast
+            )
+        if "fig4" in campaign.include:
+            sweeps["fig4"] = sweep(MpiSearchWorkload(), big, campaign.reps_fast)
+        if "fig5" in campaign.include:
+            sweeps["fig5"] = sweep(WordPressWorkload(), big, campaign.reps_io)
+        if "fig6" in campaign.include:
+            sweeps["fig6"] = sweep(CassandraWorkload(), big, campaign.reps_io)
 
-    if jl.enabled:
-        jl.record(
-            "campaign-finished",
-            label="campaign",
-            duration=time.perf_counter() - t_start,
-        )
+        chr_bands: dict[str, ChrRange] = {}
+        for fig, name in (
+            ("fig3", "FFmpeg"), ("fig5", "WordPress"), ("fig6", "Cassandra")
+        ):
+            if fig in sweeps:
+                chr_bands[name] = estimate_suitable_chr_range(
+                    sweeps[fig], campaign.host
+                )
+
+        fig7: dict[tuple[str, str], StatSummary] = {}
+        if "fig7" in campaign.include:
+            fig7 = _run_cell_summaries(runner, *_fig7_tasks(campaign))
+        fig8: dict[tuple[str, str], StatSummary] = {}
+        if "fig8" in campaign.include:
+            fig8 = _run_cell_summaries(runner, *_fig8_tasks(campaign))
+
+        if jl.enabled:
+            jl.record(
+                "campaign-finished",
+                label="campaign",
+                duration=time.perf_counter() - t_start,
+            )
+    finally:
+        for obj, prev in reversed(armed):
+            obj.faults = prev
     return CampaignResult(
         sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8
     )

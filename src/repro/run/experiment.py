@@ -213,9 +213,11 @@ def run_platform_sweep(
     cells run on a worker pool (identical results, see
     :func:`run_experiment`); with a ``cache`` the sweep is first probed
     by content fingerprint and only executed (then written back) on a
-    miss.  Cache-resolved cells are still counted: they reach the
-    runner's progress callback as tagged cache hits and the ``journal``
-    as ``cell-cache-hit`` events, so ``(done, total)`` stays accurate.
+    miss — an undecodable (torn-write) entry is treated as a miss, noted
+    in the probe event, and atomically overwritten.  Cache-resolved
+    cells are still counted: they reach the runner's progress callback
+    as tagged cache hits and the ``journal`` as ``cell-cache-hit``
+    events, so ``(done, total)`` stays accurate.
     """
     spec = platform_sweep_spec(
         workload,
@@ -229,13 +231,17 @@ def run_platform_sweep(
     if cache is None:
         return run_experiment(spec, jobs=jobs, runner=runner, journal=journal)
 
-    cached = cache.get(spec)
+    present = cache.contains(spec)
+    cached = cache.get(spec, on_corrupt="miss")
     if journal.enabled:
+        detail = cache.path_for(spec).name
+        if present and cached is None:
+            detail += " (corrupt entry ignored; re-running)"
         journal.record(
             "sweep-cache-probe",
             label=workload.name,
             cached=cached is not None,
-            detail=cache.path_for(spec).name,
+            detail=detail,
         )
     if runner is not None and runner.metrics is not None:
         runner.metrics.counter(

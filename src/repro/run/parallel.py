@@ -29,6 +29,19 @@ structured lifecycle events (cell queued / started / cache-hit / retried
 / failed / finished, worker identity, durations, pool rebuilds) and a
 :class:`~repro.obs.metrics.MetricsRegistry` to accumulate campaign
 counters.  Both default to off, leaving the execution path untouched.
+
+Fault injection and resume: attach a
+:class:`~repro.faults.FaultInjector` to fire a deterministic
+:class:`~repro.faults.FaultPlan` at the runner's worker sites
+(``worker.kill`` / ``task.timeout`` / ``task.error`` — the plan travels
+with the task, so pool scheduling cannot perturb which faults fire on
+the inline path), and a :class:`~repro.run.persistence.CellStore`
+checkpoint to make campaigns crash-safe: every completed cell task is
+persisted atomically as it finishes, probed (with fingerprint
+verification) before submission, and replayed instead of re-run —
+delivered to progress/journal as tagged :class:`CachedCell` payloads
+with ``resumed=True``.  Both default to off, leaving the execution path
+untouched.
 """
 
 from __future__ import annotations
@@ -38,9 +51,15 @@ import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.errors import AttemptFailure, ConfigurationError, ParallelExecutionError
+from repro.errors import (
+    AttemptFailure,
+    ConfigurationError,
+    InjectedCrash,
+    ParallelExecutionError,
+)
+from repro.faults import NULL_INJECTOR, FaultInjector, FaultPlan, raise_worker_fault
 from repro.hostmodel.topology import HostTopology
 from repro.obs.journal import NULL_JOURNAL, Journal
 from repro.obs.metrics import CELL_SECONDS_BUCKETS, MetricsRegistry
@@ -54,6 +73,9 @@ from repro.run.experiment import ExperimentSpec
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.run.persistence import CellStore
 
 __all__ = [
     "CachedCell",
@@ -106,14 +128,16 @@ class CellTask:
 
 @dataclass(frozen=True)
 class CachedCell:
-    """Progress payload for a cell resolved from the sweep cache.
+    """Progress payload for a cell resolved without execution.
 
-    Tags cache hits so progress consumers can tell replayed cells from
-    executed ones while still seeing an accurate ``(done, total)``.
+    Tags sweep-cache hits (``cached=True``) and checkpoint replays
+    (``resumed=True``) so progress consumers can tell replayed cells
+    from executed ones while still seeing an accurate ``(done, total)``.
     """
 
     task: object
     cached: bool = True
+    resumed: bool = False
 
     @property
     def label(self) -> str:
@@ -177,6 +201,29 @@ def _observed(worker: Callable, payload) -> _Observed:
     except Exception as exc:
         raise _ObservedFailure(_worker_id(), exc) from exc
     return _Observed(result, _worker_id(), started, time.perf_counter() - t0)
+
+
+def _faulted(
+    plan: FaultPlan,
+    worker: Callable,
+    payload,
+    label: str,
+    attempt: int,
+    observe: bool,
+):
+    """Pool worker shim evaluating the fault plan before the task.
+
+    Module-level (hence picklable); the immutable plan travels with the
+    submission, so whichever worker process picks the task up reaches the
+    same verdict — pool scheduling cannot perturb which faults fire.  A
+    matched ``worker.kill`` really kills this process (``os._exit``),
+    ``task.timeout`` sleeps past the runner's collection timeout, and
+    ``task.error`` raises a retryable transient fault.
+    """
+    spec = plan.worker_fault(label, attempt)
+    if spec is not None:
+        raise_worker_fault(spec, label, in_pool=True)
+    return _observed(worker, payload) if observe else worker(payload)
 
 
 def cell_tasks(spec: ExperimentSpec) -> tuple[list[CellTask], list[str]]:
@@ -247,6 +294,18 @@ class ParallelRunner:
     mp_context:
         Optional :mod:`multiprocessing` context for the pool (useful to
         force ``spawn`` in tests).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` arming a
+        deterministic fault plan at the runner's worker sites; defaults
+        to the no-op injector (one ``enabled`` check per task, results
+        byte-identical to a runner without the parameter).
+    checkpoint:
+        Optional :class:`~repro.run.persistence.CellStore`.  When
+        attached, every completed cell task is persisted atomically as
+        it finishes, and each task is probed (fingerprint-verified)
+        before submission — a verified hit is replayed as a
+        ``cell-resumed`` cell instead of re-run, a corrupt entry is
+        journaled as ``checkpoint-corrupt`` and re-run.
     """
 
     def __init__(
@@ -259,6 +318,8 @@ class ParallelRunner:
         journal: Journal | None = None,
         metrics: MetricsRegistry | None = None,
         mp_context=None,
+        faults: FaultInjector | None = None,
+        checkpoint: "CellStore | None" = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -273,6 +334,8 @@ class ParallelRunner:
         self.journal = journal or NULL_JOURNAL
         self.metrics = metrics
         self.mp_context = mp_context
+        self.faults = faults or NULL_INJECTOR
+        self.checkpoint = checkpoint
 
     # -- generic task execution ---------------------------------------------
 
@@ -282,21 +345,100 @@ class ParallelRunner:
         """Run ``worker(payload)`` for every payload; results in input order.
 
         ``worker`` must be a picklable module-level callable when
-        ``jobs > 1``.
+        ``jobs > 1``.  With a :attr:`checkpoint` store attached, tasks
+        whose checkpoint probe verifies are replayed without execution
+        (reported as ``resumed`` :class:`CachedCell` progress payloads)
+        and every freshly-executed task is checkpointed as it completes.
         """
         items = list(payloads)
         if not items:
             return []
-        if self.journal.enabled:
-            for i, payload in enumerate(items):
-                self.journal.record("cell-queued", label=_label(payload, i))
-        if self.jobs == 1:
-            return self._run_inline(worker, items)
-        return self._run_pool(worker, items)
+        store = self.checkpoint
+        if store is None:
+            if self.journal.enabled:
+                for i, payload in enumerate(items):
+                    self.journal.record("cell-queued", label=_label(payload, i))
+            if self.jobs == 1:
+                return self._run_inline(worker, items)
+            return self._run_pool(worker, items)
 
-    def _run_inline(self, worker: Callable, items: Sequence) -> list:
+        total = len(items)
+        keys: list[str | None] = [store.key_for(p) for p in items]
+        results: list = [None] * total
+        replayed = [False] * total
+        pending: list[int] = []
+        for i, payload in enumerate(items):
+            label = _label(payload, i)
+            if keys[i] is not None:
+                runs, state = store.load(keys[i])
+                if state == "hit":
+                    results[i] = runs
+                    replayed[i] = True
+                    if self.journal.enabled:
+                        self.journal.record(
+                            "cell-resumed", label=label, cached=True,
+                            detail=keys[i],
+                        )
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "repro_cells_completed_total",
+                            "campaign cells resolved (run or cached)",
+                        ).inc()
+                        self.metrics.counter(
+                            "repro_cells_resumed_total",
+                            "cells replayed from resume checkpoints",
+                        ).inc()
+                    continue
+                if state == "corrupt":
+                    if self.journal.enabled:
+                        self.journal.record(
+                            "checkpoint-corrupt", label=label,
+                            detail=keys[i],
+                        )
+            pending.append(i)
+            if self.journal.enabled:
+                self.journal.record("cell-queued", label=label)
+
+        done = 0
+        for i in range(total):
+            if replayed[i]:
+                done += 1
+                self._report(done, total, CachedCell(items[i], resumed=True))
+        if not pending:
+            return results
+
+        def on_result(j: int, payload, result) -> None:
+            key = keys[pending[j]]
+            if key is not None and isinstance(result, list):
+                store.put(key, result, label=_label(payload, pending[j]))
+
+        pending_items = [items[i] for i in pending]
+        if self.jobs == 1:
+            fresh = self._run_inline(
+                worker, pending_items,
+                total=total, done_base=done, on_result=on_result,
+            )
+        else:
+            fresh = self._run_pool(
+                worker, pending_items,
+                total=total, done_base=done, on_result=on_result,
+            )
+        for j, i in enumerate(pending):
+            results[i] = fresh[j]
+        return results
+
+    def _run_inline(
+        self,
+        worker: Callable,
+        items: Sequence,
+        *,
+        total: int | None = None,
+        done_base: int = 0,
+        on_result: Callable | None = None,
+    ) -> list:
         results = []
         wid = _worker_id()
+        total = len(items) if total is None else total
         for i, payload in enumerate(items):
             label = _label(payload, i)
             attempts = 0
@@ -311,9 +453,15 @@ class ParallelRunner:
                         attempt=attempts, ts=started,
                     )
                 try:
+                    if self.faults.enabled:
+                        spec = self.faults.worker_fault(label, attempts)
+                        if spec is not None:
+                            raise_worker_fault(spec, label, in_pool=False)
                     result = worker(payload)
-                except ConfigurationError:
-                    raise  # misconfiguration never heals on retry
+                except (ConfigurationError, InjectedCrash):
+                    # misconfiguration never heals on retry; a simulated
+                    # process death must abort like the real thing.
+                    raise
                 except Exception as exc:
                     failures.append(AttemptFailure(attempts, wid, repr(exc)))
                     self._record_failure(
@@ -327,28 +475,45 @@ class ParallelRunner:
                         ) from exc
                     continue
                 results.append(result)
+                if on_result is not None:
+                    on_result(i, payload, result)
                 self._observe_completion(
                     label, result, worker=wid, attempt=attempts,
                     started=started, duration=time.perf_counter() - t0,
                 )
                 break
-            self._report(i + 1, len(items), payload)
+            self._report(done_base + i + 1, total, payload)
         return results
 
-    def _run_pool(self, worker: Callable, items: Sequence) -> list:
+    def _run_pool(
+        self,
+        worker: Callable,
+        items: Sequence,
+        *,
+        total: int | None = None,
+        done_base: int = 0,
+        on_result: Callable | None = None,
+    ) -> list:
         n = len(items)
+        total = n if total is None else total
         results: list = [None] * n
         attempts = [0] * n
         failures: list[list[AttemptFailure]] = [[] for _ in range(n)]
         collected = [False] * n
         done = 0
         observe = self.journal.enabled
+        plan = self.faults.plan if self.faults.enabled else None
         executor = self._new_executor()
         index_future: dict[int, Future] = {}
 
         def submit(i: int) -> None:
             attempts[i] += 1
-            if observe:
+            if plan is not None:
+                index_future[i] = executor.submit(
+                    _faulted, plan, worker, items[i],
+                    _label(items[i], i), attempts[i], observe,
+                )
+            elif observe:
                 index_future[i] = executor.submit(_observed, worker, items[i])
             else:
                 index_future[i] = executor.submit(worker, items[i])
@@ -363,6 +528,8 @@ class ParallelRunner:
                         value = index_future[i].result(timeout=self.timeout)
                         if isinstance(value, _Observed):
                             results[i] = value.result
+                            if on_result is not None:
+                                on_result(i, items[i], value.result)
                             self._observe_completion(
                                 label, value.result, worker=value.worker,
                                 attempt=attempts[i], started=value.started,
@@ -370,6 +537,8 @@ class ParallelRunner:
                             )
                         else:
                             results[i] = value
+                            if on_result is not None:
+                                on_result(i, items[i], value)
                             self._observe_completion(
                                 label, value, worker="", attempt=attempts[i],
                                 started=None, duration=None,
@@ -421,7 +590,10 @@ class ParallelRunner:
                         for j in range(n):
                             if not collected[j]:
                                 submit(j)
-                    except ConfigurationError:
+                    except (ConfigurationError, InjectedCrash):
+                        # a simulated crash (e.g. journal torn mid-append)
+                        # must abort the campaign, not look like a task
+                        # failure to the retry logic.
                         raise
                     except Exception as exc:
                         cause, wid = (
@@ -446,7 +618,7 @@ class ParallelRunner:
                             ) from cause
                         submit(i)
                 done += 1
-                self._report(done, n, items[i])
+                self._report(done_base + done, total, items[i])
             return results
         finally:
             executor.shutdown(wait=False, cancel_futures=True)

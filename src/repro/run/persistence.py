@@ -1,4 +1,4 @@
-"""Content-addressed caching of experiment sweeps.
+"""Content-addressed persistence: sweep caching and cell checkpoints.
 
 A full Fig-5 sweep takes half a minute; iterating on analysis code
 should not re-pay it.  :class:`SweepCache` stores
@@ -7,6 +7,22 @@ the experiment's *content*: workload identity and parameters, instance
 list, platform grid, host, repetition count, seed, and the calibration
 constants.  Any change to any ingredient changes the key, so a cache
 hit is always a faithful replay.
+
+:class:`CellStore` is the finer-grained sibling powering crash-safe
+campaign resume: one atomically-written JSON file per completed
+*(platform, instance)* cell, keyed by :func:`task_fingerprint` over the
+cell task's full content (including its repetition stream recipes).  A
+campaign killed mid-sweep loses at most the cells in flight; everything
+completed is reconstructed on ``resume`` after a fingerprint check, and
+corrupt entries are detected and silently re-run.
+
+Every write in this module goes through :func:`atomic_write_json` — a
+temp file in the target directory followed by :func:`os.replace` — so a
+crash mid-write can never leave a truncated entry that poisons later
+``contains()`` probes.  Both stores carry a
+:class:`~repro.faults.FaultInjector` hook (``disk.full`` before the
+write, ``cache.corrupt`` after it) so chaos tests can exercise exactly
+those torn-write scenarios deterministically.
 """
 
 from __future__ import annotations
@@ -14,15 +30,23 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.run.calibration import Calibration
 from repro.run.experiment import ExperimentSpec, run_experiment
-from repro.run.results import SweepResult
+from repro.run.results import RunResult, SweepResult
 
-__all__ = ["SweepCache", "spec_fingerprint"]
+__all__ = [
+    "CellStore",
+    "SweepCache",
+    "atomic_write_json",
+    "spec_fingerprint",
+    "task_fingerprint",
+]
 
 
 def _jsonable(value):
@@ -69,6 +93,58 @@ def spec_fingerprint(spec: ExperimentSpec) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
 
+def task_fingerprint(task) -> str | None:
+    """Stable hex digest of one cell task's full content, or None.
+
+    Covers everything that determines the cell's result — workload type
+    and parameters, platform (kind, mode), instance, host, calibration,
+    and the exact stream recipes of every repetition — so a checkpoint
+    hit is always a faithful replay and any config drift invalidates the
+    entry.  Returns ``None`` for payloads that are not cell tasks (the
+    generic ``run_tasks`` path simply skips checkpointing those).
+    """
+    streams = getattr(task, "streams", None)
+    if streams is None or not hasattr(task, "workload"):
+        return None
+    payload = {
+        "workload_type": type(task.workload).__name__,
+        "workload": _jsonable(
+            task.workload.__dict__
+            if not dataclasses.is_dataclass(task.workload)
+            else task.workload
+        ),
+        "kind": task.kind.value,
+        "mode": task.mode.value,
+        "instance": (
+            task.instance.name,
+            task.instance.cores,
+            task.instance.memory_bytes,
+        ),
+        "host": _jsonable(task.host),
+        "calibration": _jsonable(task.calib),
+        "streams": [(s.seed, s.label, s.rep) for s in streams],
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON via temp file + :func:`os.replace`.
+
+    The temp file lives in the target directory (same filesystem, so the
+    replace is atomic) and is cleaned up on failure — a crash at any
+    instant leaves either the old entry or the new one, never a
+    truncated hybrid.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 class SweepCache:
     """Directory-backed cache of sweep results.
 
@@ -76,10 +152,17 @@ class SweepCache:
     ----------
     directory:
         Where the JSON files live (created on first write).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` arming the
+        ``disk.full`` / ``cache.corrupt`` sites of :meth:`put`; defaults
+        to the no-op injector (zero-cost path).
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, faults: FaultInjector | None = None
+    ) -> None:
         self.directory = Path(directory)
+        self.faults = faults or NULL_INJECTOR
 
     def path_for(self, spec: ExperimentSpec) -> Path:
         """Cache file path for a spec."""
@@ -94,23 +177,51 @@ class SweepCache:
         """
         return self.path_for(spec).exists()
 
-    def get(self, spec: ExperimentSpec) -> SweepResult | None:
-        """The cached sweep for ``spec``, or None."""
+    def get(
+        self, spec: ExperimentSpec, *, on_corrupt: str = "raise"
+    ) -> SweepResult | None:
+        """The cached sweep for ``spec``, or None.
+
+        Parameters
+        ----------
+        on_corrupt:
+            ``"raise"`` (default) raises
+            :class:`~repro.errors.ConfigurationError` on an undecodable
+            entry; ``"miss"`` treats it as absent — the resume path uses
+            this so an externally-damaged entry is simply re-run and
+            atomically overwritten.
+        """
+        if on_corrupt not in ("raise", "miss"):
+            raise ConfigurationError(
+                f"on_corrupt must be 'raise' or 'miss', got {on_corrupt!r}"
+            )
         path = self.path_for(spec)
         if not path.exists():
             return None
         try:
             return SweepResult.load(path)
         except (json.JSONDecodeError, KeyError) as exc:
+            if on_corrupt == "miss":
+                return None
             raise ConfigurationError(
                 f"corrupt cache entry {path}: {exc}"
             ) from exc
 
     def put(self, spec: ExperimentSpec, sweep: SweepResult) -> Path:
-        """Store a sweep; returns the written path."""
+        """Store a sweep atomically; returns the written path.
+
+        The entry is written to a temp file and moved into place with
+        :func:`os.replace`, so a crash mid-write never leaves a
+        truncated entry behind to poison later :meth:`contains` hits.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
-        sweep.save(path)
+        label = f"sweep:{path.name}"
+        if self.faults.enabled:
+            self.faults.maybe_disk_full(label)
+        atomic_write_json(path, sweep.to_dict())
+        if self.faults.enabled:
+            self.faults.maybe_corrupt(path, label)
         return path
 
     def get_or_run(
@@ -131,6 +242,98 @@ class SweepCache:
         if not self.directory.exists():
             return 0
         entries = list(self.directory.glob("sweep-*.json"))
+        for entry in entries:
+            entry.unlink()
+        return len(entries)
+
+
+class CellStore:
+    """Per-cell campaign checkpoints: the unit of crash-safe resume.
+
+    One JSON file per completed cell, named by :func:`task_fingerprint`
+    and written atomically, holding the cell's serialized
+    :class:`~repro.run.results.RunResult` repetitions.  On resume the
+    runner probes here before submitting each task; a verified hit is
+    replayed without execution, a corrupt or fingerprint-mismatched
+    entry is reported and re-run.  Replayed runs carry no perf counters
+    (counters are never serialized), matching the sweep-cache replay
+    semantics — the campaign report depends only on the serialized
+    fields, so resumed reports are byte-identical.
+
+    Parameters
+    ----------
+    directory:
+        Where the checkpoint files live (created on first write).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` arming the
+        ``disk.full`` / ``cache.corrupt`` sites of :meth:`put`.
+    """
+
+    def __init__(
+        self, directory: str | Path, faults: FaultInjector | None = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.faults = faults or NULL_INJECTOR
+
+    def key_for(self, payload) -> str | None:
+        """The checkpoint key of a task payload (None = not checkpointable)."""
+        return task_fingerprint(payload)
+
+    def path_for(self, key: str) -> Path:
+        """Checkpoint file path for a key."""
+        return self.directory / f"cell-{key}.json"
+
+    def load(self, key: str) -> tuple[list[RunResult] | None, str]:
+        """Probe one checkpoint: ``(runs, state)``.
+
+        ``state`` is ``"hit"`` (entry verified and deserialized),
+        ``"miss"`` (no entry), or ``"corrupt"`` (undecodable or
+        fingerprint mismatch; the caller should re-run and overwrite).
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None, "miss"
+        try:
+            payload = json.loads(path.read_text())
+            if payload["fingerprint"] != key:
+                return None, "corrupt"
+            runs = [RunResult.from_dict(r) for r in payload["runs"]]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None, "corrupt"
+        if not runs:
+            return None, "corrupt"
+        return runs, "hit"
+
+    def put(self, key: str, runs: list[RunResult], *, label: str = "") -> Path:
+        """Checkpoint one completed cell atomically; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        site_label = f"cell:{label or key}"
+        if self.faults.enabled:
+            self.faults.maybe_disk_full(site_label)
+        atomic_write_json(
+            path,
+            {
+                "fingerprint": key,
+                "label": label,
+                "runs": [r.to_dict() for r in runs],
+            },
+        )
+        if self.faults.enabled:
+            self.faults.maybe_corrupt(path, site_label)
+        return path
+
+    def __len__(self) -> int:
+        """Number of checkpointed cells on disk."""
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("cell-*.json"))
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        entries = list(self.directory.glob("cell-*.json"))
         for entry in entries:
             entry.unlink()
         return len(entries)

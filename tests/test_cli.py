@@ -375,3 +375,117 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "vm_mem_penalty" in out
+
+
+class TestFaultsCli:
+    def test_faults_sites_lists_all(self, capsys):
+        from repro.faults import FAULT_SITES
+
+        assert main(["faults", "sites"]) == 0
+        out = capsys.readouterr().out
+        for site in FAULT_SITES:
+            assert site in out
+
+    def test_faults_plan_roundtrip(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        out = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "faults", "plan", "--seed", "9",
+                    "--sites", "worker.kill,journal.truncate",
+                    "--abort", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "wrote fault plan" in capsys.readouterr().out
+        plan = FaultPlan.load(out)
+        assert plan.seed == 9
+        assert set(plan.sites) <= {"worker.kill", "journal.truncate"}
+        # same seed, same plan
+        again = tmp_path / "again.json"
+        main(
+            [
+                "faults", "plan", "--seed", "9",
+                "--sites", "worker.kill,journal.truncate",
+                "--abort", "--out", str(again),
+            ]
+        )
+        assert out.read_text() == again.read_text()
+
+    def test_faults_plan_unknown_site_rejected(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "faults", "plan", "--sites", "warp.core",
+                    "--out", str(tmp_path / "p.json"),
+                ]
+            )
+            == 1
+        )
+        assert "error" in capsys.readouterr().err
+
+
+class TestReportResumeCli:
+    def _report_args(self, tmp_path, name, extra=()):
+        return [
+            "report",
+            "--only", "fig3",
+            "--reps-fast", "1",
+            "--out", str(tmp_path / name),
+            "--cache", str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_resume_without_store_is_usage_error(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "report", "--only", "fig3", "--reps-fast", "1",
+                    "--out", str(tmp_path / "r.md"), "--resume",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "--resume needs" in err
+
+    def test_fault_abort_exits_3_then_resume_matches_golden(
+        self, capsys, tmp_path
+    ):
+        """The exit-code regression: an aborted campaign must NOT exit 0
+        with a partial report; it exits 3 and a later --resume completes
+        byte-identically to an uninterrupted run."""
+        golden = tmp_path / "golden.md"
+        assert main(
+            [
+                "report", "--only", "fig3", "--reps-fast", "1",
+                "--out", str(golden),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        plan = tmp_path / "plan.json"
+        assert main(
+            [
+                "faults", "plan", "--seed", "3",
+                "--sites", "worker.kill", "--abort", "--out", str(plan),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        chaos = self._report_args(
+            tmp_path, "chaos.md", ("--fault-plan", str(plan))
+        )
+        assert main(chaos) == 3
+        err = capsys.readouterr().err
+        assert "campaign aborted" in err
+        assert "--resume" in err
+        assert not (tmp_path / "chaos.md").exists()
+
+        resumed = self._report_args(tmp_path, "resumed.md", ("--resume",))
+        assert main(resumed) == 0
+        capsys.readouterr()
+        assert (tmp_path / "resumed.md").read_text() == golden.read_text()

@@ -7,7 +7,10 @@ workload populations:
 * monotonicity: more capacity never slows a workload down, more work
   never speeds it up;
 * determinism: identical inputs give bit-identical outputs;
-* sanity of counters and response times.
+* sanity of counters and response times;
+* the paper's headline orderings (pinning never hurts at small CHR,
+  virtualization is never free for non-IO workloads) and executor-level
+  determinism across job counts and checkpoint/resume boundaries.
 """
 
 from __future__ import annotations
@@ -156,6 +159,130 @@ class TestResponseTimes:
         cfg = EngineConfig(capacity=4.0, overhead=_overhead(4))
         res = Simulator(procs, cfg).run()
         assert res.makespan >= max(io_times) * 0.999
+
+
+class TestPaperInvariants:
+    """Hypothesis-driven checks of the paper's headline orderings."""
+
+    @given(
+        inst=st.sampled_from(["Large", "xLarge", "2xLarge"]),
+        rep=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_pinning_never_hurts_at_small_chr(self, inst, rep):
+        """Fig. 3 ordering: at CHR << 1 a pinned vanilla-size CN is
+        never slower than the vanilla CN (same stream, paired)."""
+        from repro import FfmpegWorkload, instance_type, run_once
+        from repro.rng import RngFactory
+
+        host = r830_host()
+        wl = FfmpegWorkload(video_seconds=0.5, n_sync_chunks=4)
+        factory = RngFactory(seed=101)
+        it = instance_type(inst)
+        stream = f"prop-pin/{inst}"
+        vanilla = run_once(
+            wl, make_platform("CN", it, "vanilla"), host,
+            rng=factory.fresh_stream(stream, rep=rep),
+        ).value
+        pinned = run_once(
+            wl, make_platform("CN", it, "pinned"), host,
+            rng=factory.fresh_stream(stream, rep=rep),
+        ).value
+        assert pinned <= vanilla * 1.005
+
+    @given(
+        platform=st.sampled_from(["VM", "CN", "VMCN"]),
+        inst=st.sampled_from(["xLarge", "4xLarge"]),
+        rep=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_virtualization_never_free_for_compute(self, platform, inst, rep):
+        """Overhead ratio vs bare-metal is >= 1 for non-IO workloads."""
+        from repro import MpiSearchWorkload, instance_type, run_once
+        from repro.rng import RngFactory
+
+        host = r830_host()
+        wl = MpiSearchWorkload()
+        factory = RngFactory(seed=202)
+        it = instance_type(inst)
+        stream = f"prop-virt/{platform}/{inst}"
+        bm = run_once(
+            wl, make_platform("BM", it, "vanilla"), host,
+            rng=factory.fresh_stream(stream, rep=rep),
+        ).value
+        virt = run_once(
+            wl, make_platform(platform, it, "vanilla"), host,
+            rng=factory.fresh_stream(stream, rep=rep),
+        ).value
+        assert virt >= bm * 0.999
+
+
+def _tiny_sweep_spec(seed: int):
+    from repro import SyntheticWorkload, instance_type
+    from repro.platforms.base import PlatformKind
+    from repro.run.experiment import ExperimentSpec
+    from repro.sched.affinity import ProvisioningMode
+
+    return ExperimentSpec(
+        workload=SyntheticWorkload(
+            threads_per_process=2, phases=2, compute_per_phase=0.05
+        ),
+        instances=[instance_type("Large")],
+        platform_grid=[
+            (PlatformKind.BM, ProvisioningMode.VANILLA),
+            (PlatformKind.CN, ProvisioningMode.VANILLA),
+            (PlatformKind.CN, ProvisioningMode.PINNED),
+        ],
+        reps=2,
+        seed=seed,
+    )
+
+
+class TestExecutorDeterminism:
+    """The executor adds nothing: any job count, any resume boundary."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        jobs=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_identical_across_job_counts(self, seed, jobs):
+        import json
+
+        from repro import run_experiment
+
+        spec = _tiny_sweep_spec(seed)
+        serial = json.dumps(run_experiment(spec).to_dict(), sort_keys=True)
+        pooled = json.dumps(
+            run_experiment(spec, jobs=jobs).to_dict(), sort_keys=True
+        )
+        assert pooled == serial
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_identical_across_resume_boundary(self, seed):
+        import json
+        import tempfile
+        from pathlib import Path
+
+        from repro import CellStore, run_experiment
+        from repro.obs.journal import MemoryJournal
+        from repro.run.parallel import ParallelRunner
+
+        spec = _tiny_sweep_spec(seed)
+        base = json.dumps(run_experiment(spec).to_dict(), sort_keys=True)
+        store = CellStore(Path(tempfile.mkdtemp()) / "cells")
+        first = ParallelRunner(1, checkpoint=store).run_experiment(spec)
+        assert json.dumps(first.to_dict(), sort_keys=True) == base
+        jl = MemoryJournal()
+        second = ParallelRunner(
+            1, checkpoint=store, journal=jl
+        ).run_experiment(spec)
+        assert json.dumps(second.to_dict(), sort_keys=True) == base
+        # every cell (3 platforms x 1 instance) was replayed from the
+        # checkpoint, none re-executed
+        assert jl.count("cell-resumed") == 3
+        assert jl.count("cell-started") == 0
 
 
 class TestColocationProperties:

@@ -189,3 +189,167 @@ class TestCache:
         cache.get_or_run(spec)
         assert cache.contains(spec)
         assert not cache.contains(make_spec(seed=42))
+
+
+def _cell_task(seed=7):
+    from repro.rng import RngFactory
+    from repro.run.parallel import CellTask
+
+    factory = RngFactory(seed=seed)
+    return CellTask(
+        workload=SyntheticWorkload(
+            threads_per_process=2, phases=2, compute_per_phase=0.05
+        ),
+        kind=PlatformKind.CN,
+        mode=ProvisioningMode.PINNED,
+        instance=instance_type("Large"),
+        host=small_host(16),
+        calib=Calibration(),
+        streams=tuple(
+            factory.stream_spec("persist-cell", rep=rep) for rep in range(2)
+        ),
+    )
+
+
+class TestAtomicWrites:
+    """Regression: cache writes can never leave a truncated entry."""
+
+    def test_no_tmp_file_after_put(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.get_or_run(make_spec())
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_leaves_old_entry_intact(self, tmp_path):
+        from repro.run.persistence import atomic_write_json
+
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"v": object()})
+        import json
+
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_disk_full_fault_leaves_no_partial_entry(self, tmp_path):
+        from repro.errors import InjectedFault
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        inj = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="disk.full", at=1),), seed=0)
+        )
+        cache = SweepCache(tmp_path, faults=inj)
+        spec = make_spec()
+        from repro.run.experiment import run_experiment
+
+        sweep = run_experiment(spec)
+        with pytest.raises(InjectedFault):
+            cache.put(spec, sweep)
+        assert not cache.path_for(spec).exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+        # the fault fires once; the retried write succeeds atomically
+        cache.put(spec, sweep)
+        assert cache.get(spec) is not None
+
+
+class TestCorruptEntries:
+    """Regression for the non-atomic write bug: damaged entries are
+    detected and (on the resume path) treated as misses, never crashes."""
+
+    def test_corrupt_entry_raises_by_default(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        cache = SweepCache(tmp_path)
+        spec = make_spec()
+        cache.get_or_run(spec)
+        cache.path_for(spec).write_text('{"truncated": ')
+        with pytest.raises(ConfigurationError, match="corrupt cache entry"):
+            cache.get(spec)
+
+    def test_corrupt_entry_as_miss_then_overwritten(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = make_spec()
+        sweep = cache.get_or_run(spec)
+        cache.path_for(spec).write_text('{"truncated": ')
+        assert cache.get(spec, on_corrupt="miss") is None
+        # contains() still sees the damaged file; the resume path pairs
+        # it with get(on_corrupt="miss") and re-runs
+        assert cache.contains(spec)
+        cache.put(spec, sweep)
+        assert cache.get(spec) is not None
+
+    def test_bad_on_corrupt_value_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        cache = SweepCache(tmp_path)
+        with pytest.raises(ConfigurationError, match="on_corrupt"):
+            cache.get(make_spec(), on_corrupt="explode")
+
+
+class TestCellStore:
+    def test_miss_hit_and_len(self, tmp_path):
+        from repro.run.parallel import execute_cell
+        from repro.run.persistence import CellStore
+
+        store = CellStore(tmp_path / "cells")
+        task = _cell_task()
+        key = store.key_for(task)
+        assert key is not None
+        assert store.load(key) == (None, "miss")
+        assert len(store) == 0
+        runs = execute_cell(task)
+        store.put(key, runs, label=task.label)
+        got, state = store.load(key)
+        assert state == "hit"
+        assert len(store) == 1
+        import json
+
+        # NaN-safe comparison (mean_response is NaN for makespan cells)
+        assert json.dumps([r.to_dict() for r in got]) == json.dumps(
+            [r.to_dict() for r in runs]
+        )
+        # replayed runs never carry perf counters
+        assert all(r.counters is None for r in got)
+
+    def test_undecodable_entry_is_corrupt(self, tmp_path):
+        from repro.run.persistence import CellStore
+
+        store = CellStore(tmp_path)
+        key = store.key_for(_cell_task())
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_text("not json")
+        assert store.load(key) == (None, "corrupt")
+
+    def test_fingerprint_mismatch_is_corrupt(self, tmp_path):
+        import shutil
+
+        from repro.run.parallel import execute_cell
+        from repro.run.persistence import CellStore
+
+        store = CellStore(tmp_path)
+        task = _cell_task(seed=7)
+        key = store.key_for(task)
+        store.put(key, execute_cell(task), label=task.label)
+        other = store.key_for(_cell_task(seed=8))
+        assert other != key
+        # an entry copied under the wrong key fails verification
+        shutil.copy(store.path_for(key), store.path_for(other))
+        assert store.load(other) == (None, "corrupt")
+
+    def test_key_for_non_cell_payload_is_none(self, tmp_path):
+        from repro.run.persistence import CellStore
+
+        store = CellStore(tmp_path)
+        assert store.key_for(3.5) is None
+        assert store.key_for(object()) is None
+
+    def test_clear(self, tmp_path):
+        from repro.run.parallel import execute_cell
+        from repro.run.persistence import CellStore
+
+        store = CellStore(tmp_path)
+        task = _cell_task()
+        store.put(store.key_for(task), execute_cell(task))
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert CellStore(tmp_path / "never-created").clear() == 0
