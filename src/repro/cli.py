@@ -359,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deterministic fault plan (see 'repro faults plan') "
         "across the campaign's machinery",
     )
+    rep_p.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="advance shape-compatible cells together on the batched "
+        "engine (bit-identical report; composes with --jobs/--resume)",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -863,6 +870,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             resume=args.resume,
             faults=faults,
+            batch=args.batch,
         )
     finally:
         journal.close()

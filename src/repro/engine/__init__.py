@@ -12,9 +12,18 @@ arrays so each step is vectorized.
 * :mod:`repro.engine.simulator` -- the engine;
 * :mod:`repro.engine.compile` -- columnar program tables for the hot path;
 * :mod:`repro.engine.calendar` -- wake-up heap and runnable-set index;
-* :mod:`repro.engine.tracing` -- optional per-event trace sinks.
+* :mod:`repro.engine.tracing` -- optional per-event trace sinks;
+* :mod:`repro.engine.batch` -- lock-step batched execution of
+  shape-compatible simulators (bit-identical per cell).
 """
 
+from repro.engine.batch import (
+    BatchSimulator,
+    batch_eligible,
+    partition_sims,
+    run_batched,
+    sim_shape_key,
+)
 from repro.engine.calendar import EventCalendar, RunnableIndex
 from repro.engine.compile import CompiledPrograms, compile_programs
 from repro.engine.events import EventKind, TraceEvent
@@ -30,6 +39,11 @@ from repro.engine.tracing import ListTraceSink, NullTraceSink, TraceSink
 __all__ = [
     "EventKind",
     "TraceEvent",
+    "BatchSimulator",
+    "batch_eligible",
+    "partition_sims",
+    "run_batched",
+    "sim_shape_key",
     "CompiledPrograms",
     "compile_programs",
     "EventCalendar",

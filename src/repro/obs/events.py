@@ -42,6 +42,8 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "cell-failed",
         "cell-finished",
         "cell-ledger",
+        "batch-partition",
+        "batch-fallback",
         "checkpoint-corrupt",
         "fault-injected",
         "pool-rebuilt",

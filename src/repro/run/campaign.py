@@ -204,6 +204,7 @@ def run_campaign(
     checkpoint: CellStore | None = None,
     resume: bool = False,
     faults: FaultInjector | None = None,
+    batch: bool = False,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -242,6 +243,11 @@ def run_campaign(
         deterministic fault plan across the campaign's machinery
         (runner worker sites, cache/checkpoint persistence, journal
         appends).  Default: no injection, byte-identical results.
+    batch:
+        Advance shape-compatible cells together on the batched engine
+        (:mod:`repro.engine.batch`).  Bit-for-bit identical reports;
+        composes with ``jobs``, ``cache``, ``checkpoint``/``resume``
+        and ``faults`` (fault-armed cells run scalar).
     """
     campaign = campaign or Campaign()
     if resume and checkpoint is None:
@@ -251,7 +257,9 @@ def run_campaign(
                 "directory can host the conventional cells/ store"
             )
         checkpoint = CellStore(cache.directory / "cells")
-    runner = runner or ParallelRunner(jobs, journal=journal)
+    runner = runner or ParallelRunner(jobs, journal=journal, batch=batch)
+    if batch:
+        runner.batch = True
     if journal is not None and journal.enabled and not runner.journal.enabled:
         runner.journal = journal
     if checkpoint is not None and runner.checkpoint is None:

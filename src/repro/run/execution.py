@@ -5,15 +5,23 @@ size it, start the workload, time it.  :func:`run_once` assembles the
 overhead model from the deployment geometry, evaluates memory pressure,
 selects the storage profile, runs the simulator, and packages a
 :class:`repro.run.results.RunResult`.
+
+It is split into :func:`prepare_run` (everything up to a ready
+:class:`~repro.engine.simulator.Simulator`) and :func:`finish_run`
+(packaging an :class:`~repro.engine.simulator.EngineResult`) so the
+batched engine (:mod:`repro.engine.batch`) can prepare many cells,
+advance their simulators together, and package each result exactly as
+the serial path would have.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.simulator import EngineConfig, Simulator
+from repro.engine.simulator import EngineConfig, EngineResult, Simulator
 from repro.engine.tracing import NullTraceSink, TraceSink
 from repro.errors import SimulationError
 from repro.hostmodel.storage import StorageModel
@@ -29,7 +37,14 @@ from repro.workloads.base import ProcessSpec, Workload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.trace.schedprof import SchedProfiler
 
-__all__ = ["run_once", "run_cell", "assemble_overhead_model"]
+__all__ = [
+    "PreparedRun",
+    "assemble_overhead_model",
+    "finish_run",
+    "prepare_run",
+    "run_cell",
+    "run_once",
+]
 
 
 def assemble_overhead_model(
@@ -78,6 +93,116 @@ def run_cell(
     ]
 
 
+@dataclass
+class PreparedRun:
+    """One repetition, built and configured but not yet simulated.
+
+    Produced by :func:`prepare_run`; ``sim.run()`` (or a batched advance
+    of many prepared sims) yields the :class:`EngineResult` that
+    :func:`finish_run` packages into a :class:`RunResult`.
+    """
+
+    workload: Workload
+    platform: ExecutionPlatform
+    host: HostTopology
+    sim: Simulator
+    thrashed: bool
+    rep: int
+
+
+def prepare_run(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    host: HostTopology,
+    calib: Calibration | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    rep: int = 0,
+    trace: TraceSink | None = None,
+    profiler: "SchedProfiler | None" = None,
+) -> PreparedRun:
+    """Build one repetition up to a ready-to-run :class:`Simulator`."""
+    calib = calib or Calibration()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    instance = platform.instance
+    processes = workload.build(instance.cores, rng)
+    if not processes:
+        raise SimulationError(
+            f"workload {workload.name!r} built no processes for "
+            f"{instance.cores} cores"
+        )
+
+    # memory pressure of the whole deployment
+    demand = sum(p.memory_demand_bytes for p in processes)
+    thrash = calib.memory_pressure.factor(demand, instance.memory_bytes)
+    thrashed = calib.memory_pressure.is_thrashing(demand, instance.memory_bytes)
+
+    # workload-specific storage profile (Cassandra overrides the default)
+    storage: StorageModel = getattr(workload, "storage_model", lambda: calib.storage)()
+
+    overhead = assemble_overhead_model(host, platform, calib, workload, processes)
+    config = EngineConfig(
+        capacity=float(instance.cores),
+        overhead=overhead,
+        storage=storage,
+        thrash_factor=thrash,
+        trace=trace or NullTraceSink(),
+        profiler=profiler,
+    )
+    return PreparedRun(
+        workload=workload,
+        platform=platform,
+        host=host,
+        sim=Simulator(processes, config),
+        thrashed=thrashed,
+        rep=rep,
+    )
+
+
+def finish_run(
+    prep: PreparedRun,
+    result: EngineResult,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> RunResult:
+    """Package an engine result exactly as :func:`run_once` would."""
+    workload = prep.workload
+    value = (
+        result.mean_response
+        if workload.metric == "mean_response"
+        else result.makespan
+    )
+    if metrics is not None:
+        c = result.counters
+        metrics.counter(
+            "repro_sim_runs_total", "simulated repetitions executed"
+        ).inc()
+        metrics.counter(
+            "repro_sim_sched_events_total", "simulator scheduling events"
+        ).inc(c.sched_events)
+        metrics.counter(
+            "repro_sim_migrations_total",
+            "expected simulator thread migrations",
+        ).inc(c.migrations + c.wake_migrations)
+        metrics.counter(
+            "repro_sim_irqs_total", "simulated IO interrupts"
+        ).inc(c.irqs)
+    return RunResult(
+        workload=workload.name,
+        platform_label=prep.platform.label(),
+        instance_name=prep.platform.instance.name,
+        host_name=prep.host.name,
+        metric_name=workload.metric,
+        value=value,
+        makespan=result.makespan,
+        mean_response=result.mean_response,
+        thrashed=prep.thrashed,
+        rep=prep.rep,
+        counters=result.counters,
+    )
+
+
 def run_once(
     workload: Workload,
     platform: ExecutionPlatform,
@@ -118,66 +243,14 @@ def run_once(
         given it observes this run and ``profiler.profile()`` is valid
         afterwards.  Results are byte-identical with and without it.
     """
-    calib = calib or Calibration()
-    rng = rng if rng is not None else np.random.default_rng(0)
-
-    instance = platform.instance
-    processes = workload.build(instance.cores, rng)
-    if not processes:
-        raise SimulationError(
-            f"workload {workload.name!r} built no processes for "
-            f"{instance.cores} cores"
-        )
-
-    # memory pressure of the whole deployment
-    demand = sum(p.memory_demand_bytes for p in processes)
-    thrash = calib.memory_pressure.factor(demand, instance.memory_bytes)
-    thrashed = calib.memory_pressure.is_thrashing(demand, instance.memory_bytes)
-
-    # workload-specific storage profile (Cassandra overrides the default)
-    storage: StorageModel = getattr(workload, "storage_model", lambda: calib.storage)()
-
-    overhead = assemble_overhead_model(host, platform, calib, workload, processes)
-    config = EngineConfig(
-        capacity=float(instance.cores),
-        overhead=overhead,
-        storage=storage,
-        thrash_factor=thrash,
-        trace=trace or NullTraceSink(),
+    prep = prepare_run(
+        workload,
+        platform,
+        host,
+        calib,
+        rng=rng,
+        rep=rep,
+        trace=trace,
         profiler=profiler,
     )
-    result = Simulator(processes, config).run()
-
-    value = (
-        result.mean_response
-        if workload.metric == "mean_response"
-        else result.makespan
-    )
-    if metrics is not None:
-        c = result.counters
-        metrics.counter(
-            "repro_sim_runs_total", "simulated repetitions executed"
-        ).inc()
-        metrics.counter(
-            "repro_sim_sched_events_total", "simulator scheduling events"
-        ).inc(c.sched_events)
-        metrics.counter(
-            "repro_sim_migrations_total",
-            "expected simulator thread migrations",
-        ).inc(c.migrations + c.wake_migrations)
-        metrics.counter(
-            "repro_sim_irqs_total", "simulated IO interrupts"
-        ).inc(c.irqs)
-    return RunResult(
-        workload=workload.name,
-        platform_label=platform.label(),
-        instance_name=instance.name,
-        host_name=host.name,
-        metric_name=workload.metric,
-        value=value,
-        makespan=result.makespan,
-        mean_response=result.mean_response,
-        thrashed=thrashed,
-        rep=rep,
-        counters=result.counters,
-    )
+    return finish_run(prep, prep.sim.run(), metrics=metrics)

@@ -85,6 +85,7 @@ def run_experiment(
     jobs: int = 1,
     runner: "ParallelRunner | None" = None,
     journal: Journal | None = None,
+    batch: bool = False,
 ) -> SweepResult:
     """Execute a sweep specification and return the result grid.
 
@@ -110,12 +111,19 @@ def run_experiment(
         inline path — the exact serial execution, plus telemetry;
         results are identical either way.  With no journal (the
         default) the serial path is left completely untouched.
+    batch:
+        Route shape-compatible cells through the batched engine
+        (:mod:`repro.engine.batch`) — bit-identical results, one
+        vectorized advance per wave instead of one scalar simulation
+        per cell.  Forces the runner path even at ``jobs=1``.
     """
     journal = journal or NULL_JOURNAL
-    if runner is not None or jobs != 1 or journal.enabled:
+    if runner is not None or jobs != 1 or journal.enabled or batch:
         from repro.run.parallel import ParallelRunner
 
-        runner = runner or ParallelRunner(jobs, journal=journal)
+        runner = runner or ParallelRunner(jobs, journal=journal, batch=batch)
+        if batch:
+            runner.batch = True
         if journal.enabled and not runner.journal.enabled:
             runner.journal = journal
         jl = runner.journal
@@ -205,6 +213,7 @@ def run_platform_sweep(
     runner: "ParallelRunner | None" = None,
     cache: "SweepCache | None" = None,
     journal: Journal | None = None,
+    batch: bool = False,
 ) -> SweepResult:
     """Run the standard seven-platform figure sweep.
 
@@ -229,7 +238,9 @@ def run_platform_sweep(
     )
     journal = journal or NULL_JOURNAL
     if cache is None:
-        return run_experiment(spec, jobs=jobs, runner=runner, journal=journal)
+        return run_experiment(
+            spec, jobs=jobs, runner=runner, journal=journal, batch=batch
+        )
 
     present = cache.contains(spec)
     cached = cache.get(spec, on_corrupt="miss")
@@ -256,6 +267,8 @@ def run_platform_sweep(
         tasks, _ = cell_tasks(spec)
         reporter.report_cached(tasks)
         return cached
-    sweep = run_experiment(spec, jobs=jobs, runner=runner, journal=journal)
+    sweep = run_experiment(
+        spec, jobs=jobs, runner=runner, journal=journal, batch=batch
+    )
     cache.put(spec, sweep)
     return sweep

@@ -53,11 +53,14 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from repro.engine.batch import run_batched
 from repro.errors import (
     AttemptFailure,
+    BatchPartitionError,
     ConfigurationError,
     InjectedCrash,
     ParallelExecutionError,
+    SimulationError,
 )
 from repro.faults import NULL_INJECTOR, FaultInjector, FaultPlan, raise_worker_fault
 from repro.hostmodel.topology import HostTopology
@@ -68,7 +71,7 @@ from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform
 from repro.rng import RngFactory, StreamSpec
 from repro.run.calibration import Calibration
-from repro.run.execution import run_cell
+from repro.run.execution import finish_run, prepare_run, run_cell
 from repro.run.experiment import ExperimentSpec
 from repro.run.results import ExperimentResult, RunResult, SweepResult
 from repro.sched.affinity import ProvisioningMode
@@ -155,6 +158,59 @@ def execute_cell(task: CellTask) -> list[RunResult]:
     return run_cell(
         task.workload, platform, task.host, task.calib, list(task.streams)
     )
+
+
+def _task_shape_key(task: CellTask) -> tuple:
+    """Coarse pre-clustering key for batched execution.
+
+    Tasks sharing this key *probably* compile to the same program shape
+    (same workload family and core count); the exact structural
+    fingerprint is taken per prepared simulation by
+    :func:`repro.engine.batch.partition_sims`, which splits a group
+    whose cells turn out shape-incompatible — so a permissive key here
+    costs nothing but grouping granularity.
+    """
+    return (
+        type(task.workload).__name__,
+        task.workload.name,
+        task.instance.cores,
+    )
+
+
+def _group_label(tasks: Sequence[CellTask]) -> str:
+    """Journal/error label for one batched group of cell tasks."""
+    return f"batch[{len(tasks)}] {tasks[0].label}"
+
+
+def _execute_batch_group(tasks: tuple[CellTask, ...]) -> list[list[RunResult]]:
+    """Worker entry point: run a group of cells through the batched engine.
+
+    Prepares every repetition of every cell, advances all the prepared
+    simulators together (:func:`repro.engine.batch.run_batched` batches
+    the shape-compatible ones and runs the rest scalar), and packages
+    per-cell run lists — bit-for-bit identical per cell to
+    :func:`execute_cell`.  Module-level (hence picklable).
+    """
+    preps = []
+    for task in tasks:
+        platform = make_platform(task.kind, task.instance, task.mode)
+        for s in task.streams:
+            preps.append(
+                prepare_run(
+                    task.workload, platform, task.host, task.calib,
+                    rng=s.make(), rep=s.rep,
+                )
+            )
+    engine_results = run_batched([p.sim for p in preps])
+    out: list[list[RunResult]] = []
+    k = 0
+    for task in tasks:
+        runs = []
+        for _ in task.streams:
+            runs.append(finish_run(preps[k], engine_results[k]))
+            k += 1
+        out.append(runs)
+    return out
 
 
 @dataclass(frozen=True)
@@ -306,6 +362,14 @@ class ParallelRunner:
         before submission — a verified hit is replayed as a
         ``cell-resumed`` cell instead of re-run, a corrupt entry is
         journaled as ``checkpoint-corrupt`` and re-run.
+    batch:
+        Run shape-compatible cell tasks through the batched engine
+        (:mod:`repro.engine.batch`) instead of one scalar simulation at
+        a time.  Per-cell results, journal events, checkpoints, and
+        progress reports are unchanged and bit-for-bit identical;
+        fault-armed tasks and tasks matching no batch run on the scalar
+        path (the partition is checked — a cell that would be silently
+        dropped raises :class:`~repro.errors.BatchPartitionError`).
     """
 
     def __init__(
@@ -320,6 +384,7 @@ class ParallelRunner:
         mp_context=None,
         faults: FaultInjector | None = None,
         checkpoint: "CellStore | None" = None,
+        batch: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -336,6 +401,7 @@ class ParallelRunner:
         self.mp_context = mp_context
         self.faults = faults or NULL_INJECTOR
         self.checkpoint = checkpoint
+        self.batch = bool(batch)
 
     # -- generic task execution ---------------------------------------------
 
@@ -354,10 +420,13 @@ class ParallelRunner:
         if not items:
             return []
         store = self.checkpoint
+        batched = self.batch and worker is execute_cell
         if store is None:
             if self.journal.enabled:
                 for i, payload in enumerate(items):
                     self.journal.record("cell-queued", label=_label(payload, i))
+            if batched:
+                return self._run_batched(worker, items)
             if self.jobs == 1:
                 return self._run_inline(worker, items)
             return self._run_pool(worker, items)
@@ -413,7 +482,12 @@ class ParallelRunner:
                 store.put(key, result, label=_label(payload, pending[j]))
 
         pending_items = [items[i] for i in pending]
-        if self.jobs == 1:
+        if batched:
+            fresh = self._run_batched(
+                worker, pending_items,
+                total=total, done_base=done, on_result=on_result,
+            )
+        elif self.jobs == 1:
             fresh = self._run_inline(
                 worker, pending_items,
                 total=total, done_base=done, on_result=on_result,
@@ -426,6 +500,234 @@ class ParallelRunner:
         for j, i in enumerate(pending):
             results[i] = fresh[j]
         return results
+
+    def _run_batched(
+        self,
+        worker: Callable,
+        items: Sequence,
+        *,
+        total: int | None = None,
+        done_base: int = 0,
+        on_result: Callable | None = None,
+    ) -> list:
+        """Batched twin of ``_run_inline`` / ``_run_pool`` for cell tasks.
+
+        Clusters shape-compatible :class:`CellTask` payloads into groups
+        advanced by the batched engine; everything else — non-cell
+        payloads, fault-armed tasks (pre-screened against the plan so
+        injection still fires on the scalar path, exactly once), and
+        tasks matching no group — runs on the ordinary scalar leg.
+        Groups run first so their cells checkpoint before a fault-armed
+        scalar task can abort the campaign; per-cell results, journal
+        events, and progress reports are emitted exactly as for scalar
+        cells.
+        """
+        n = len(items)
+        total = n if total is None else total
+        results: list = [None] * n
+        plan = self.faults.plan if self.faults.enabled else None
+        groups: dict[tuple, list[int]] = {}
+        scalar_idx: list[int] = []
+        for i, task in enumerate(items):
+            if not isinstance(task, CellTask) or (
+                plan is not None
+                and plan.worker_fault(_label(task, i), 1) is not None
+            ):
+                scalar_idx.append(i)
+            else:
+                groups.setdefault(_task_shape_key(task), []).append(i)
+        batches: list[list[int]] = []
+        for idxs in groups.values():
+            if len(idxs) >= 2:
+                batches.append(idxs)
+            else:
+                scalar_idx.extend(idxs)
+        scalar_idx.sort()
+        covered = sorted(i for b in batches for i in b) + scalar_idx
+        if sorted(covered) != list(range(n)):
+            raise BatchPartitionError(
+                f"batch partition covered {len(covered)} slot(s) of {n} "
+                "cell task(s); refusing to drop cells silently"
+            )
+        if self.journal.enabled:
+            self.journal.record(
+                "batch-partition",
+                label=f"{n} task(s)",
+                detail=(
+                    f"{len(batches)} batch(es) covering "
+                    f"{n - len(scalar_idx)} cell(s), "
+                    f"{len(scalar_idx)} scalar cell(s)"
+                ),
+            )
+        done = done_base
+        for group_idx, group_out in zip(
+            batches,
+            self._run_groups([tuple(items[i] for i in b) for b in batches]),
+        ):
+            cell_runs, wid, started, duration = group_out
+            for runs, i in zip(cell_runs, group_idx):
+                results[i] = runs
+                if on_result is not None:
+                    on_result(i, items[i], runs)
+                self._observe_completion(
+                    _label(items[i], i), runs, worker=wid, attempt=1,
+                    started=started, duration=duration,
+                )
+                done += 1
+                self._report(done, total, items[i])
+        if scalar_idx:
+            sub = [items[i] for i in scalar_idx]
+            remap = (
+                None
+                if on_result is None
+                else lambda j, payload, result: on_result(
+                    scalar_idx[j], payload, result
+                )
+            )
+            if self.jobs == 1:
+                fresh = self._run_inline(
+                    worker, sub, total=total, done_base=done, on_result=remap,
+                )
+            else:
+                fresh = self._run_pool(
+                    worker, sub, total=total, done_base=done, on_result=remap,
+                )
+            for j, i in enumerate(scalar_idx):
+                results[i] = fresh[j]
+        return results
+
+    def _fallback_group(self, tasks: Sequence[CellTask], exc: Exception) -> list:
+        """Scalar rescue of a batched group that failed as a unit."""
+        if self.journal.enabled:
+            self.journal.record(
+                "batch-fallback", label=_group_label(tasks), detail=repr(exc)
+            )
+        return [execute_cell(t) for t in tasks]
+
+    def _run_groups(
+        self, payloads: list[tuple[CellTask, ...]]
+    ) -> list[tuple[list, str, float, float]]:
+        """Execute batched groups; per group ``(cell_runs, worker,
+        started, duration)``.
+
+        With ``jobs == 1`` groups run inline (journaling ``cell-started``
+        per cell, like the inline scalar leg); otherwise each group is
+        one pool submission, collected with the same timeout /
+        broken-pool / retry discipline as scalar pool tasks.  A group
+        whose batched execution fails with a
+        :class:`~repro.errors.SimulationError` falls back *explicitly*
+        to per-cell scalar runs (journaled as ``batch-fallback``) so a
+        genuine workload error reproduces its scalar diagnostic.
+        """
+        out: list[tuple[list, str, float, float]] = []
+        if self.jobs == 1:
+            wid = _worker_id()
+            for group in payloads:
+                if self.journal.enabled:
+                    started_ts = time.time()
+                    for task in group:
+                        self.journal.record(
+                            "cell-started", label=task.label, worker=wid,
+                            attempt=1, ts=started_ts,
+                        )
+                started = time.time()
+                t0 = time.perf_counter()
+                try:
+                    cell_runs = _execute_batch_group(group)
+                except (BatchPartitionError, SimulationError) as exc:
+                    cell_runs = self._fallback_group(group, exc)
+                out.append(
+                    (cell_runs, wid, started, time.perf_counter() - t0)
+                )
+            return out
+        n = len(payloads)
+        slots: list[tuple[list, str, float, float] | None] = [None] * n
+        attempts = [0] * n
+        executor = self._new_executor()
+        index_future: dict[int, Future] = {}
+
+        def submit(i: int) -> None:
+            attempts[i] += 1
+            index_future[i] = executor.submit(
+                _observed, _execute_batch_group, payloads[i]
+            )
+
+        try:
+            for i in range(n):
+                submit(i)
+            for i in range(n):
+                label = _group_label(payloads[i])
+                while slots[i] is None:
+                    try:
+                        value = index_future[i].result(timeout=self.timeout)
+                        slots[i] = (
+                            value.result, value.worker,
+                            value.started, value.duration,
+                        )
+                    except FutureTimeoutError:
+                        self._record_failure(
+                            label, "", attempts[i],
+                            f"timeout after {self.timeout}s", final=True,
+                        )
+                        raise ParallelExecutionError(
+                            label, attempts[i], "timeout",
+                            f"exceeded {self.timeout}s",
+                        ) from None
+                    except BrokenExecutor as exc:
+                        if attempts[i] > self.retries:
+                            self._record_failure(
+                                label, "", attempts[i], repr(exc), final=True,
+                            )
+                            raise ParallelExecutionError(
+                                label, attempts[i], "broken-pool", str(exc),
+                            ) from exc
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        if self.journal.enabled:
+                            self.journal.record(
+                                "pool-rebuilt", label=label, detail=repr(exc)
+                            )
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "repro_pool_rebuilds_total",
+                                "worker-pool rebuilds after breakage",
+                            ).inc()
+                        for j in range(n):
+                            if slots[j] is None:
+                                submit(j)
+                    except (ConfigurationError, InjectedCrash):
+                        raise
+                    except Exception as exc:
+                        cause, wid = (
+                            (exc.cause, exc.worker)
+                            if isinstance(exc, _ObservedFailure)
+                            else (exc, "")
+                        )
+                        if isinstance(
+                            cause, (BatchPartitionError, SimulationError)
+                        ) and not isinstance(cause, ParallelExecutionError):
+                            started = time.time()
+                            t0 = time.perf_counter()
+                            cell_runs = self._fallback_group(
+                                payloads[i], cause
+                            )
+                            slots[i] = (
+                                cell_runs, _worker_id(), started,
+                                time.perf_counter() - t0,
+                            )
+                            continue
+                        self._record_failure(
+                            label, wid, attempts[i], repr(cause),
+                            final=attempts[i] > self.retries,
+                        )
+                        if attempts[i] > self.retries:
+                            raise ParallelExecutionError(
+                                label, attempts[i], "exception", str(cause),
+                            ) from cause
+                        submit(i)
+            return [s for s in slots if s is not None]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def _run_inline(
         self,

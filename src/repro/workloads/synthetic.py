@@ -88,6 +88,19 @@ class SyntheticWorkload(Workload):
             if self.io_fraction > 0
             else 0.0
         )
+        # One vectorized draw replaces the per-segment _jitter calls.
+        # Generator.normal(size=N) consumes the bit stream exactly as N
+        # sequential scalar draws do, and np.exp is elementwise IEEE, so
+        # the segment works are bit-identical to the scalar-draw build.
+        per_phase = 2 if io_per_phase > 0 else 1
+        n_draws = self.n_processes * self.threads_per_process * self.phases
+        if self.jitter_sigma > 0:
+            jit = np.exp(
+                rng.normal(0.0, self.jitter_sigma, size=n_draws * per_phase)
+            )
+        else:
+            jit = np.ones(n_draws * per_phase)
+        k = 0
         processes: list[ProcessSpec] = []
         for p in range(self.n_processes):
             threads: list[ThreadSpec] = []
@@ -96,18 +109,20 @@ class SyntheticWorkload(Workload):
                 for _ in range(self.phases):
                     program.append(
                         ComputeSegment(
-                            work=self.compute_per_phase * self._jitter(rng),
+                            work=self.compute_per_phase * float(jit[k]),
                             mem_intensity=self.mem_intensity,
                         )
                     )
+                    k += 1
                     if io_per_phase > 0:
                         program.append(
                             IoSegment(
-                                device_time=io_per_phase * self._jitter(rng),
+                                device_time=io_per_phase * float(jit[k]),
                                 irqs=1,
                                 kind=IrqKind.DISK,
                             )
                         )
+                        k += 1
                 threads.append(
                     ThreadSpec(
                         program=program,
