@@ -1,0 +1,182 @@
+"""Record or check the latency-recording overhead budget.
+
+Latency recording (``--dist``) must be close to free: the engine hot
+path pays one ``is not None`` check per issued IO/comm/barrier wait and
+a plain list append when a recorder is attached.  This script times an
+identical cell workload with recording off and on (best-of-N each, same
+seeds), verifies the measured results are value-identical both ways, and
+either updates ``benchmarks/results/sketch_overhead.json`` or checks the
+current tree against the committed ratio budget.
+
+Usage::
+
+    # re-record the committed baseline
+    PYTHONPATH=src python benchmarks/record_sketch_overhead.py
+
+    # CI gate: fail when recording-on is > 1.10x recording-off
+    PYTHONPATH=src python benchmarks/record_sketch_overhead.py \
+        --check --tolerance 1.10 --out /tmp/sketch_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    FfmpegWorkload,
+    WordPressWorkload,
+    instance_type,
+    make_platform,
+    r830_host,
+)
+from repro.rng import RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import run_cell
+
+BASELINE = Path(__file__).parent / "results" / "sketch_overhead.json"
+
+#: (workload factory, instance, reps per timing) — WordPress exercises
+#: the op/io streams heavily, FFmpeg the barrier stream.
+CASES = {
+    "wordpress": (lambda: WordPressWorkload(), "xLarge", 4),
+    # FFmpeg cells are ~3ms each; 128 reps keeps the timing window wide
+    # enough that the on/off ratio is not dominated by timer noise.
+    "ffmpeg": (lambda: FfmpegWorkload(), "xLarge", 128),
+}
+
+
+def _one_timing(name: str, dist: bool) -> float:
+    """Wall clock of one cell, recording off or on."""
+    make_wl, inst, cell_reps = CASES[name]
+    platform = make_platform("CN", instance_type(inst), "vanilla")
+    host = r830_host()
+    calib = Calibration()
+    factory = RngFactory(17)
+    streams = [
+        factory.stream_spec(f"overhead/{name}", rep=k)
+        for k in range(cell_reps)
+    ]
+    wl = make_wl()
+    t0 = time.perf_counter()
+    run_cell(wl, platform, host, calib, streams, dist=dist)
+    return time.perf_counter() - t0
+
+
+def time_case(name: str, reps: int = 7) -> tuple[float, float]:
+    """Best-of-``reps`` (off, on) wall clock, interleaved.
+
+    Off and on timings alternate within each repetition so slow drift
+    (thermal, noisy-neighbour CPU) cancels out of the ratio instead of
+    landing entirely on one side.
+    """
+    _one_timing(name, dist=True)  # warmup: imports, caches, allocator
+    best_off = best_on = float("inf")
+    for _ in range(reps):
+        best_off = min(best_off, _one_timing(name, dist=False))
+        best_on = min(best_on, _one_timing(name, dist=True))
+    return best_off, best_on
+
+
+def check_value_identity() -> None:
+    """Recording must not perturb a single measured value."""
+    for name in CASES:
+        make_wl, inst, cell_reps = CASES[name]
+        platform = make_platform("CN", instance_type(inst), "vanilla")
+        host = r830_host()
+        calib = Calibration()
+
+        def run(dist: bool):
+            factory = RngFactory(17)
+            streams = [
+                factory.stream_spec(f"overhead/{name}", rep=k)
+                for k in range(cell_reps)
+            ]
+            return run_cell(make_wl(), platform, host, calib, streams, dist=dist)
+
+        def key(results):
+            # repr() keeps NaN mean_response (makespan-only workloads)
+            # comparable: nan != nan, but "nan" == "nan".
+            return [
+                (r.value, r.makespan, repr(r.mean_response)) for r in results
+            ]
+
+        assert key(run(False)) == key(
+            run(True)
+        ), f"{name}: recording changed measured values"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed budget instead of recording",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.10,
+        help="check mode: fail when on/off exceeds this ratio",
+    )
+    ap.add_argument(
+        "--reps", type=int, default=7, help="timing repetitions per case"
+    )
+    ap.add_argument(
+        "--out", type=Path, default=None, help="also write measured ratios here"
+    )
+    args = ap.parse_args()
+
+    check_value_identity()
+    print("value identity: recording on == recording off")
+
+    measured: dict[str, dict[str, float]] = {}
+    for name in CASES:
+        off, on = time_case(name, reps=args.reps)
+        measured[name] = {
+            "off_s": round(off, 4),
+            "on_s": round(on, 4),
+            "ratio": round(on / off, 3),
+        }
+        print(f"{name:10s} off {off:.4f}s  on {on:.4f}s  x{on / off:.3f}")
+
+    if args.out:
+        args.out.write_text(json.dumps(measured, indent=2, sort_keys=True))
+        print(f"timings -> {args.out}")
+
+    if args.check:
+        failed = [
+            name for name, m in measured.items() if m["ratio"] > args.tolerance
+        ]
+        if failed:
+            print(
+                f"FAIL: recording overhead exceeds {args.tolerance}x for "
+                f"{failed} (budget in {BASELINE})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"recording overhead within {args.tolerance}x budget")
+        return 0
+
+    data = {
+        "cases": measured,
+        "budget_ratio": args.tolerance,
+        "note": (
+            "Cell wall clock with latency recording off vs on (best of "
+            f"{args.reps}, seeds fixed). The recorder buffers plain floats "
+            "on the hot path and folds them into DDSketch-style integer "
+            "buckets once per repetition, so the on/off ratio must stay "
+            "within budget_ratio. Re-record with "
+            "benchmarks/record_sketch_overhead.py."
+        ),
+    }
+    BASELINE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"baseline -> {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

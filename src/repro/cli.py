@@ -366,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="advance shape-compatible cells together on the batched "
         "engine (bit-identical report; composes with --jobs/--resume)",
     )
+    rep_p.add_argument(
+        "--dist",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="record simulated latency distributions per cell (journaled "
+        "as cell-dist events; inspect with 'repro obs dist'); the "
+        "report itself is byte-identical either way",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -397,6 +405,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--svg",
         metavar="PATH",
         help="(with --format folded) also render an SVG flamegraph",
+    )
+    dist_p = obs_sub.add_parser(
+        "dist",
+        help="tail-latency distributions recorded by a --dist campaign",
+    )
+    dist_p.add_argument("journal", help="journal file written by --journal")
+    dist_p.add_argument(
+        "--stream",
+        choices=["op", "cell", "io_wait", "comm_wait", "barrier_wait"],
+        help="latency stream to report (default: op, falling back to "
+        "cell for makespan-only campaigns)",
+    )
+    dist_p.add_argument(
+        "--percentiles",
+        metavar="P,P,...",
+        default="50,90,99,99.9",
+        help="percentiles to tabulate, in percent (default 50,90,99,99.9)",
+    )
+    dist_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit canonical JSON (merged sketch states + percentiles; "
+        "byte-identical for identical campaigns regardless of --jobs "
+        "or --batch)",
+    )
+    dist_p.add_argument(
+        "--svg", metavar="PATH", help="also render the CDFs as an SVG"
+    )
+    dist_p.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
     )
 
     faults_p = sub.add_parser(
@@ -871,6 +909,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             resume=args.resume,
             faults=faults,
             batch=args.batch,
+            dist=args.dist,
         )
     finally:
         journal.close()
@@ -893,6 +932,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summary":
         print(summarize_journal(events).render(top=args.top))
         return 0
+    if args.obs_command == "dist":
+        return _cmd_obs_dist(args, events)
 
     # export
     if args.format == "chrome":
@@ -919,6 +960,95 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} export to {args.out}")
     else:
         print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_obs_dist(args: argparse.Namespace, events) -> int:
+    """``repro obs dist``: tabulate / export recorded latency sketches."""
+    from repro.obs.summary import summarize_journal
+
+    summary = summarize_journal(events)
+    if not summary.dists:
+        raise ReproError(
+            "the journal holds no cell-dist events; re-run the campaign "
+            "with --dist"
+        )
+    try:
+        percentiles = tuple(
+            float(p) / 100.0 for p in args.percentiles.split(",") if p.strip()
+        )
+    except ValueError:
+        raise ReproError(
+            f"--percentiles must be comma-separated numbers, "
+            f"got {args.percentiles!r}"
+        ) from None
+    if not percentiles or any(not 0.0 <= p <= 1.0 for p in percentiles):
+        raise ReproError(
+            f"--percentiles must lie in (0, 100], got {args.percentiles!r}"
+        )
+    stream = args.stream
+    if stream is None:
+        # makespan-only campaigns record no per-operation responses
+        stream = "op" if summary.dist_percentiles("op") else "cell"
+    pct = summary.dist_percentiles(stream, percentiles)
+    if not pct:
+        streams = sorted({s for d in summary.dists.values() for s in d})
+        raise ReproError(
+            f"no observations on stream {stream!r}; recorded streams "
+            f"with data: {streams}"
+        )
+
+    if args.json:
+        doc = {
+            "stream": stream,
+            "percentiles": {
+                platform: {f"{q * 100:g}": v for q, v in qs.items()}
+                for platform, qs in pct.items()
+            },
+            "platforms": {
+                platform: {
+                    "streams": {
+                        name: sk.to_dict()
+                        for name, sk in sorted(streams.items())
+                    }
+                }
+                for platform, streams in sorted(summary.dists.items())
+            },
+        }
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    else:
+        labels = [f"p{q * 100:g}" for q in percentiles]
+        name_w = max(len(p) for p in pct)
+        lines = [
+            f"{stream} latency percentiles (simulated seconds):",
+            "  " + " " * name_w + "".join(f"{lbl:>12s}" for lbl in labels)
+            + "       count",
+        ]
+        for platform, qs in pct.items():
+            count = summary.dists[platform][stream].count
+            lines.append(
+                f"  {platform:<{name_w}s}"
+                + "".join(f"{v:12.6f}" for v in qs.values())
+                + f"{count:12d}"
+            )
+        text = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {stream} distributions to {args.out}")
+    else:
+        print(text, end="")
+    if args.svg:
+        from repro.viz.dist import save_dist_svg
+
+        save_dist_svg(
+            summary.dists,
+            args.svg,
+            stream=stream,
+            percentiles=percentiles,
+        )
+        print(f"rendered CDFs to {args.svg}", file=sys.stderr)
     return 0
 
 

@@ -92,6 +92,7 @@ from repro.trace.counters import PerfCounters
 from repro.workloads.base import ProcessSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.obs.sketch import LatencyRecorder
     from repro.trace.schedprof import SchedProfiler
 
 __all__ = [
@@ -174,6 +175,15 @@ class EngineConfig:
         its per-step hooks; detached (the default) the only cost is one
         ``is not None`` check per accounting step, and results are
         byte-identical either way.
+    latency:
+        Optional :class:`~repro.obs.sketch.LatencyRecorder` observing
+        per-issue simulated waits (``io_wait`` / ``comm_wait`` /
+        ``barrier_wait``).  Unlike a trace sink it does not flip the
+        engine onto the traced scalar path — the vectorized wave and
+        batched legs keep running and feed it through the same issue
+        methods — so results are byte-identical with or without it, and
+        detached (the default) the cost is one ``is not None`` check per
+        issue.
     """
 
     capacity: float
@@ -185,6 +195,7 @@ class EngineConfig:
     max_steps: int = 5_000_000
     trace: TraceSink = field(default_factory=NullTraceSink)
     profiler: "SchedProfiler | None" = None
+    latency: "LatencyRecorder | None" = None
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -321,6 +332,7 @@ class Simulator:
             max_steps=config.max_steps,
             trace=config.trace,
             profiler=config.profiler,
+            latency=config.latency,
         )
 
     @classmethod
@@ -335,6 +347,7 @@ class Simulator:
         max_steps: int = 5_000_000,
         trace: TraceSink | None = None,
         profiler: "SchedProfiler | None" = None,
+        latency: "LatencyRecorder | None" = None,
     ) -> "Simulator":
         """Build a simulator with several instances sharing one host.
 
@@ -355,6 +368,7 @@ class Simulator:
             max_steps=max_steps,
             trace=trace or NullTraceSink(),
             profiler=profiler,
+            latency=latency,
         )
         return self
 
@@ -372,10 +386,14 @@ class Simulator:
         max_steps: int,
         trace: TraceSink,
         profiler: "SchedProfiler | None" = None,
+        latency: "LatencyRecorder | None" = None,
     ) -> None:
         # an attached profiler observes the event stream like any other
         # sink; teeing keeps a user-provided sink observing too
         self._profiler = profiler
+        # a latency recorder is deliberately NOT a trace sink: it must
+        # not force the traced scalar path or batch-ineligibility
+        self._lat = latency
         if profiler is not None:
             trace = (
                 profiler
@@ -675,6 +693,8 @@ class Simulator:
         cnt.irqs += c.io_irqs_l[row]
         cnt.wake_migrations += c.io_wakemig_l[row]
         cnt.io_blocked_seconds += duration
+        if self._lat is not None:
+            self._lat.observe("io_wait", duration)
         if self._traced:
             self.trace.emit(TraceEvent(t, EventKind.IO_ISSUE, j, duration))
 
@@ -688,6 +708,8 @@ class Simulator:
         self.wake[j] = wake_t
         self._calendar.schedule(j, wake_t)
         self.counters.comm_blocked_seconds += duration
+        if self._lat is not None:
+            self._lat.observe("comm_wait", duration)
         if self._traced:
             self.trace.emit(TraceEvent(t, EventKind.COMM_ISSUE, j, duration))
 
@@ -773,8 +795,12 @@ class Simulator:
                 waiters = self.barrier_waiters.pop(key, [])
                 cnt = self.counters
                 enter = self.barrier_enter
+                lat = self._lat
                 for w in waiters:
-                    cnt.barrier_blocked_seconds += t - enter[w]
+                    waited = t - enter[w]
+                    cnt.barrier_blocked_seconds += waited
+                    if lat is not None:
+                        lat.observe("barrier_wait", waited)
                     queue.append(w)
                 if self._profiler is not None and waiters:
                     self._profiler.on_barrier_release(t, waiters)

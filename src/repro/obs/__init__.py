@@ -13,7 +13,10 @@ the same discipline to the reproduction's own campaigns:
   questions (slowest cells, retry counts, cache hit ratio, per-worker
   utilization, critical path);
 * :mod:`repro.obs.metrics` — process-wide counters / gauges /
-  histograms with JSON and Prometheus text export;
+  histograms / quantile summaries with JSON and Prometheus text export;
+* :mod:`repro.obs.sketch` — deterministic mergeable quantile sketches,
+  log-spaced streaming histograms, and the per-run latency recorder
+  behind ``cell-dist`` journal events and ``repro obs dist``;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``) and folded flamegraph stacks from both campaign
   journals and simulator ``Timeline`` / ``OffCpuReport`` data.
@@ -51,11 +54,21 @@ from repro.obs.journal import (
 )
 from repro.obs.metrics import (
     CELL_SECONDS_BUCKETS,
+    SUMMARY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     default_registry,
+)
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    LatencyRecorder,
+    LogHistogram,
+    QuantileSketch,
+    merge_sketches,
+    merge_stream_sketches,
 )
 from repro.obs.summary import CellRecord, RunSummary, summarize_journal
 
@@ -81,9 +94,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "CELL_SECONDS_BUCKETS",
+    "SUMMARY_QUANTILES",
     "default_registry",
+    # sketches
+    "DEFAULT_ALPHA",
+    "QuantileSketch",
+    "LogHistogram",
+    "LatencyRecorder",
+    "merge_sketches",
+    "merge_stream_sketches",
     # export
     "journal_to_chrome",
     "journal_to_folded",

@@ -42,6 +42,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "cell-failed",
         "cell-finished",
         "cell-ledger",
+        "cell-dist",
         "batch-partition",
         "batch-fallback",
         "checkpoint-corrupt",
@@ -62,7 +63,9 @@ class JournalEvent:
     ts:
         Wall-clock time of the event (seconds since the epoch).
     kind:
-        One of :data:`EVENT_KINDS`.
+        One of :data:`EVENT_KINDS` (readers also accept unknown string
+        kinds written by newer schemas and count them instead of
+        raising).
     label:
         Identity of the subject (cell label, workload name, campaign).
     worker:
@@ -141,9 +144,13 @@ def validate_event(d: dict) -> None:
             raise ConfigurationError(f"journal event missing required key {key!r}")
     if not isinstance(d["ts"], (int, float)) or isinstance(d["ts"], bool):
         raise ConfigurationError(f"event ts must be a number, got {d['ts']!r}")
-    if d["kind"] not in EVENT_KINDS:
+    # An unknown *string* kind is forward-compatible data from a newer
+    # writer, not corruption: readers must count it, not crash on it
+    # (summarize_journal surfaces the tally).  Only a non-string kind is
+    # a malformed record.
+    if not isinstance(d["kind"], str) or not d["kind"]:
         raise ConfigurationError(
-            f"unknown event kind {d['kind']!r}; known: {sorted(EVENT_KINDS)}"
+            f"event kind must be a non-empty string, got {d['kind']!r}"
         )
     if d["schema"] != SCHEMA_VERSION:
         raise ConfigurationError(

@@ -190,6 +190,18 @@ def journal_to_metrics(events: list[JournalEvent]) -> MetricsRegistry:
     for cell in summary.cells.values():
         if not cell.cached:
             hist.observe(cell.duration)
+    for stream, name, help_text in (
+        ("op", "repro_sim_op_response_seconds",
+         "simulated per-operation response time"),
+        ("cell", "repro_sim_makespan_seconds",
+         "simulated per-repetition wall time"),
+    ):
+        sketches = [
+            d[stream] for d in summary.dists.values()
+            if stream in d and d[stream].count
+        ]
+        for sk in sketches:
+            registry.summary(name, help_text).merge_sketch(sk)
     return registry
 
 

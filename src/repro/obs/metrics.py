@@ -1,4 +1,5 @@
-"""Process-wide metrics registry: counters, gauges, and histograms.
+"""Process-wide metrics registry: counters, gauges, histograms, and
+sketch-backed quantile summaries.
 
 The quantitative side of the telemetry layer: cheap named aggregates
 (cells completed, simulator scheduling events, migrations, cache probes)
@@ -18,13 +19,16 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs.sketch import QuantileSketch
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "CELL_SECONDS_BUCKETS",
+    "SUMMARY_QUANTILES",
     "default_registry",
 ]
 
@@ -34,6 +38,9 @@ _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 CELL_SECONDS_BUCKETS: tuple[float, ...] = (
     0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
 )
+
+#: Default quantiles a :class:`Summary` exports.
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
 
 
 def _check_name(name: str) -> str:
@@ -114,6 +121,57 @@ class Histogram:
         self.count += 1
 
 
+@dataclass
+class Summary:
+    """A quantile summary backed by a mergeable :class:`QuantileSketch`.
+
+    Exports in the Prometheus summary style — one ``quantile``-labelled
+    sample per entry of ``quantiles`` plus a ``_count`` — but unlike a
+    classic streaming summary it merges exactly: fold worker sketches in
+    with :meth:`merge_sketch` and the quantiles are identical to a
+    single-process run.  No ``_sum`` is exported: the sketch keeps
+    integer bucket counts only (a float sum would make the state depend
+    on accumulation order and break byte-identical merging).
+    """
+
+    name: str
+    help: str = ""
+    quantiles: tuple[float, ...] = SUMMARY_QUANTILES
+    sketch: QuantileSketch = field(default_factory=QuantileSketch)
+
+    def __post_init__(self) -> None:
+        if not self.quantiles or any(
+            not (0.0 <= q <= 1.0) for q in self.quantiles
+        ):
+            raise ConfigurationError(
+                f"summary {self.name} quantiles must be in [0, 1], "
+                f"got {self.quantiles}"
+            )
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sketch.observe(value)
+
+    def observe_many(self, values) -> None:
+        """Record a batch of observations."""
+        self.sketch.observe_many(values)
+
+    def merge_sketch(self, sketch: QuantileSketch) -> None:
+        """Fold a sketch (e.g. one cell's stream) into the summary."""
+        self.sketch = self.sketch.merge(sketch)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return self.sketch.count
+
+    def quantile_values(self) -> dict[float, float]:
+        """The exported quantiles (NaN while the summary is empty)."""
+        if not self.sketch.count:
+            return {q: math.nan for q in self.quantiles}
+        return {q: self.sketch.quantile(q) for q in self.quantiles}
+
+
 class MetricsRegistry:
     """Named metrics, created on first use and exportable as text.
 
@@ -123,7 +181,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | Summary] = {}
 
     def _get(self, name: str, kind: type, factory):
         metric = self._metrics.get(name)
@@ -156,6 +214,19 @@ class MetricsRegistry:
             _check_name(name), Histogram, lambda: Histogram(name, tuple(buckets), help)
         )
 
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: tuple[float, ...] = SUMMARY_QUANTILES,
+    ) -> Summary:
+        """Get or create a quantile summary (quantiles fixed at creation)."""
+        return self._get(
+            _check_name(name),
+            Summary,
+            lambda: Summary(name, help, tuple(quantiles)),
+        )
+
     def __iter__(self):
         return iter(sorted(self._metrics.values(), key=lambda m: m.name))
 
@@ -176,6 +247,16 @@ class MetricsRegistry:
                     "sum": m.sum,
                     "count": m.count,
                 }
+            elif isinstance(m, Summary):
+                out[m.name] = {
+                    "type": "summary",
+                    "help": m.help,
+                    "quantiles": {
+                        f"{q:g}": v for q, v in m.quantile_values().items()
+                    },
+                    "count": m.count,
+                    "sketch": m.sketch.to_dict(),
+                }
             else:
                 kind = "counter" if isinstance(m, Counter) else "gauge"
                 out[m.name] = {"type": kind, "help": m.help, "value": m.value}
@@ -190,10 +271,19 @@ class MetricsRegistry:
             if isinstance(m, Histogram):
                 lines.append(f"# TYPE {m.name} histogram")
                 for bound, count in zip(m.buckets, m.counts):
+                    if math.isinf(bound):
+                        # an explicit +Inf bound would duplicate the
+                        # canonical terminal bucket emitted below
+                        continue
                     le = _escape_label(_fmt(bound))
                     lines.append(f'{m.name}_bucket{{le="{le}"}} {count}')
                 lines.append(f'{m.name}_bucket{{le="+Inf"}} {m.count}')
                 lines.append(f"{m.name}_sum {_fmt(m.sum)}")
+                lines.append(f"{m.name}_count {m.count}")
+            elif isinstance(m, Summary):
+                lines.append(f"# TYPE {m.name} summary")
+                for q, v in m.quantile_values().items():
+                    lines.append(f'{m.name}{{quantile="{q:g}"}} {_fmt(v)}')
                 lines.append(f"{m.name}_count {m.count}")
             else:
                 kind = "counter" if isinstance(m, Counter) else "gauge"
@@ -231,6 +321,10 @@ class MetricsRegistry:
                     hist.counts[i] += c
                 hist.sum += data["sum"]
                 hist.count += data["count"]
+            elif kind == "summary":
+                quantiles = tuple(float(q) for q in data["quantiles"])
+                summ = self.summary(name, data.get("help", ""), quantiles)
+                summ.merge_sketch(QuantileSketch.from_dict(data["sketch"]))
             else:
                 raise ConfigurationError(
                     f"cannot merge metric {name!r} of unknown type {kind!r}"
@@ -256,12 +350,21 @@ def _escape_label(value: str) -> str:
 
 
 def _fmt(value: float) -> str:
-    """Prometheus-friendly number formatting (ints without trailing .0)."""
-    if math.isinf(value):
-        return "+Inf" if value > 0 else "-Inf"
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
+    """Prometheus-friendly number formatting (ints without trailing .0).
+
+    Follows the Go ``strconv.FormatFloat(f, 'g', -1, 64)`` conventions
+    of the reference client: ``NaN`` (capitalized), ``+Inf``/``-Inf``,
+    and scientific notation for magnitudes too large to write exactly as
+    integers (``1e+21``, not ``1000000000000000000000``).
+    """
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v.is_integer() and abs(v) < 1e16:
+        return str(int(v))
+    return repr(v)
 
 
 _DEFAULT: MetricsRegistry | None = None

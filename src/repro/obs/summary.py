@@ -13,9 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
-from repro.obs.events import JournalEvent
+from repro.obs.events import EVENT_KINDS, JournalEvent
+from repro.obs.sketch import QuantileSketch
 
 __all__ = ["CellRecord", "RunSummary", "summarize_journal"]
+
+#: Percentiles reported for recorded latency distributions.
+DIST_PERCENTILES: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
+
+
+def _pct_label(q: float) -> str:
+    """``0.999 -> "p999"`` (the conventional tail-percentile spelling)."""
+    return "p" + f"{q * 100:g}".replace(".", "")
 
 
 @dataclass
@@ -63,6 +72,14 @@ class RunSummary:
         Busy seconds per worker (sum of its cells' durations).
     retries_total / failures_total:
         Retried and permanently failed attempts across the campaign.
+    dists:
+        Merged latency sketches from ``cell-dist`` events, keyed by
+        platform label then stream name (``op``, ``cell``, ``io_wait``,
+        ...).  Empty unless the campaign ran with distribution
+        recording.
+    unknown_events:
+        Tally of event kinds not in this release's schema — journals
+        written by newer writers summarize instead of crashing.
     """
 
     wall_seconds: float
@@ -73,6 +90,8 @@ class RunSummary:
     pool_rebuilds: int = 0
     faults_injected: int = 0
     checkpoint_corrupt: int = 0
+    dists: dict[str, dict[str, QuantileSketch]] = field(default_factory=dict)
+    unknown_events: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_cells(self) -> int:
@@ -125,6 +144,25 @@ class RunSummary:
             c for c in self.cells.values() if not c.cached and not c.resumed
         ]
         return sorted(executed, key=lambda c: -c.duration)[:n]
+
+    def dist_percentiles(
+        self,
+        stream: str = "op",
+        percentiles: tuple[float, ...] = DIST_PERCENTILES,
+    ) -> dict[str, dict[float, float]]:
+        """Tail percentiles of one latency stream, per platform label.
+
+        Platforms whose merged ``stream`` sketch is empty (or absent)
+        are omitted; an empty dict means the campaign recorded no
+        distributions for this stream.
+        """
+        out: dict[str, dict[float, float]] = {}
+        for platform in sorted(self.dists):
+            sk = self.dists[platform].get(stream)
+            if sk is None or not sk.count:
+                continue
+            out[platform] = {q: sk.quantile(q) for q in percentiles}
+        return out
 
     def worker_utilization(self) -> dict[str, float]:
         """Busy fraction of the journal span, per worker."""
@@ -188,6 +226,30 @@ class RunSummary:
                     f"  {c.label:<40s} {mech:<18s} "
                     f"{share:6.1%} of {c.ledger_total:10.3f} core-s"
                 )
+        # makespan-only workloads record no per-operation responses, so
+        # fall back to the per-repetition makespan stream
+        stream = "op"
+        pct = self.dist_percentiles(stream)
+        if not pct:
+            stream = "cell"
+            pct = self.dist_percentiles(stream)
+        if pct:
+            lines.append(
+                f"{stream} latency percentiles (simulated s) per platform:"
+            )
+            for platform, qs in pct.items():
+                cols = "  ".join(
+                    f"{_pct_label(q)} {v:.6f}" for q, v in qs.items()
+                )
+                lines.append(f"  {platform:<16s} {cols}")
+        if self.unknown_events:
+            kinds = ", ".join(
+                f"{k} x{n}" for k, n in sorted(self.unknown_events.items())
+            )
+            lines.append(
+                f"unknown events: {sum(self.unknown_events.values())} "
+                f"from newer schema kinds ({kinds})"
+            )
         return "\n".join(lines)
 
 
@@ -238,4 +300,15 @@ def summarize_journal(events: list[JournalEvent]) -> RunSummary:
             summary.failures_total += 1
         elif e.kind == "pool-rebuilt":
             summary.pool_rebuilds += 1
+        elif e.kind == "cell-dist":
+            platform = str(e.extra.get("platform", "")) or "(unknown)"
+            streams = summary.dists.setdefault(platform, {})
+            for name, state in e.extra.get("streams", {}).items():
+                sk = QuantileSketch.from_dict(state)
+                have = streams.get(name)
+                streams[name] = sk if have is None else have.merge(sk)
+        elif e.kind not in EVENT_KINDS:
+            summary.unknown_events[e.kind] = (
+                summary.unknown_events.get(e.kind, 0) + 1
+            )
     return summary

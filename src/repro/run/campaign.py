@@ -205,6 +205,7 @@ def run_campaign(
     resume: bool = False,
     faults: FaultInjector | None = None,
     batch: bool = False,
+    dist: bool = False,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -248,6 +249,12 @@ def run_campaign(
         (:mod:`repro.engine.batch`).  Bit-for-bit identical reports;
         composes with ``jobs``, ``cache``, ``checkpoint``/``resume``
         and ``faults`` (fault-armed cells run scalar).
+    dist:
+        Record simulated latency distributions for every cell of every
+        experiment: mergeable quantile sketches journaled as
+        ``cell-dist`` events and folded into the runner's metrics
+        summaries (see :mod:`repro.obs.sketch`).  Measured values and
+        the generated report are byte-identical either way.
     """
     campaign = campaign or Campaign()
     if resume and checkpoint is None:
@@ -260,6 +267,8 @@ def run_campaign(
     runner = runner or ParallelRunner(jobs, journal=journal, batch=batch)
     if batch:
         runner.batch = True
+    if dist:
+        runner.dist = True
     if journal is not None and journal.enabled and not runner.journal.enabled:
         runner.journal = journal
     if checkpoint is not None and runner.checkpoint is None:

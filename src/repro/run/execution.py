@@ -27,6 +27,7 @@ from repro.errors import SimulationError
 from repro.hostmodel.storage import StorageModel
 from repro.hostmodel.topology import HostTopology
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sketch import LatencyRecorder
 from repro.platforms.base import ExecutionPlatform
 from repro.rng import StreamSpec
 from repro.run.calibration import Calibration
@@ -77,6 +78,8 @@ def run_cell(
     host: HostTopology,
     calib: Calibration,
     streams: list[StreamSpec],
+    *,
+    dist: bool = False,
 ) -> list[RunResult]:
     """Run every repetition of one (platform, instance) cell.
 
@@ -84,10 +87,16 @@ def run_cell(
     :class:`~repro.rng.StreamSpec`, so this function produces identical
     results whether it runs in the campaign process or in a worker of
     :class:`repro.run.parallel.ParallelRunner`.
+
+    With ``dist=True`` each repetition records its simulated latency
+    streams into a fresh :class:`~repro.obs.sketch.LatencyRecorder` and
+    carries the resulting sketches on ``RunResult.dist``; metric values
+    are byte-identical either way.
     """
     return [
         run_once(
-            workload, platform, host, calib, rng=s.make(), rep=s.rep
+            workload, platform, host, calib, rng=s.make(), rep=s.rep,
+            latency=LatencyRecorder() if dist else None,
         )
         for s in streams
     ]
@@ -108,6 +117,7 @@ class PreparedRun:
     sim: Simulator
     thrashed: bool
     rep: int
+    latency: LatencyRecorder | None = None
 
 
 def prepare_run(
@@ -120,6 +130,7 @@ def prepare_run(
     rep: int = 0,
     trace: TraceSink | None = None,
     profiler: "SchedProfiler | None" = None,
+    latency: LatencyRecorder | None = None,
 ) -> PreparedRun:
     """Build one repetition up to a ready-to-run :class:`Simulator`."""
     calib = calib or Calibration()
@@ -149,6 +160,7 @@ def prepare_run(
         thrash_factor=thrash,
         trace=trace or NullTraceSink(),
         profiler=profiler,
+        latency=latency,
     )
     return PreparedRun(
         workload=workload,
@@ -157,6 +169,7 @@ def prepare_run(
         sim=Simulator(processes, config),
         thrashed=thrashed,
         rep=rep,
+        latency=latency,
     )
 
 
@@ -173,6 +186,15 @@ def finish_run(
         if workload.metric == "mean_response"
         else result.makespan
     )
+    dist = None
+    lat = prep.latency
+    if lat is not None:
+        # per-operation responses and the repetition's simulated wall
+        # time join the engine-recorded wait streams; everything in the
+        # sketches is simulated, so distributions are deterministic
+        lat.observe_many("op", result.op_responses)
+        lat.observe("cell", result.makespan)
+        dist = lat.sketches()
     if metrics is not None:
         c = result.counters
         metrics.counter(
@@ -200,6 +222,7 @@ def finish_run(
         thrashed=prep.thrashed,
         rep=prep.rep,
         counters=result.counters,
+        dist=dist,
     )
 
 
@@ -214,6 +237,7 @@ def run_once(
     trace: TraceSink | None = None,
     metrics: MetricsRegistry | None = None,
     profiler: "SchedProfiler | None" = None,
+    latency: LatencyRecorder | None = None,
 ) -> RunResult:
     """Execute one configuration once and return its result.
 
@@ -242,6 +266,13 @@ def run_once(
         Optional :class:`~repro.trace.schedprof.SchedProfiler`; when
         given it observes this run and ``profiler.profile()`` is valid
         afterwards.  Results are byte-identical with and without it.
+    latency:
+        Optional :class:`~repro.obs.sketch.LatencyRecorder`; when given
+        it collects the run's simulated latency streams (``op``,
+        ``cell``, and the engine's ``io_wait`` / ``comm_wait`` /
+        ``barrier_wait``) and the resulting sketches ride on
+        ``RunResult.dist``.  Metric values are byte-identical with and
+        without it.
     """
     prep = prepare_run(
         workload,
@@ -252,5 +283,6 @@ def run_once(
         rep=rep,
         trace=trace,
         profiler=profiler,
+        latency=latency,
     )
     return finish_run(prep, prep.sim.run(), metrics=metrics)

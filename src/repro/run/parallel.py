@@ -66,6 +66,7 @@ from repro.faults import NULL_INJECTOR, FaultInjector, FaultPlan, raise_worker_f
 from repro.hostmodel.topology import HostTopology
 from repro.obs.journal import NULL_JOURNAL, Journal
 from repro.obs.metrics import CELL_SECONDS_BUCKETS, MetricsRegistry
+from repro.obs.sketch import LatencyRecorder, merge_stream_sketches
 from repro.platforms.base import PlatformKind
 from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform
@@ -88,6 +89,7 @@ __all__ = [
     "cell_tasks",
     "default_jobs",
     "execute_cell",
+    "execute_cell_dist",
 ]
 
 ProgressFn = Callable[[int, int, object], None]
@@ -160,6 +162,17 @@ def execute_cell(task: CellTask) -> list[RunResult]:
     )
 
 
+def execute_cell_dist(task: CellTask) -> list[RunResult]:
+    """:func:`execute_cell` with latency recording: each repetition
+    carries its simulated latency sketches on ``RunResult.dist``.
+    Metric values are byte-identical to :func:`execute_cell`."""
+    platform = make_platform(task.kind, task.instance, task.mode)
+    return run_cell(
+        task.workload, platform, task.host, task.calib, list(task.streams),
+        dist=True,
+    )
+
+
 def _task_shape_key(task: CellTask) -> tuple:
     """Coarse pre-clustering key for batched execution.
 
@@ -182,14 +195,20 @@ def _group_label(tasks: Sequence[CellTask]) -> str:
     return f"batch[{len(tasks)}] {tasks[0].label}"
 
 
-def _execute_batch_group(tasks: tuple[CellTask, ...]) -> list[list[RunResult]]:
+def _execute_batch_group(
+    tasks: tuple[CellTask, ...], dist: bool = False
+) -> list[list[RunResult]]:
     """Worker entry point: run a group of cells through the batched engine.
 
     Prepares every repetition of every cell, advances all the prepared
     simulators together (:func:`repro.engine.batch.run_batched` batches
     the shape-compatible ones and runs the rest scalar), and packages
     per-cell run lists — bit-for-bit identical per cell to
-    :func:`execute_cell`.  Module-level (hence picklable).
+    :func:`execute_cell`.  Module-level (hence picklable).  With
+    ``dist=True`` each repetition carries latency sketches, identical to
+    the scalar recording path (the batched engine issues IO / comm /
+    barrier transitions through the same scalar methods that feed the
+    recorder).
     """
     preps = []
     for task in tasks:
@@ -199,6 +218,7 @@ def _execute_batch_group(tasks: tuple[CellTask, ...]) -> list[list[RunResult]]:
                 prepare_run(
                     task.workload, platform, task.host, task.calib,
                     rng=s.make(), rep=s.rep,
+                    latency=LatencyRecorder() if dist else None,
                 )
             )
     engine_results = run_batched([p.sim for p in preps])
@@ -211,6 +231,13 @@ def _execute_batch_group(tasks: tuple[CellTask, ...]) -> list[list[RunResult]]:
             k += 1
         out.append(runs)
     return out
+
+
+def _execute_batch_group_dist(
+    tasks: tuple[CellTask, ...],
+) -> list[list[RunResult]]:
+    """Picklable dist-recording twin of :func:`_execute_batch_group`."""
+    return _execute_batch_group(tasks, dist=True)
 
 
 @dataclass(frozen=True)
@@ -370,6 +397,14 @@ class ParallelRunner:
         fault-armed tasks and tasks matching no batch run on the scalar
         path (the partition is checked — a cell that would be silently
         dropped raises :class:`~repro.errors.BatchPartitionError`).
+    dist:
+        Record per-cell simulated latency distributions: cell workers
+        run with a :class:`~repro.obs.sketch.LatencyRecorder`, merged
+        per-cell sketches are journaled as ``cell-dist`` events, and the
+        ``op`` stream feeds the metrics registry's summary metric.
+        Metric values — and therefore reports — are byte-identical with
+        recording on or off, and the sketches themselves are identical
+        across the inline, pool, and batched legs.
     """
 
     def __init__(
@@ -385,6 +420,7 @@ class ParallelRunner:
         faults: FaultInjector | None = None,
         checkpoint: "CellStore | None" = None,
         batch: bool = False,
+        dist: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -402,6 +438,7 @@ class ParallelRunner:
         self.faults = faults or NULL_INJECTOR
         self.checkpoint = checkpoint
         self.batch = bool(batch)
+        self.dist = bool(dist)
 
     # -- generic task execution ---------------------------------------------
 
@@ -419,8 +456,12 @@ class ParallelRunner:
         items = list(payloads)
         if not items:
             return []
+        if self.dist and worker is execute_cell:
+            # latency-recording twin: same cells, same results, plus
+            # per-repetition sketches on RunResult.dist
+            worker = execute_cell_dist
         store = self.checkpoint
-        batched = self.batch and worker is execute_cell
+        batched = self.batch and worker in (execute_cell, execute_cell_dist)
         if store is None:
             if self.journal.enabled:
                 for i, payload in enumerate(items):
@@ -562,7 +603,10 @@ class ParallelRunner:
         done = done_base
         for group_idx, group_out in zip(
             batches,
-            self._run_groups([tuple(items[i] for i in b) for b in batches]),
+            self._run_groups(
+                [tuple(items[i] for i in b) for b in batches],
+                dist=worker is execute_cell_dist,
+            ),
         ):
             cell_runs, wid, started, duration = group_out
             for runs, i in zip(cell_runs, group_idx):
@@ -596,16 +640,19 @@ class ParallelRunner:
                 results[i] = fresh[j]
         return results
 
-    def _fallback_group(self, tasks: Sequence[CellTask], exc: Exception) -> list:
+    def _fallback_group(
+        self, tasks: Sequence[CellTask], exc: Exception, *, dist: bool = False
+    ) -> list:
         """Scalar rescue of a batched group that failed as a unit."""
         if self.journal.enabled:
             self.journal.record(
                 "batch-fallback", label=_group_label(tasks), detail=repr(exc)
             )
-        return [execute_cell(t) for t in tasks]
+        cell_worker = execute_cell_dist if dist else execute_cell
+        return [cell_worker(t) for t in tasks]
 
     def _run_groups(
-        self, payloads: list[tuple[CellTask, ...]]
+        self, payloads: list[tuple[CellTask, ...]], *, dist: bool = False
     ) -> list[tuple[list, str, float, float]]:
         """Execute batched groups; per group ``(cell_runs, worker,
         started, duration)``.
@@ -619,6 +666,7 @@ class ParallelRunner:
         to per-cell scalar runs (journaled as ``batch-fallback``) so a
         genuine workload error reproduces its scalar diagnostic.
         """
+        group_worker = _execute_batch_group_dist if dist else _execute_batch_group
         out: list[tuple[list, str, float, float]] = []
         if self.jobs == 1:
             wid = _worker_id()
@@ -633,9 +681,9 @@ class ParallelRunner:
                 started = time.time()
                 t0 = time.perf_counter()
                 try:
-                    cell_runs = _execute_batch_group(group)
+                    cell_runs = group_worker(group)
                 except (BatchPartitionError, SimulationError) as exc:
-                    cell_runs = self._fallback_group(group, exc)
+                    cell_runs = self._fallback_group(group, exc, dist=dist)
                 out.append(
                     (cell_runs, wid, started, time.perf_counter() - t0)
                 )
@@ -649,7 +697,7 @@ class ParallelRunner:
         def submit(i: int) -> None:
             attempts[i] += 1
             index_future[i] = executor.submit(
-                _observed, _execute_batch_group, payloads[i]
+                _observed, group_worker, payloads[i]
             )
 
         try:
@@ -709,7 +757,7 @@ class ParallelRunner:
                             started = time.time()
                             t0 = time.perf_counter()
                             cell_runs = self._fallback_group(
-                                payloads[i], cause
+                                payloads[i], cause, dist=dist
                             )
                             slots[i] = (
                                 cell_runs, _worker_id(), started,
@@ -969,7 +1017,34 @@ class ParallelRunner:
                     attempt=attempt,
                     extra=ledger,
                 )
+        dist = _cell_dist(result)
+        if dist is not None and self.journal.enabled:
+            first = result[0]
+            self.journal.record(
+                "cell-dist",
+                label=label,
+                worker=worker,
+                attempt=attempt,
+                extra={
+                    "workload": first.workload,
+                    "platform": first.platform_label,
+                    "instance": first.instance_name,
+                    "streams": {
+                        name: sk.to_dict() for name, sk in dist.items()
+                    },
+                },
+            )
         m = self.metrics
+        if m is not None and dist is not None:
+            for stream, metric, help_text in (
+                ("op", "repro_sim_op_response_seconds",
+                 "simulated per-operation response time"),
+                ("cell", "repro_sim_makespan_seconds",
+                 "simulated per-repetition wall time"),
+            ):
+                sk = dist.get(stream)
+                if sk is not None and sk.count:
+                    m.summary(metric, help_text).merge_sketch(sk)
         if m is not None:
             m.counter(
                 "repro_cells_completed_total",
@@ -1082,6 +1157,22 @@ def _sim_counters(result) -> dict:
         migrations += float(counters.migrations + counters.wake_migrations)
         runs += 1
     return {"runs": runs, "sched_events": sched, "migrations": migrations}
+
+
+def _cell_dist(result):
+    """Merged per-stream latency sketches of one cell's repetitions.
+
+    Returns ``{stream: QuantileSketch}`` (sorted stream names) when
+    every run carries recorded distributions, else None.  The merge is
+    exactly order- and partition-invariant, so the payload is identical
+    whether the cell ran inline, on a pool worker, or batched.
+    """
+    if not isinstance(result, list) or not result:
+        return None
+    dists = [getattr(r, "dist", None) for r in result]
+    if any(d is None for d in dists):
+        return None
+    return merge_stream_sketches(dists)
 
 
 def _cell_ledger(result) -> dict | None:

@@ -45,6 +45,12 @@ class RunResult:
         Repetition index.
     counters:
         Perf counters of the run (not serialized to JSON).
+    dist:
+        Per-stream latency sketches (``{stream:
+        :class:`~repro.obs.sketch.QuantileSketch`}``) when the run was
+        executed with latency recording; like the counters they travel
+        in-process (and across worker pickling) but are not serialized
+        to JSON, so checkpointed/cached runs reload without them.
     """
 
     workload: str
@@ -58,6 +64,7 @@ class RunResult:
     thrashed: bool
     rep: int
     counters: PerfCounters | None = field(default=None, repr=False)
+    dist: dict | None = field(default=None, repr=False)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (drops the counters)."""

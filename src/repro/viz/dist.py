@@ -1,0 +1,198 @@
+"""Standalone SVG rendering of latency-distribution CDFs.
+
+Turns the merged per-platform quantile sketches of a recorded campaign
+(:attr:`repro.obs.summary.RunSummary.dists`, fed by ``cell-dist``
+journal events) into a tail-latency picture: one CDF curve per platform
+on a log-scaled latency axis, with the reported tail percentiles
+(p50/p90/p99/p999) marked on each curve.  Like the rest of
+:mod:`repro.viz` the document is built from string templates — no
+third-party dependency — and opens in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.errors import AnalysisError
+from repro.obs.sketch import QuantileSketch
+from repro.obs.summary import DIST_PERCENTILES
+from repro.viz.svg import _color
+
+__all__ = ["render_dist_svg", "save_dist_svg"]
+
+#: Quantile grid the CDF curves are sampled on.
+_CURVE_QS: tuple[float, ...] = tuple(i / 400 for i in range(1, 400)) + (
+    0.999,
+    0.9999,
+)
+
+
+def _curves(
+    dists: dict[str, dict[str, QuantileSketch]], stream: str
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-platform ``(latency, cumulative probability)`` sample points."""
+    out: dict[str, list[tuple[float, float]]] = {}
+    for platform in sorted(dists):
+        sk = dists[platform].get(stream)
+        if sk is None or not sk.count:
+            continue
+        out[platform] = [(sk.quantile(q), q) for q in _CURVE_QS]
+    return out
+
+
+def render_dist_svg(
+    dists: dict[str, dict[str, QuantileSketch]],
+    *,
+    stream: str = "op",
+    title: str | None = None,
+    width: int = 860,
+    height: int = 420,
+    percentiles: tuple[float, ...] = DIST_PERCENTILES,
+) -> str:
+    """Render per-platform latency CDFs as an SVG document (text).
+
+    Parameters
+    ----------
+    dists:
+        ``{platform label: {stream name: sketch}}`` — the shape of
+        :attr:`~repro.obs.summary.RunSummary.dists`.
+    stream:
+        Which latency stream to plot (``op``, ``cell``, ``io_wait``,
+        ``comm_wait``, ``barrier_wait``).
+    percentiles:
+        Tail percentiles marked on each curve.
+    """
+    curves = _curves(dists, stream)
+    if not curves:
+        raise AnalysisError(
+            f"no recorded distributions for stream {stream!r}; "
+            f"have platforms {sorted(dists)}"
+        )
+    title = title or f"{stream} latency CDF"
+
+    # log x-axis over the positive latency range; zero-latency mass is
+    # clamped onto the left edge rather than dropped
+    positives = [
+        v for pts in curves.values() for v, _ in pts if v > 0.0
+    ]
+    if positives:
+        x_min, x_max = min(positives), max(positives)
+    else:
+        x_min, x_max = 1e-6, 1.0
+    if x_max <= x_min:
+        x_max = x_min * 10.0
+    lo = math.floor(math.log10(x_min))
+    hi = math.ceil(math.log10(x_max))
+    if hi == lo:
+        hi += 1
+
+    margin_l, margin_r, margin_t, margin_b = 70, 180, 44, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def x_of(v: float) -> float:
+        v = max(v, 10.0**lo)
+        frac = (math.log10(v) - lo) / (hi - lo)
+        return margin_l + plot_w * min(max(frac, 0.0), 1.0)
+
+    def y_of(q: float) -> float:
+        return margin_t + plot_h * (1.0 - q)
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>',
+    ]
+
+    # horizontal gridlines at the marked percentiles plus 0 and 1
+    for q in sorted({0.0, 1.0, *percentiles}):
+        y = y_of(q)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{q:g}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2:.1f}" font-size="12" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2:.1f})" '
+        'text-anchor="middle">Cumulative probability</text>'
+    )
+
+    # vertical gridlines at decade boundaries
+    axis_y = margin_t + plot_h
+    for d in range(lo, hi + 1):
+        x = x_of(10.0**d)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{axis_y}" stroke="#eeeeee" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 18}" text-anchor="middle" '
+            f'font-size="11">1e{d}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{axis_y}" x2="{width - margin_r}" '
+        f'y2="{axis_y}" stroke="#333333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.1f}" y="{height - 12}" '
+        'text-anchor="middle" font-size="12">'
+        "Simulated latency (s, log scale)</text>"
+    )
+
+    # one CDF polyline per platform, tail percentiles marked
+    for k, (platform, points) in enumerate(curves.items()):
+        color = _color(platform, k)
+        path = " ".join(
+            f"{x_of(v):.1f},{y_of(q):.1f}" for v, q in points
+        )
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"><title>{escape(platform)}</title>'
+            "</polyline>"
+        )
+        sk = dists[platform][stream]
+        for q in percentiles:
+            v = sk.quantile(q)
+            parts.append(
+                f'<circle cx="{x_of(v):.1f}" cy="{y_of(q):.1f}" r="3" '
+                f'fill="{color}" stroke="#333333" stroke-width="0.5">'
+                f"<title>{escape(platform)} p{q * 100:g}: {v:.6g} s"
+                "</title></circle>"
+            )
+
+    # legend
+    lx = width - margin_r + 12
+    for k, platform in enumerate(curves):
+        ly = margin_t + k * 20
+        parts.append(
+            f'<rect x="{lx}" y="{ly}" width="13" height="13" '
+            f'fill="{_color(platform, k)}" stroke="#333333" '
+            'stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 19}" y="{ly + 11}" font-size="12">'
+            f"{escape(platform)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_dist_svg(
+    dists: dict[str, dict[str, QuantileSketch]],
+    path: str | Path,
+    **kwargs,
+) -> Path:
+    """Render and write a distribution SVG; returns the written path."""
+    path = Path(path)
+    path.write_text(render_dist_svg(dists, **kwargs))
+    return path

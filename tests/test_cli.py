@@ -359,6 +359,63 @@ class TestCommands:
         assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_report_dist_and_obs_dist(self, capsys, tmp_path):
+        """--dist campaigns journal cell-dist events; 'obs dist' turns
+        them into a percentile table, canonical JSON, and a CDF SVG."""
+        import json
+
+        journal = tmp_path / "campaign.jsonl"
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--only", "fig7", "--reps-fast", "1",
+                    "--out", str(out), "--journal", str(journal), "--dist",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        assert main(["obs", "dist", str(journal)]) == 0
+        table = capsys.readouterr().out
+        assert "latency percentiles" in table
+        assert "p99" in table
+
+        doc_path = tmp_path / "dist.json"
+        svg = tmp_path / "cdf.svg"
+        assert (
+            main(
+                [
+                    "obs", "dist", str(journal), "--json",
+                    "--out", str(doc_path), "--svg", str(svg),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(doc_path.read_text())
+        assert doc["platforms"]
+        for platform in doc["platforms"].values():
+            assert "cell" in platform["streams"]
+        assert svg.read_text().startswith("<svg")
+
+    def test_obs_dist_without_recording_errors(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--only", "fig7", "--reps-fast", "1",
+                    "--out", str(out), "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "dist", str(journal)]) == 1
+        assert "--dist" in capsys.readouterr().err
+
     def test_sensitivity_command(self, capsys):
         assert (
             main(

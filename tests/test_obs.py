@@ -106,7 +106,8 @@ class TestEventSchema:
             {"kind": "cell-queued", "schema": SCHEMA_VERSION},  # no ts
             {"ts": 1.0, "schema": SCHEMA_VERSION},  # no kind
             {"ts": 1.0, "kind": "cell-queued"},  # no schema
-            valid_event(kind="no-such-kind"),
+            valid_event(kind=123),
+            valid_event(kind=""),
             valid_event(schema=SCHEMA_VERSION + 1),
             valid_event(ts="yesterday"),
             valid_event(ts=True),
@@ -123,6 +124,13 @@ class TestEventSchema:
     def test_rejects_malformed(self, bad):
         with pytest.raises(ConfigurationError):
             validate_event(bad)
+
+    def test_unknown_string_kind_is_forward_compatible(self):
+        # a newer writer's kind must validate (readers count it instead
+        # of crashing on it)
+        event = valid_event(kind="cell-teleported")
+        validate_event(event)
+        assert JournalEvent.from_dict(event).kind == "cell-teleported"
 
 
 class TestJournalSinks:
@@ -170,9 +178,17 @@ class TestJournalSinks:
 
     def test_read_schema_violation_names_lineno(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        path.write_text(json.dumps(valid_event(kind="bogus")) + "\n")
+        path.write_text(json.dumps(valid_event(kind=123)) + "\n")
         with pytest.raises(ConfigurationError, match=r":1:"):
             read_journal(path)
+
+    def test_read_accepts_unknown_string_kinds(self, tmp_path):
+        # forward compatibility: a journal from a newer writer reads
+        # cleanly and keeps the unknown kind
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(valid_event(kind="cell-teleported")) + "\n")
+        events = read_journal(path)
+        assert [e.kind for e in events] == ["cell-teleported"]
 
     def test_tolerant_read_skips_truncated_final_line(self, tmp_path):
         """``strict=False``: a half-written trailing line (crashed or
@@ -197,7 +213,7 @@ class TestJournalSinks:
 
     def test_tolerant_read_still_rejects_schema_violations(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        path.write_text(json.dumps(valid_event(kind="bogus")) + "\n")
+        path.write_text(json.dumps(valid_event(kind=123)) + "\n")
         with pytest.raises(ConfigurationError, match=r":1:"):
             read_journal(path, strict=False)
 
@@ -322,6 +338,41 @@ class TestSummary:
         assert summary.n_cached == 1
         assert summary.cache_hit_ratio == 0.5
 
+    def test_unknown_kinds_counted_not_fatal(self):
+        events = [
+            JournalEvent(ts=0.0, kind="cell-finished", label="a", duration=1.0),
+            JournalEvent(ts=0.1, kind="cell-teleported", label="a"),
+            JournalEvent(ts=0.2, kind="cell-teleported", label="b"),
+            JournalEvent(ts=0.3, kind="warp-drive-engaged"),
+        ]
+        summary = summarize_journal(events)
+        assert summary.unknown_events == {
+            "cell-teleported": 2,
+            "warp-drive-engaged": 1,
+        }
+        assert "unknown events: 3" in summary.render()
+
+    def test_dist_events_fold_into_percentiles(self):
+        jl = MemoryJournal()
+        run_experiment(tiny_spec(), journal=jl, dist=True)
+        summary = summarize_journal(jl.events)
+        assert sorted(summary.dists) == [
+            "Pinned CN", "Vanilla BM", "Vanilla CN",
+        ]
+        # the synthetic workload is makespan-only: the op stream is
+        # empty and percentiles fall back to the cell (makespan) stream
+        pct = summary.dist_percentiles("cell")
+        assert sorted(pct) == sorted(summary.dists)
+        for qs in pct.values():
+            values = list(qs.values())
+            assert values == sorted(values)  # quantiles are monotone
+        assert "cell latency percentiles" in summary.render()
+
+    def test_without_dist_no_percentile_block(self):
+        summary = summarize_journal(self._journal().events)
+        assert summary.dists == {}
+        assert "latency percentiles" not in summary.render()
+
 
 class TestMetricsRegistry:
     def test_counter_accumulates_and_rejects_decrease(self):
@@ -381,6 +432,61 @@ class TestMetricsRegistry:
                 assert re.match(
                     r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \S+$', line
                 ), line
+
+    def test_prometheus_explicit_inf_bucket_not_duplicated(self):
+        # an explicit +Inf bound must not produce two le="+Inf" lines
+        import math
+
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_secs", (1.0, math.inf), "t")
+        h.observe(0.5)
+        h.observe(99.0)
+        text = reg.to_prometheus()
+        assert text.count('le="+Inf"') == 1
+        assert 'repro_secs_bucket{le="+Inf"} 2' in text
+
+    def test_prometheus_float_formatting_conventions(self):
+        import math
+
+        from repro.obs.metrics import _fmt
+
+        assert _fmt(math.nan) == "NaN"
+        assert _fmt(math.inf) == "+Inf"
+        assert _fmt(-math.inf) == "-Inf"
+        assert _fmt(3.0) == "3"
+        assert _fmt(0.1) == "0.1"
+        # magnitudes beyond exact-integer floats render scientifically,
+        # not as a misleading string of digits
+        assert _fmt(1e21) == "1e+21"
+        assert _fmt(-1e21) == "-1e+21"
+
+    def test_summary_metric_prometheus_export(self):
+        reg = MetricsRegistry()
+        s = reg.summary("repro_lat_seconds", "latency")
+        s.observe_many([0.1] * 90 + [1.0] * 10)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_lat_seconds summary" in text
+        assert 'repro_lat_seconds{quantile="0.5"}' in text
+        assert 'repro_lat_seconds{quantile="0.999"}' in text
+        assert "repro_lat_seconds_count 100" in text
+        # no _sum: the mergeable sketch keeps integer counts only
+        assert "repro_lat_seconds_sum" not in text
+
+    def test_summary_metric_empty_exports_nan(self):
+        reg = MetricsRegistry()
+        reg.summary("repro_lat_seconds")
+        assert 'repro_lat_seconds{quantile="0.5"} NaN' in reg.to_prometheus()
+
+    def test_summary_snapshot_merge_is_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.summary("s").observe_many([0.2] * 50)
+        b.summary("s").observe_many([0.8] * 50)
+        b.merge(a.snapshot())
+        merged = b.summary("s")
+        assert merged.count == 100
+        one = MetricsRegistry().summary("s")
+        one.observe_many([0.2] * 50 + [0.8] * 50)
+        assert merged.sketch.serialize() == one.sketch.serialize()
 
     def test_prometheus_escapes_help_and_label_values(self):
         """Exposition-format 0.0.4 escaping: backslash and newline in
