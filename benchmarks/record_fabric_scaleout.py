@@ -1,0 +1,203 @@
+"""Record fabric scale-out numbers and the adaptive-reps efficiency.
+
+Three experiments over the same fig3+fig8 campaign, committed to
+``benchmarks/results/fabric_scaleout.json``:
+
+* **merge overhead** — a durable serial baseline (journal + checkpoint
+  store attached, the apples-to-apples comparison: fabric workers
+  always journal and checkpoint) vs one in-process fabric worker plus
+  the coordinator merge.  The fabric path must stay within 1.15x of the
+  durable serial path — queue bookkeeping and the merge are bounded
+  overhead, not a second campaign;
+* **worker scale-out** — cells/sec with 1 vs 3 ``repro fabric work``
+  subprocesses draining one queue.  On the 1-vCPU CI box the three
+  workers time-slice one core, so this records *throughput parity*,
+  not scaling; the number is informational (run it on a many-core host
+  to see the scaling; correctness is what the byte-identity checks
+  gate);
+* **adaptive repetitions** — a uniform fig3 campaign at ``reps_fast``
+  repetitions per cell fixes the achievable max CI half-width; an
+  adaptive campaign targeting exactly that half-width must reach it
+  with at most 60% of the uniform repetition budget (the savings come
+  from cells whose variance is resolved after the base repetitions).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_fabric_scaleout.py
+    PYTHONPATH=src python benchmarks/record_fabric_scaleout.py \
+        --out /tmp/fabric_scaleout.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Campaign, CellStore, run_campaign
+from repro.analysis.adaptive import AdaptiveRepsPolicy
+from repro.analysis.report import generate_report
+from repro.analysis.stats import summarize
+from repro.fabric import init_queue, launch_workers, merge_queue, run_worker
+from repro.obs.journal import JsonlJournal
+
+RESULT = Path(__file__).parent / "results" / "fabric_scaleout.json"
+
+MERGE_OVERHEAD_CAP = 1.15
+ADAPTIVE_BUDGET_CAP = 0.6
+
+
+def _campaign() -> Campaign:
+    return Campaign(reps_fast=2, include=("fig3", "fig8"))
+
+
+def _durable_serial(workdir: Path) -> str:
+    """The honest baseline: serial campaign with telemetry + checkpoints
+    attached, exactly the durability a fabric worker always pays for."""
+    store = CellStore(workdir / "serial-cells")
+    store.clear()
+    journal = JsonlJournal(workdir / "serial.jsonl")
+    try:
+        result = run_campaign(_campaign(), journal=journal, checkpoint=store)
+    finally:
+        journal.close()
+    return generate_report(result)
+
+
+def _fabric_one_worker(workdir: Path) -> str:
+    queue_dir = workdir / "queue-w1"
+    shutil.rmtree(queue_dir, ignore_errors=True)
+    init_queue(queue_dir, _campaign(), shards=4, lease_ttl=60.0)
+    run_worker(queue_dir, "w1", wait=False)
+    result, _ = merge_queue(queue_dir)
+    return generate_report(result)
+
+
+def _fabric_fleet(workdir: Path, workers: int) -> tuple[str, int]:
+    queue_dir = workdir / f"queue-x{workers}"
+    shutil.rmtree(queue_dir, ignore_errors=True)
+    queue = init_queue(queue_dir, _campaign(), shards=4, lease_ttl=60.0)
+    procs = launch_workers(queue_dir, workers)
+    codes = [p.wait() for p in procs]
+    if any(codes) or not queue.all_done():
+        raise RuntimeError(f"fleet of {workers} failed: exit codes {codes}")
+    result, info = merge_queue(queue_dir)
+    return generate_report(result), info.cells
+
+
+def _time(fn, reps: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _adaptive_experiment() -> dict:
+    camp = Campaign(reps_fast=12, include=("fig3",))
+    uniform = run_campaign(camp)
+    cells_u = uniform.sweeps["fig3"].cells
+    target = max(
+        summarize([r.value for r in c.runs]).ci_half_width
+        for c in cells_u.values()
+    )
+    policy = AdaptiveRepsPolicy(
+        base_reps=3, target_half_width=target, round_reps=2
+    )
+    adaptive = run_campaign(camp, reps_policy=policy)
+    cells_a = adaptive.sweeps["fig3"].cells
+    worst = max(
+        summarize([r.value for r in c.runs]).ci_half_width
+        for c in cells_a.values()
+    )
+    total = sum(len(c.runs) for c in cells_a.values())
+    budget = sum(len(c.runs) for c in cells_u.values())
+    return {
+        "campaign": "fig3, reps_fast=12",
+        "uniform_reps": int(budget),
+        "uniform_max_ci_half_width_s": float(target),
+        "adaptive_reps": int(total),
+        "adaptive_max_ci_half_width_s": float(worst),
+        "reps_fraction": float(total / budget),
+        "target_met": bool(worst <= target),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the experiments and write the result file."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULT), help="result path")
+    parser.add_argument("--reps", type=int, default=2, help="best-of reps")
+    args = parser.parse_args(argv)
+
+    import os
+
+    workdir = Path(tempfile.mkdtemp(prefix="fabric-bench-"))
+    try:
+        serial_s, serial_report = _time(
+            lambda: _durable_serial(workdir), args.reps
+        )
+        fabric_s, fabric_report = _time(
+            lambda: _fabric_one_worker(workdir), args.reps
+        )
+        if fabric_report != serial_report:
+            print("FAIL: 1-worker fabric report differs from serial")
+            return 1
+
+        fleet_s, (fleet_report, cells) = _time(
+            lambda: _fabric_fleet(workdir, 3), 1
+        )
+        if fleet_report != serial_report:
+            print("FAIL: 3-worker fabric report differs from serial")
+            return 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    overhead = fabric_s / serial_s
+    payload = {
+        "campaign": "fig3+fig8, reps_fast=2, 4 shards",
+        "cells": cells,
+        "cpus": os.cpu_count() or 1,
+        "durable_serial_s": serial_s,
+        "fabric_1worker_s": fabric_s,
+        "fabric_overhead_vs_durable_serial": overhead,
+        "fleet_3workers_s": fleet_s,
+        "cells_per_s_1worker": cells / fabric_s,
+        "cells_per_s_3workers": cells / fleet_s,
+        "note": (
+            "recorded on a 1-vCPU box: 3 subprocess workers time-slice "
+            "one core, so cells/sec measures throughput parity, not "
+            "scaling; the gated quantities are byte-identity and the "
+            f"<= {MERGE_OVERHEAD_CAP}x fabric overhead"
+        ),
+        "adaptive": _adaptive_experiment(),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    if overhead > MERGE_OVERHEAD_CAP:
+        print(
+            f"FAIL: fabric path is {overhead:.2f}x the durable serial "
+            f"baseline (cap {MERGE_OVERHEAD_CAP}x)"
+        )
+        return 1
+    adaptive = payload["adaptive"]
+    if not adaptive["target_met"]:
+        print("FAIL: adaptive campaign missed the uniform CI half-width")
+        return 1
+    if adaptive["reps_fraction"] > ADAPTIVE_BUDGET_CAP:
+        print(
+            f"FAIL: adaptive used {adaptive['reps_fraction']:.0%} of the "
+            f"uniform budget (cap {ADAPTIVE_BUDGET_CAP:.0%})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Adaptive repetition allocation: spend reps where the CI is wide.
+
+The paper repeats every configuration a fixed 6-20 times, which buys
+narrow confidence intervals on the noisy IO-bound cells by overpaying on
+the nearly-deterministic CPU-bound ones.  An
+:class:`AdaptiveRepsPolicy` replaces the uniform count with a stopping
+rule: every cell runs a small ``base_reps``, then only the cells whose
+Student-t confidence interval is still wider than the target receive
+another round, until every cell meets the target or hits the cap.
+
+The policy is *pure data plus pure decisions*: :meth:`needs_more` is a
+deterministic function of the measured values, which themselves derive
+only from the campaign seed — so the final allocation (and therefore
+the report) is a pure function of (campaign, policy), replayable from
+checkpoints and identical across resumes and executors.  Unbiasedness
+of the per-cell mean is discussed in ``docs/MODEL.md``: allocation
+decides only *how many* reps a cell gets, and rep ``r`` of a cell draws
+from the same pre-committed stream recipe regardless of why it was
+scheduled, so the estimator is a plain mean over a prefix of an
+exchangeable sequence fixed at seed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import needs_more_samples
+from repro.errors import ConfigurationError
+
+__all__ = ["AdaptiveRepsPolicy"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRepsPolicy:
+    """The stopping rule of the adaptive rep allocator.
+
+    Parameters
+    ----------
+    base_reps:
+        Repetitions every cell runs before the first CI check (>= 2,
+        since one sample has a degenerate interval).
+    max_reps:
+        Hard per-cell cap; ``None`` caps at the sweep's uniform
+        repetition count, so adaptive runs never exceed the budget the
+        uniform protocol would have spent.
+    target_rel_ci:
+        Stop once the CI half-width falls below this fraction of the
+        cell mean (the paper-style "tight relative CI" target).
+    target_half_width:
+        Absolute alternative, in metric units (seconds); overrides
+        ``target_rel_ci`` when set.
+    round_reps:
+        Extra repetitions granted per allocation round to each cell
+        that still misses its target.
+    confidence:
+        Confidence level of the interval being tested.
+    """
+
+    base_reps: int = 3
+    max_reps: int | None = None
+    target_rel_ci: float = 0.05
+    target_half_width: float | None = None
+    round_reps: int = 1
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.base_reps < 2:
+            raise ConfigurationError(
+                f"base_reps must be >= 2 (one sample has a degenerate "
+                f"CI), got {self.base_reps}"
+            )
+        if self.max_reps is not None and self.max_reps < self.base_reps:
+            raise ConfigurationError(
+                f"max_reps ({self.max_reps}) must be >= base_reps "
+                f"({self.base_reps})"
+            )
+        if self.round_reps < 1:
+            raise ConfigurationError(
+                f"round_reps must be >= 1, got {self.round_reps}"
+            )
+        if self.target_half_width is None and not 0.0 < self.target_rel_ci:
+            raise ConfigurationError(
+                f"target_rel_ci must be > 0, got {self.target_rel_ci}"
+            )
+        if self.target_half_width is not None and self.target_half_width <= 0:
+            raise ConfigurationError(
+                f"target_half_width must be > 0, got {self.target_half_width}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    def cap(self, uniform_reps: int) -> int:
+        """The per-cell rep ceiling for a sweep that would uniformly
+        run ``uniform_reps``."""
+        return self.max_reps if self.max_reps is not None else uniform_reps
+
+    def initial(self, uniform_reps: int) -> int:
+        """Reps of the first round (base, clamped to the cap)."""
+        return min(self.base_reps, self.cap(uniform_reps))
+
+    def needs_more(self, values) -> bool:
+        """True when a cell with these measured values misses the target."""
+        return needs_more_samples(
+            values,
+            target_rel_ci=(
+                None if self.target_half_width is not None
+                else self.target_rel_ci
+            ),
+            target_half_width=self.target_half_width,
+            confidence=self.confidence,
+        )

@@ -16,7 +16,13 @@ from scipy import stats as _scipy_stats
 
 from repro.errors import AnalysisError
 
-__all__ = ["StatSummary", "confidence_interval", "bootstrap_ci", "summarize"]
+__all__ = [
+    "StatSummary",
+    "confidence_interval",
+    "bootstrap_ci",
+    "needs_more_samples",
+    "summarize",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,33 @@ def bootstrap_ci(
     alpha = (1.0 - confidence) / 2.0
     lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
     return (float(lo), float(hi))
+
+
+def needs_more_samples(
+    samples: np.ndarray | list[float],
+    *,
+    target_rel_ci: float | None = None,
+    target_half_width: float | None = None,
+    confidence: float = 0.95,
+) -> bool:
+    """True while the Student-t CI of the mean misses its target width.
+
+    The stopping rule of the adaptive rep allocator
+    (:mod:`repro.analysis.adaptive`): given the samples measured so far,
+    is the confidence interval still wider than ``target_half_width``
+    (absolute seconds) or ``target_rel_ci`` (fraction of the mean)?
+    Exactly one target must be given; an absolute target wins when both
+    are set.  A single sample yields a degenerate interval and never
+    asks for more — callers enforce their own minimum rep count first.
+    """
+    if target_half_width is None and target_rel_ci is None:
+        raise AnalysisError(
+            "one of target_rel_ci / target_half_width is required"
+        )
+    s = summarize(samples, confidence)
+    if target_half_width is not None:
+        return s.ci_half_width > target_half_width
+    return s.relative_ci > target_rel_ci
 
 
 def summarize(

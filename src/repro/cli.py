@@ -32,6 +32,11 @@ Subcommands mirror the paper's artifacts:
 ``faults``
     Deterministic fault injection: list the built-in fault sites
     (``sites``) or generate a seeded chaos schedule (``plan``).
+``fabric``
+    Sharded campaign execution across worker processes: ``init`` a
+    file-backed shard queue, ``work`` it (one process of a fleet),
+    ``run`` an N-worker fleet end to end, ``merge`` a drained queue
+    into the byte-identical serial report, ``status`` the shards.
 ``perf``
     Scheduler profiling of one run (``perf sched`` analogs):
     ``timehist`` (per-thread time history), ``map`` (per-core occupancy
@@ -374,6 +379,26 @@ def build_parser() -> argparse.ArgumentParser:
         "as cell-dist events; inspect with 'repro obs dist'); the "
         "report itself is byte-identical either way",
     )
+    rep_p.add_argument(
+        "--adaptive-reps",
+        action="store_true",
+        help="adaptive repetition allocation: start sweep cells at "
+        "--adaptive-base reps and grant extra reps only to cells whose "
+        "confidence interval is still wider than --adaptive-target "
+        "(allocation is seed-deterministic, so reports stay byte-stable)",
+    )
+    rep_p.add_argument(
+        "--adaptive-base", type=int, default=3, metavar="N",
+        help="reps every cell gets before the CI policy kicks in",
+    )
+    rep_p.add_argument(
+        "--adaptive-target", type=float, default=0.05, metavar="REL",
+        help="target relative CI half-width (half-width / mean)",
+    )
+    rep_p.add_argument(
+        "--adaptive-round", type=int, default=1, metavar="N",
+        help="extra reps granted per refinement round",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -473,6 +498,114 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p.add_argument(
         "--out", required=True, metavar="PATH", help="where to write the plan"
     )
+
+    fab_p = sub.add_parser(
+        "fabric",
+        help="sharded campaign execution across worker processes",
+    )
+    fab_sub = fab_p.add_subparsers(dest="fabric_command", required=True)
+
+    def _fab_campaign_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--reps-fast", type=int, default=5)
+        p.add_argument("--reps-io", type=int, default=2)
+        p.add_argument(
+            "--only",
+            nargs="*",
+            choices=list(KNOWN_EXPERIMENTS),
+            help="restrict to these experiments",
+        )
+        p.add_argument(
+            "--shards", type=int, default=4,
+            help="shards to split the cell plan into (more shards = "
+            "finer-grained reclamation after a worker dies)",
+        )
+        p.add_argument(
+            "--lease-ttl", type=float, default=30.0,
+            help="seconds without heartbeats before a lease counts as "
+            "stale and peers may reclaim the shard",
+        )
+        p.add_argument(
+            "--batch",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="workers advance shape-compatible cells together on the "
+            "batched engine (bit-identical report)",
+        )
+
+    fi_p = fab_sub.add_parser(
+        "init", help="commit a campaign to a new shard queue directory"
+    )
+    fi_p.add_argument("queue", help="queue directory (created)")
+    _fab_campaign_args(fi_p)
+
+    fw_p = fab_sub.add_parser(
+        "work", help="drain shards from a queue (one worker of a fleet)"
+    )
+    fw_p.add_argument("queue", help="queue directory from 'fabric init'")
+    fw_p.add_argument(
+        "--worker", required=True, metavar="ID",
+        help="this worker's identity (letters, digits, . _ -)",
+    )
+    fw_p.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="arm a deterministic fault plan in this worker",
+    )
+    fw_p.add_argument(
+        "--no-wait", action="store_true",
+        help="return when nothing is claimable instead of polling for "
+        "peers' stale leases",
+    )
+    fw_p.add_argument(
+        "--poll", type=float, default=0.2,
+        help="seconds between claim attempts while waiting",
+    )
+    fw_p.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="stop after finalizing N shards (default: run to exhaustion)",
+    )
+    fw_p.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="override the manifest's lease TTL (testing)",
+    )
+
+    fr_p = fab_sub.add_parser(
+        "run", help="init + N workers + merge, end to end"
+    )
+    fr_p.add_argument("queue", help="queue directory")
+    fr_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker subprocesses to launch",
+    )
+    fr_p.add_argument("--out", default="REPORT.md", help="report path")
+    fr_p.add_argument(
+        "--resume", action="store_true",
+        help="reuse an existing queue (after a crashed run): surviving "
+        "checkpoints replay instantly, stale leases are reclaimed",
+    )
+    fr_p.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="arm this fault plan in every worker",
+    )
+    _fab_campaign_args(fr_p)
+
+    fm_p = fab_sub.add_parser(
+        "merge", help="merge a drained queue into the serial report"
+    )
+    fm_p.add_argument("queue", help="queue directory with all shards done")
+    fm_p.add_argument("--out", default="REPORT.md", help="report path")
+    fm_p.add_argument(
+        "--journal-out", metavar="PATH",
+        help="write the merged winning-generation journal (JSONL)",
+    )
+    fm_p.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the merged metrics snapshot (JSON)",
+    )
+
+    fs_p = fab_sub.add_parser(
+        "status", help="show per-shard queue state"
+    )
+    fs_p.add_argument("queue", help="queue directory")
     return parser
 
 
@@ -897,6 +1030,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if args.fault_plan
         else None
     )
+    reps_policy = None
+    if args.adaptive_reps:
+        from repro.analysis.adaptive import AdaptiveRepsPolicy
+
+        reps_policy = AdaptiveRepsPolicy(
+            base_reps=args.adaptive_base,
+            target_rel_ci=args.adaptive_target,
+            round_reps=args.adaptive_round,
+        )
+        if cache is not None:
+            raise ReproError(
+                "--adaptive-reps bypasses the whole-sweep cache; "
+                "drop --cache (per-cell --checkpoint still works)"
+            )
     journal = open_journal(args.journal, append=args.resume)
     print(f"running campaign {campaign.include} with {jobs} job(s) ...")
     try:
@@ -910,6 +1057,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             faults=faults,
             batch=args.batch,
             dist=args.dist,
+            reps_policy=reps_policy,
         )
     finally:
         journal.close()
@@ -1079,6 +1227,160 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_campaign(args: argparse.Namespace) -> Campaign:
+    return Campaign(
+        reps_fast=args.reps_fast,
+        reps_io=args.reps_io,
+        seed=args.seed,
+        include=tuple(args.only) if args.only else KNOWN_EXPERIMENTS,
+    )
+
+
+def _fabric_print_status(queue) -> None:
+    states = queue.status()
+    counts: dict[str, int] = {}
+    print(f"{'shard':>5s} {'state':<7s} {'gen':>3s} {'worker':<10s} age")
+    for st in states:
+        counts[st.state] = counts.get(st.state, 0) + 1
+        age = "-" if st.heartbeat_age is None else f"{st.heartbeat_age:.1f}s"
+        print(
+            f"{st.shard:5d} {st.state:<7s} {st.generation:3d} "
+            f"{st.worker or '-':<10s} {age}"
+        )
+    total = len(states)
+    summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+    print(f"\n{total} shard(s): {summary}")
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.fabric import (
+        ShardQueue,
+        init_queue,
+        launch_workers,
+        run_worker,
+    )
+
+    if args.fabric_command == "init":
+        queue = init_queue(
+            args.queue,
+            _fabric_campaign(args),
+            shards=args.shards,
+            lease_ttl=args.lease_ttl,
+            batch=args.batch,
+        )
+        manifest = queue.manifest()
+        print(
+            f"initialized queue {args.queue}: {manifest['cells']} cells "
+            f"in {manifest['shards']} shard(s), plan {manifest['plan']}"
+        )
+        print("start workers with: repro fabric work "
+              f"{args.queue} --worker <id>")
+        return 0
+
+    if args.fabric_command == "work":
+        faults = (
+            FaultInjector(FaultPlan.load(args.fault_plan))
+            if args.fault_plan
+            else None
+        )
+        report = run_worker(
+            args.queue,
+            args.worker,
+            jobs=_jobs(args),
+            faults=faults,
+            wait=not args.no_wait,
+            poll=args.poll,
+            max_shards=args.max_shards,
+            lease_ttl=args.lease_ttl,
+        )
+        print(
+            f"worker {report.worker}: {len(report.shards_done)} shard(s) "
+            f"done ({report.cells} cells), {report.reclaims} reclaimed, "
+            f"{len(report.shards_lost)} lost"
+        )
+        return 0
+
+    if args.fabric_command == "run":
+        queue = init_queue(
+            args.queue,
+            _fabric_campaign(args),
+            shards=args.shards,
+            lease_ttl=args.lease_ttl,
+            batch=args.batch,
+            exist_ok=args.resume,
+        )
+        print(
+            f"launching {args.workers} worker(s) against {args.queue} ..."
+        )
+        procs = launch_workers(
+            args.queue,
+            args.workers,
+            jobs=_jobs(args),
+            fault_plan=args.fault_plan,
+        )
+        codes = [p.wait() for p in procs]
+        failed = [i + 1 for i, rc in enumerate(codes) if rc != 0]
+        if failed or not queue.all_done():
+            for i in failed:
+                print(
+                    f"worker w{i} exited {codes[i - 1]}", file=sys.stderr
+                )
+            undone = [
+                st.shard for st in queue.status() if st.state != "done"
+            ]
+            print(
+                f"error: fabric run incomplete; shards not done: {undone}",
+                file=sys.stderr,
+            )
+            print(
+                "completed cells persist in the queue's checkpoint store — "
+                "re-run with --resume to reclaim stale leases and continue",
+                file=sys.stderr,
+            )
+            return 3
+        return _fabric_merge(args.queue, args.out)
+
+    if args.fabric_command == "merge":
+        return _fabric_merge(
+            args.queue,
+            args.out,
+            journal_out=args.journal_out,
+            metrics_out=args.metrics_out,
+        )
+
+    # status
+    _fabric_print_status(ShardQueue(args.queue))
+    return 0
+
+
+def _fabric_merge(
+    queue_dir: str,
+    out: str,
+    *,
+    journal_out: str | None = None,
+    metrics_out: str | None = None,
+) -> int:
+    from repro.fabric import merge_queue
+
+    result, info = merge_queue(
+        queue_dir, journal_out=journal_out, metrics_out=metrics_out
+    )
+    text = generate_report(result)
+    with open(out, "w") as fh:
+        fh.write(text)
+    print(
+        f"merged {info.shards} shard(s) / {info.cells} cells from "
+        f"{', '.join(info.workers)}; {info.reclaims} reclaim(s), "
+        f"{info.orphan_journals} orphan journal(s)"
+    )
+    print(f"wrote {out} ({len(text)} chars)")
+    if journal_out:
+        print(f"merged journal: {journal_out} ({info.events} events)")
+    if metrics_out:
+        print(f"merged metrics: {metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1111,6 +1413,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_obs(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "fabric":
+            return _cmd_fabric(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except (ParallelExecutionError, InjectedFault) as exc:
         # a crashed/aborted campaign is distinguishable from a usage

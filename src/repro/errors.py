@@ -23,6 +23,8 @@ __all__ = [
     "ParallelExecutionError",
     "InjectedFault",
     "InjectedCrash",
+    "LeaseLostError",
+    "PersistenceConflictError",
     "CgroupError",
     "AnalysisError",
     "ConservationError",
@@ -169,6 +171,39 @@ class InjectedCrash(InjectedFault):
     straight out of the executor, aborting the campaign exactly where a
     real ``SIGKILL`` would have — so crash-safe resume can be exercised
     in-process, without actually killing the test runner.
+    """
+
+
+class LeaseLostError(ReproError, RuntimeError):
+    """A fabric worker's shard lease vanished from under it.
+
+    Raised by :meth:`repro.fabric.queue.ShardQueue.heartbeat` /
+    :meth:`~repro.fabric.queue.ShardQueue.finalize` when the lease file
+    is gone — another worker judged the lease stale and stole the shard.
+    The correct reaction is to abandon the shard (its results belong to
+    the thief's generation now) and claim the next one; the worker loop
+    does exactly that, journaling a ``shard-lost`` event.
+    """
+
+    def __init__(self, shard: int, worker: str, detail: str = "") -> None:
+        self.shard = shard
+        self.worker = worker
+        msg = f"worker {worker!r} lost the lease on shard {shard}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class PersistenceConflictError(SimulationError):
+    """Two writers produced *different* bytes for the same fingerprint.
+
+    Content-addressed entries (sweep cache, cell checkpoints) are pure
+    functions of their key, so two workers writing the same key must
+    produce byte-identical payloads; a divergence means determinism is
+    broken somewhere upstream (seed drift, version skew between
+    workers), and silently letting the last write win would hide it.
+    Corrupt existing entries are *not* conflicts — they are overwritten,
+    preserving the resume semantics for torn writes.
     """
 
 

@@ -26,6 +26,7 @@ site resumes to a report byte-identical to the uninterrupted run.
 
 from repro.faults.inject import NULL_INJECTOR, FaultInjector, raise_worker_fault
 from repro.faults.plan import (
+    FABRIC_SITES,
     FAULT_SITES,
     PARENT_SITES,
     WORKER_SITES,
@@ -34,6 +35,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "FABRIC_SITES",
     "FAULT_SITES",
     "PARENT_SITES",
     "WORKER_SITES",

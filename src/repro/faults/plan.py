@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "FABRIC_SITES",
     "FAULT_SITES",
     "PARENT_SITES",
     "WORKER_SITES",
@@ -48,12 +49,25 @@ FAULT_SITES: dict[str, str] = {
     "cache.corrupt": "persisted entry truncated just after write (torn write)",
     "journal.truncate": "journal line cut mid-write (crash during append)",
     "disk.full": "persistence raises an ENOSPC-style error before writing",
+    "lease.steal": (
+        "a fabric worker's shard lease is stolen mid-shard (concurrent "
+        "reclaim by a peer that judged the heartbeat stale)"
+    ),
+    "lease.stale": (
+        "a fabric worker's heartbeats silently stop refreshing its "
+        "lease (hung clock / stalled IO), making the shard reclaimable"
+    ),
 }
 
 #: Sites matched on (label, attempt) inside the executing worker.
 WORKER_SITES: frozenset[str] = frozenset(
     {"worker.kill", "task.timeout", "task.error"}
 )
+
+#: Sites only reachable inside a fabric worker's shard-queue machinery
+#: (they are occurrence-counted like parent sites, but by the worker
+#: process's own injector — a plain campaign never checks them).
+FABRIC_SITES: frozenset[str] = frozenset({"lease.steal", "lease.stale"})
 
 #: Sites fired by occurrence count in the coordinating (parent) process.
 PARENT_SITES: frozenset[str] = frozenset(FAULT_SITES) - WORKER_SITES

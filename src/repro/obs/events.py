@@ -3,8 +3,11 @@
 A run journal is a stream of :class:`JournalEvent` records describing the
 lifecycle of a campaign: cells queued, started, resolved from cache or
 replayed from a resume checkpoint, retried, failed, and finished, plus
-sweep/campaign spans, worker-pool rebuilds, and deterministic fault
-injections (``fault-injected`` / ``checkpoint-corrupt``).  The schema is versioned (:data:`SCHEMA_VERSION`) so journals
+sweep/campaign spans, worker-pool rebuilds, deterministic fault
+injections (``fault-injected`` / ``checkpoint-corrupt``), fabric shard
+lifecycles (``shard-started`` / ``shard-finished`` / ``shard-lost`` /
+``shard-reclaimed``), and adaptive rep-allocation rounds
+(``reps-allocated``).  The schema is versioned (:data:`SCHEMA_VERSION`) so journals
 written by one release can be rejected loudly — not misread silently —
 by another, and :func:`validate_event` is the single gate every reader
 passes records through.
@@ -43,6 +46,11 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "cell-finished",
         "cell-ledger",
         "cell-dist",
+        "shard-started",
+        "shard-finished",
+        "shard-lost",
+        "shard-reclaimed",
+        "reps-allocated",
         "batch-partition",
         "batch-fallback",
         "checkpoint-corrupt",

@@ -16,7 +16,7 @@ from repro.errors import AnalysisError
 from repro.obs.events import EVENT_KINDS, JournalEvent
 from repro.obs.sketch import QuantileSketch
 
-__all__ = ["CellRecord", "RunSummary", "summarize_journal"]
+__all__ = ["CellRecord", "RunSummary", "ShardRecord", "summarize_journal"]
 
 #: Percentiles reported for recorded latency distributions.
 DIST_PERCENTILES: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
@@ -58,6 +58,37 @@ class CellRecord:
 
 
 @dataclass
+class ShardRecord:
+    """Everything the journal recorded about one fabric shard.
+
+    Fabric workers journal ``shard-started`` / ``shard-finished`` per
+    shard generation, ``shard-lost`` when a heartbeat discovers the
+    lease was stolen, and ``shard-reclaimed`` when a worker steals a
+    stale lease — so a merged campaign journal carries the full custody
+    history of every shard.
+    """
+
+    label: str
+    worker: str = ""
+    generation: int = 0
+    cells: int = 0
+    duration: float = 0.0
+    started: int = 0
+    lost: int = 0
+    reclaimed: int = 0
+    finished: bool = False
+
+    @property
+    def state(self) -> str:
+        """``done`` / ``lost`` / ``running`` for display."""
+        if self.finished:
+            return "done"
+        if self.lost and self.started <= self.lost:
+            return "lost"
+        return "running"
+
+
+@dataclass
 class RunSummary:
     """Aggregate view of one recorded campaign.
 
@@ -92,6 +123,8 @@ class RunSummary:
     checkpoint_corrupt: int = 0
     dists: dict[str, dict[str, QuantileSketch]] = field(default_factory=dict)
     unknown_events: dict[str, int] = field(default_factory=dict)
+    #: per-shard custody records from fabric campaigns (empty otherwise)
+    shards: dict[str, ShardRecord] = field(default_factory=dict)
 
     @property
     def n_cells(self) -> int:
@@ -172,6 +205,20 @@ class RunSummary:
             w: busy / self.wall_seconds for w, busy in sorted(self.worker_busy.items())
         }
 
+    @property
+    def shard_reclaims(self) -> int:
+        """Lease steals across all shards (reclaimed-lease replays)."""
+        return sum(s.reclaimed for s in self.shards.values())
+
+    def shard_utilization(self) -> dict[str, float]:
+        """Busy fraction of the journal span, per fabric shard."""
+        if self.wall_seconds <= 0:
+            return {label: 0.0 for label in self.shards}
+        return {
+            label: s.duration / self.wall_seconds
+            for label, s in sorted(self.shards.items())
+        }
+
     def render(self, top: int = 5) -> str:
         """Human-readable summary block for the ``obs summary`` CLI."""
         resumed = (
@@ -206,6 +253,26 @@ class RunSummary:
             for w, u in util.items():
                 busy = self.worker_busy[w]
                 lines.append(f"  {w:<12s} busy {busy:8.3f} s  utilization {u:6.1%}")
+        if self.shards:
+            reclaims = (
+                f"  ({self.shard_reclaims} lease reclaim(s))"
+                if self.shard_reclaims
+                else ""
+            )
+            lines.append(f"shards       : {len(self.shards)}{reclaims}")
+            shard_util = self.shard_utilization()
+            for label, s in sorted(self.shards.items()):
+                notes = ""
+                if s.reclaimed:
+                    notes += f"  reclaimed x{s.reclaimed}"
+                if s.lost:
+                    notes += f"  lost x{s.lost}"
+                lines.append(
+                    f"  {label:<12s} g{s.generation} {s.worker:<10s} "
+                    f"{s.cells:>4d} cells  {s.state:<7s} "
+                    f"busy {s.duration:8.3f} s  utilization "
+                    f"{shard_util[label]:6.1%}{notes}"
+                )
         slow = self.slowest_cells(top)
         if slow:
             lines.append(f"slowest cells (top {len(slow)}):")
@@ -267,6 +334,12 @@ def summarize_journal(events: list[JournalEvent]) -> RunSummary:
             rec = summary.cells[label] = CellRecord(label=label)
         return rec
 
+    def shard(label: str) -> ShardRecord:
+        rec = summary.shards.get(label)
+        if rec is None:
+            rec = summary.shards[label] = ShardRecord(label=label)
+        return rec
+
     for e in events:
         if e.kind == "cell-finished":
             rec = cell(e.label)
@@ -300,6 +373,30 @@ def summarize_journal(events: list[JournalEvent]) -> RunSummary:
             summary.failures_total += 1
         elif e.kind == "pool-rebuilt":
             summary.pool_rebuilds += 1
+        elif e.kind == "shard-started":
+            rec = shard(e.label)
+            rec.started += 1
+            rec.worker = e.worker or rec.worker
+            rec.generation = max(
+                rec.generation, int(e.extra.get("generation", 0))
+            )
+            rec.cells = int(e.extra.get("cells", rec.cells))
+        elif e.kind == "shard-finished":
+            rec = shard(e.label)
+            rec.finished = True
+            rec.worker = e.worker or rec.worker
+            rec.duration += e.duration
+            rec.generation = max(
+                rec.generation, int(e.extra.get("generation", 0))
+            )
+        elif e.kind == "shard-lost":
+            shard(e.label).lost += 1
+        elif e.kind == "shard-reclaimed":
+            rec = shard(e.label)
+            rec.reclaimed += 1
+            rec.generation = max(
+                rec.generation, int(e.extra.get("generation", 0))
+            )
         elif e.kind == "cell-dist":
             platform = str(e.extra.get("platform", "")) or "(unknown)"
             streams = summary.dists.setdefault(platform, {})

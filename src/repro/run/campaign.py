@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
 from repro.obs.journal import Journal
@@ -24,7 +25,11 @@ from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.run.calibration import Calibration
 from repro.faults import FaultInjector
-from repro.run.experiment import run_platform_sweep
+from repro.run.experiment import (
+    ExperimentSpec,
+    platform_sweep_spec,
+    run_platform_sweep,
+)
 from repro.run.parallel import CellTask, ParallelRunner, execute_cell
 from repro.run.persistence import CellStore, SweepCache
 from repro.run.results import SweepResult
@@ -33,11 +38,18 @@ from repro.workloads.ffmpeg import FfmpegWorkload
 from repro.workloads.mpi import MpiSearchWorkload
 from repro.workloads.wordpress import WordPressWorkload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.adaptive import AdaptiveRepsPolicy
+
 __all__ = [
     "Campaign",
     "CampaignResult",
     "KNOWN_EXPERIMENTS",
+    "SWEEP_EXPERIMENTS",
+    "fig7_tasks",
+    "fig8_tasks",
     "run_campaign",
+    "sweep_spec",
 ]
 
 _BIG = ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
@@ -46,6 +58,9 @@ _BIG = ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
 KNOWN_EXPERIMENTS: tuple[str, ...] = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 )
+
+#: The experiment ids that are platform sweeps (have a SweepResult).
+SWEEP_EXPERIMENTS: tuple[str, ...] = ("fig3", "fig4", "fig5", "fig6")
 
 
 @dataclass
@@ -116,7 +131,45 @@ class CampaignResult:
             ) from None
 
 
-def _fig7_tasks(
+def sweep_spec(campaign: Campaign, fig: str) -> "ExperimentSpec":
+    """The exact spec :func:`run_campaign` would execute for one of the
+    Figs. 3-6 sweeps — the unit other executors (fabric workers, the
+    adaptive loop) must reproduce to stay byte-identical with the serial
+    campaign."""
+    table = {
+        "fig3": (FfmpegWorkload(), instance_types_upto(16), campaign.reps_fast),
+        "fig4": (
+            MpiSearchWorkload(),
+            [instance_type(n) for n in _BIG],
+            campaign.reps_fast,
+        ),
+        "fig5": (
+            WordPressWorkload(),
+            [instance_type(n) for n in _BIG],
+            campaign.reps_io,
+        ),
+        "fig6": (
+            CassandraWorkload(),
+            [instance_type(n) for n in _BIG],
+            campaign.reps_io,
+        ),
+    }
+    if fig not in table:
+        raise ConfigurationError(
+            f"{fig!r} is not a sweep experiment; sweeps: {sorted(table)}"
+        )
+    workload, instances, reps = table[fig]
+    return platform_sweep_spec(
+        workload,
+        instances,
+        host=campaign.host,
+        reps=reps,
+        calib=campaign.calib,
+        seed=campaign.seed,
+    )
+
+
+def fig7_tasks(
     campaign: Campaign,
 ) -> tuple[list[CellTask], list[tuple[str, str]]]:
     """Fig. 7 cells (CHR across hosts) plus their output keys, in order."""
@@ -149,7 +202,7 @@ def _fig7_tasks(
     return tasks, keys
 
 
-def _fig8_tasks(
+def fig8_tasks(
     campaign: Campaign,
 ) -> tuple[list[CellTask], list[tuple[str, str]]]:
     """Fig. 8 cells (multitasking effect) plus their output keys."""
@@ -206,6 +259,7 @@ def run_campaign(
     faults: FaultInjector | None = None,
     batch: bool = False,
     dist: bool = False,
+    reps_policy: "AdaptiveRepsPolicy | None" = None,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -255,6 +309,20 @@ def run_campaign(
         ``cell-dist`` events and folded into the runner's metrics
         summaries (see :mod:`repro.obs.sketch`).  Measured values and
         the generated report are byte-identical either way.
+    reps_policy:
+        Optional :class:`~repro.analysis.adaptive.AdaptiveRepsPolicy`.
+        When given, the Figs. 3-6 sweeps run the CI-width rep
+        allocator (:func:`repro.run.adaptive.run_adaptive_sweep`)
+        instead of a uniform repetition count: every cell starts at the
+        policy's base reps and only cells whose confidence interval is
+        still wider than the target receive more, capped at the
+        figure's uniform count (or ``policy.max_reps``).  Allocation
+        decisions derive only from seed-deterministic measured values,
+        so the result is a pure function of (campaign, policy) —
+        resumable and byte-stable like the uniform path.  Adaptive
+        sweeps bypass the :class:`SweepCache` (its fingerprint does not
+        cover the policy) but still use cell checkpoints; Figs. 7-8 are
+        unaffected (fixed reps by design).
     """
     campaign = campaign or Campaign()
     if resume and checkpoint is None:
@@ -308,6 +376,19 @@ def run_campaign(
         sweeps: dict[str, SweepResult] = {}
 
         def sweep(workload, instances, reps) -> SweepResult:
+            if reps_policy is not None:
+                from repro.run.adaptive import run_adaptive_sweep
+
+                return run_adaptive_sweep(
+                    workload,
+                    instances,
+                    reps_policy,
+                    host=campaign.host,
+                    reps=reps,
+                    calib=campaign.calib,
+                    seed=campaign.seed,
+                    runner=runner,
+                )
             return run_platform_sweep(
                 workload,
                 instances,
@@ -342,10 +423,10 @@ def run_campaign(
 
         fig7: dict[tuple[str, str], StatSummary] = {}
         if "fig7" in campaign.include:
-            fig7 = _run_cell_summaries(runner, *_fig7_tasks(campaign))
+            fig7 = _run_cell_summaries(runner, *fig7_tasks(campaign))
         fig8: dict[tuple[str, str], StatSummary] = {}
         if "fig8" in campaign.include:
-            fig8 = _run_cell_summaries(runner, *_fig8_tasks(campaign))
+            fig8 = _run_cell_summaries(runner, *fig8_tasks(campaign))
 
         if jl.enabled:
             jl.record(

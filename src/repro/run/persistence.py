@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PersistenceConflictError
 from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.run.calibration import Calibration
 from repro.run.experiment import ExperimentSpec, run_experiment
@@ -44,6 +45,7 @@ __all__ = [
     "CellStore",
     "SweepCache",
     "atomic_write_json",
+    "atomic_write_text",
     "spec_fingerprint",
     "task_fingerprint",
 ]
@@ -128,21 +130,70 @@ def task_fingerprint(task) -> str | None:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
 
-def atomic_write_json(path: Path, payload: dict) -> None:
-    """Write ``payload`` as JSON via temp file + :func:`os.replace`.
+#: Per-process tiebreaker so concurrent writers in one process cannot
+#: collide on a temp name either.
+_TMP_COUNTER = itertools.count()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` via a *writer-unique* temp file + :func:`os.replace`.
 
     The temp file lives in the target directory (same filesystem, so the
-    replace is atomic) and is cleaned up on failure — a crash at any
-    instant leaves either the old entry or the new one, never a
+    replace is atomic) and its name embeds the writer's pid plus a
+    per-process counter — two processes racing on the same entry each
+    write their own temp file and the replaces serialize at the
+    filesystem, so neither can truncate or rename the other's half-
+    written temp out from under it.  Cleaned up on failure: a crash at
+    any instant leaves either the old entry or the new one, never a
     truncated hybrid.
     """
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    )
     try:
-        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.write_text(text)
         os.replace(tmp, path)
     finally:
         if tmp.exists():
             tmp.unlink()
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON atomically (see :func:`atomic_write_text`)."""
+    atomic_write_text(path, json.dumps(payload, indent=2))
+
+
+def _checked_overwrite(
+    path: Path, text: str, *, verify: Callable[[str], bool], what: str
+) -> bool:
+    """Enforce byte-identical last-write-wins on a content-addressed entry.
+
+    Returns True when the write should proceed.  An existing entry that
+    ``verify`` accepts must equal ``text`` byte for byte — same
+    fingerprint, same content is the determinism contract two fabric
+    workers racing on one cell rely on; a divergence raises
+    :class:`~repro.errors.PersistenceConflictError` instead of silently
+    masking the bug.  Byte-identical re-writes are skipped (the entry is
+    already exactly right), and an entry ``verify`` rejects — torn by a
+    crash or a ``cache.corrupt`` fault — is overwritten, preserving the
+    resume semantics.
+    """
+    if not path.exists():
+        return True
+    try:
+        existing = path.read_text()
+    except OSError:
+        return True
+    if not verify(existing):
+        return True  # corrupt entry: re-run results overwrite it
+    if existing == text:
+        return False  # already byte-identical; skip the write
+    raise PersistenceConflictError(
+        f"divergent write for {what} {path.name}: an intact entry with "
+        "the same fingerprint already holds different bytes — two "
+        "writers disagreed on deterministic content (seed drift or "
+        "version skew between workers?)"
+    )
 
 
 class SweepCache:
@@ -210,16 +261,31 @@ class SweepCache:
     def put(self, spec: ExperimentSpec, sweep: SweepResult) -> Path:
         """Store a sweep atomically; returns the written path.
 
-        The entry is written to a temp file and moved into place with
-        :func:`os.replace`, so a crash mid-write never leaves a
-        truncated entry behind to poison later :meth:`contains` hits.
+        The entry is written to a writer-unique temp file and moved into
+        place with :func:`os.replace`, so a crash mid-write never leaves
+        a truncated entry behind to poison later :meth:`contains` hits.
+        An intact existing entry under the same fingerprint must be
+        byte-identical (determinism contract — two workers producing the
+        same spec must produce the same bytes); a divergence raises
+        :class:`~repro.errors.PersistenceConflictError`, while a corrupt
+        entry is silently overwritten (resume semantics).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         label = f"sweep:{path.name}"
         if self.faults.enabled:
             self.faults.maybe_disk_full(label)
-        atomic_write_json(path, sweep.to_dict())
+        text = json.dumps(sweep.to_dict(), indent=2)
+
+        def verify(existing: str) -> bool:
+            try:
+                SweepResult.from_dict(json.loads(existing))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                return False
+            return True
+
+        if _checked_overwrite(path, text, verify=verify, what="sweep"):
+            atomic_write_text(path, text)
         if self.faults.enabled:
             self.faults.maybe_corrupt(path, label)
         return path
@@ -305,20 +371,41 @@ class CellStore:
         return runs, "hit"
 
     def put(self, key: str, runs: list[RunResult], *, label: str = "") -> Path:
-        """Checkpoint one completed cell atomically; returns the path."""
+        """Checkpoint one completed cell atomically; returns the path.
+
+        Two workers completing the same cell (a reclaimed fabric shard
+        replayed after a lease steal) write the same key: an intact
+        existing entry must be byte-identical — a divergence raises
+        :class:`~repro.errors.PersistenceConflictError` — while a
+        corrupt or fingerprint-mismatched entry is overwritten exactly
+        as the resume path expects.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         site_label = f"cell:{label or key}"
         if self.faults.enabled:
             self.faults.maybe_disk_full(site_label)
-        atomic_write_json(
-            path,
+        text = json.dumps(
             {
                 "fingerprint": key,
                 "label": label,
                 "runs": [r.to_dict() for r in runs],
             },
+            indent=2,
         )
+
+        def verify(existing: str) -> bool:
+            try:
+                payload = json.loads(existing)
+                if payload["fingerprint"] != key:
+                    return False
+                parsed = [RunResult.from_dict(r) for r in payload["runs"]]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                return False
+            return bool(parsed)
+
+        if _checked_overwrite(path, text, verify=verify, what="cell"):
+            atomic_write_text(path, text)
         if self.faults.enabled:
             self.faults.maybe_corrupt(path, site_label)
         return path

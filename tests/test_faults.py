@@ -35,7 +35,13 @@ from repro.errors import (
     InjectedFault,
     ParallelExecutionError,
 )
-from repro.faults import FAULT_SITES, PARENT_SITES, WORKER_SITES, NULL_INJECTOR
+from repro.faults import (
+    FABRIC_SITES,
+    FAULT_SITES,
+    PARENT_SITES,
+    WORKER_SITES,
+    NULL_INJECTOR,
+)
 from repro.obs.journal import JsonlJournal, MemoryJournal, read_journal
 from repro.run.parallel import ParallelRunner
 
@@ -348,6 +354,14 @@ class TestSeededChaosCampaigns:
         inj = FaultInjector(
             FaultPlan(specs=(FaultSpec(site=site, at=at, attempts=attempts),))
         )
+        if site in FABRIC_SITES:
+            # lease sites only exist on the shard-queue heartbeat path
+            from repro.fabric import init_queue, run_worker
+
+            init_queue(tmp_path / "queue", _camp(), shards=2)
+            run_worker(tmp_path / "queue", "w1", faults=inj, wait=False)
+            assert site in inj.fired_sites()
+            return
         cache = SweepCache(tmp_path / "cache")
         jl = JsonlJournal(tmp_path / "run.jsonl")
         try:

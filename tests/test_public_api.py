@@ -15,6 +15,7 @@ PUBLIC_PACKAGES = [
     "repro.analysis",
     "repro.cgroups",
     "repro.engine",
+    "repro.fabric",
     "repro.faults",
     "repro.hostmodel",
     "repro.obs",
