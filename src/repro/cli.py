@@ -28,7 +28,10 @@ Subcommands mirror the paper's artifacts:
     crash-safe ``--resume``, and a ``--fault-plan`` chaos schedule).
 ``obs``
     Summarize or export a recorded run journal (``summary``,
-    ``export --format chrome|folded|prom``).
+    ``export --format chrome|folded|prom``), inspect trace spans
+    (``spans --format tree|chrome``), watch a live fleet (``top``),
+    or evaluate declarative health rules (``health --rules``, exits
+    non-zero on violations).
 ``faults``
     Deterministic fault injection: list the built-in fault sites
     (``sites``) or generate a seeded chaos schedule (``plan``).
@@ -399,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive-round", type=int, default=1, metavar="N",
         help="extra reps granted per refinement round",
     )
+    rep_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit hierarchical trace spans (campaign/sweep/cell/phase) "
+        "into the --journal stream; inspect with 'repro obs spans'; the "
+        "report stays byte-identical with tracing on or off",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -460,6 +470,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist_p.add_argument(
         "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    spans_p = obs_sub.add_parser(
+        "spans",
+        help="trace spans recorded by --trace: tree or Chrome trace JSON",
+    )
+    spans_p.add_argument("journal", help="journal file written by --journal")
+    spans_p.add_argument(
+        "--format",
+        default="tree",
+        choices=["tree", "chrome"],
+        help="tree = indented span tree, chrome = Perfetto trace JSON "
+        "(load at https://ui.perfetto.dev)",
+    )
+    spans_p.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    top_p = obs_sub.add_parser(
+        "top",
+        help="live fleet health of a running fabric queue (progress, "
+        "ETA, per-worker busy time, stale leases)",
+    )
+    top_p.add_argument("queue", help="queue directory from 'fabric init'")
+    top_p.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of refreshing",
+    )
+    top_p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes",
+    )
+    health_p = obs_sub.add_parser(
+        "health",
+        help="evaluate declarative health rules against a journal; "
+        "exits 2 when any rule is violated",
+    )
+    health_p.add_argument(
+        "journal", help="journal file written by --journal"
+    )
+    health_p.add_argument(
+        "--rules", metavar="PATH",
+        help="JSON rule file (default: the built-in rule set; see "
+        "repro.obs.health.default_rules)",
     )
 
     faults_p = sub.add_parser(
@@ -531,6 +583,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="workers advance shape-compatible cells together on the "
             "batched engine (bit-identical report)",
         )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="mint a trace id into the queue manifest; workers emit "
+            "trace spans and 'fabric merge --trace-out' exports the "
+            "unified fleet timeline",
+        )
 
     fi_p = fab_sub.add_parser(
         "init", help="commit a campaign to a new shard queue directory"
@@ -586,6 +645,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", metavar="PATH",
         help="arm this fault plan in every worker",
     )
+    fr_p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="(with --trace) write the merged Chrome trace here",
+    )
     _fab_campaign_args(fr_p)
 
     fm_p = fab_sub.add_parser(
@@ -601,11 +664,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="write the merged metrics snapshot (JSON)",
     )
+    fm_p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the merged Chrome trace (requires a queue "
+        "initialised with --trace)",
+    )
 
     fs_p = fab_sub.add_parser(
         "status", help="show per-shard queue state"
     )
     fs_p.add_argument("queue", help="queue directory")
+    fs_p.add_argument(
+        "--watch", action="store_true",
+        help="refresh the fleet snapshot until interrupted (or until "
+        "the queue drains)",
+    )
+    fs_p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between --watch refreshes",
+    )
     return parser
 
 
@@ -1044,6 +1121,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 "--adaptive-reps bypasses the whole-sweep cache; "
                 "drop --cache (per-cell --checkpoint still works)"
             )
+    trace = None
+    if args.trace:
+        if not args.journal:
+            raise ReproError(
+                "--trace needs --journal (spans ride in the journal stream)"
+            )
+        from repro.obs.trace_spans import TraceContext, mint_trace_id
+
+        # Deterministic: the same campaign traced twice lands in the
+        # same trace, so resumed runs extend rather than fork it.
+        trace = TraceContext(
+            mint_trace_id(
+                f"report:{campaign.seed}:{','.join(campaign.include)}"
+            )
+        )
     journal = open_journal(args.journal, append=args.resume)
     print(f"running campaign {campaign.include} with {jobs} job(s) ...")
     try:
@@ -1058,6 +1150,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             batch=args.batch,
             dist=args.dist,
             reps_policy=reps_policy,
+            trace=trace,
         )
     finally:
         journal.close()
@@ -1067,6 +1160,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"wrote {args.out} ({len(text)} chars)")
     if args.journal:
         print(f"journal: {args.journal} (inspect with 'repro obs summary')")
+    if trace is not None:
+        print(
+            f"trace {trace.trace_id}: inspect with "
+            f"'repro obs spans {args.journal}'"
+        )
     if faults is not None and faults.fired:
         sites = ", ".join(sorted(faults.fired_sites()))
         print(f"faults fired: {len(faults.fired)} ({sites})")
@@ -1076,12 +1174,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_journal
 
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
     events = read_journal(args.journal, strict=False)
     if args.obs_command == "summary":
         print(summarize_journal(events).render(top=args.top))
         return 0
     if args.obs_command == "dist":
         return _cmd_obs_dist(args, events)
+    if args.obs_command == "spans":
+        return _cmd_obs_spans(args, events)
+    if args.obs_command == "health":
+        return _cmd_obs_health(args, events)
 
     # export
     if args.format == "chrome":
@@ -1200,6 +1304,74 @@ def _cmd_obs_dist(args: argparse.Namespace, events) -> int:
     return 0
 
 
+def _cmd_obs_spans(args: argparse.Namespace, events) -> int:
+    """``repro obs spans``: render recorded trace spans."""
+    from repro.obs.trace_spans import (
+        merge_spans,
+        render_span_tree,
+        spans_from_journal,
+        spans_to_chrome,
+    )
+
+    spans = merge_spans(spans_from_journal(events))
+    if not spans:
+        raise ReproError(
+            "the journal holds no span events; re-run the campaign with "
+            "--trace (or init the fabric queue with --trace)"
+        )
+    if args.format == "chrome":
+        text = json.dumps(spans_to_chrome(spans, events), sort_keys=True) + "\n"
+    else:
+        text = render_span_tree(spans) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(spans)} span(s) to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_health(args: argparse.Namespace, events) -> int:
+    """``repro obs health``: rule evaluation; exit 2 on violations."""
+    from repro.obs.health import (
+        default_rules,
+        evaluate_health,
+        load_rules,
+        render_violations,
+    )
+
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    violations = evaluate_health(events, rules)
+    print(render_violations(violations))
+    return 2 if violations else 0
+
+
+def _watch_fleet(queue_dir: str, *, once: bool, interval: float) -> int:
+    """Shared engine of ``obs top`` and ``fabric status --watch``."""
+    from repro.fabric import ShardQueue
+    from repro.obs.live import FleetMonitor
+
+    if interval <= 0:
+        raise ReproError(f"--interval must be > 0, got {interval}")
+    monitor = FleetMonitor(ShardQueue(queue_dir))
+    while True:
+        snapshot = monitor.poll()
+        print(snapshot.render())
+        if once or snapshot.done:
+            return 0
+        print()
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top``: live fleet health dashboard."""
+    return _watch_fleet(args.queue, once=args.once, interval=args.interval)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     if args.faults_command == "sites":
         width = max(len(s) for s in FAULT_SITES)
@@ -1267,12 +1439,15 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             shards=args.shards,
             lease_ttl=args.lease_ttl,
             batch=args.batch,
+            trace=args.trace,
         )
         manifest = queue.manifest()
         print(
             f"initialized queue {args.queue}: {manifest['cells']} cells "
             f"in {manifest['shards']} shard(s), plan {manifest['plan']}"
         )
+        if manifest.get("trace"):
+            print(f"trace: {manifest['trace']}")
         print("start workers with: repro fabric work "
               f"{args.queue} --worker <id>")
         return 0
@@ -1307,6 +1482,7 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             shards=args.shards,
             lease_ttl=args.lease_ttl,
             batch=args.batch,
+            trace=args.trace,
             exist_ok=args.resume,
         )
         print(
@@ -1338,7 +1514,7 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 3
-        return _fabric_merge(args.queue, args.out)
+        return _fabric_merge(args.queue, args.out, trace_out=args.trace_out)
 
     if args.fabric_command == "merge":
         return _fabric_merge(
@@ -1346,9 +1522,12 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             args.out,
             journal_out=args.journal_out,
             metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         )
 
     # status
+    if args.watch:
+        return _watch_fleet(args.queue, once=False, interval=args.interval)
     _fabric_print_status(ShardQueue(args.queue))
     return 0
 
@@ -1359,11 +1538,15 @@ def _fabric_merge(
     *,
     journal_out: str | None = None,
     metrics_out: str | None = None,
+    trace_out: str | None = None,
 ) -> int:
     from repro.fabric import merge_queue
 
     result, info = merge_queue(
-        queue_dir, journal_out=journal_out, metrics_out=metrics_out
+        queue_dir,
+        journal_out=journal_out,
+        metrics_out=metrics_out,
+        trace_out=trace_out,
     )
     text = generate_report(result)
     with open(out, "w") as fh:
@@ -1378,6 +1561,11 @@ def _fabric_merge(
         print(f"merged journal: {journal_out} ({info.events} events)")
     if metrics_out:
         print(f"merged metrics: {metrics_out}")
+    if trace_out:
+        print(
+            f"merged trace: {trace_out} ({info.spans} spans; load at "
+            "https://ui.perfetto.dev)"
+        )
     return 0
 
 

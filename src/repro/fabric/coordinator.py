@@ -26,6 +26,7 @@ writes are byte-identical-or-raise.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 from dataclasses import dataclass, field
@@ -43,6 +44,14 @@ from repro.fabric.queue import ShardQueue
 from repro.obs.events import JournalEvent
 from repro.obs.journal import read_journal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_spans import (
+    TRACE_ENV,
+    Span,
+    merge_spans,
+    span_id_for,
+    spans_from_journal,
+    spans_to_chrome,
+)
 from repro.run.campaign import Campaign, CampaignResult
 from repro.run.persistence import CellStore
 from repro.fabric.plan import assemble_result
@@ -60,6 +69,7 @@ class MergeInfo:
     reclaims: int = 0
     orphan_journals: int = 0
     workers: list[str] = field(default_factory=list)
+    spans: int = 0
 
 
 def init_queue(
@@ -70,18 +80,27 @@ def init_queue(
     lease_ttl: float = 30.0,
     batch: bool = False,
     dist: bool = False,
+    trace: bool = False,
     exist_ok: bool = False,
 ) -> ShardQueue:
     """Commit ``campaign`` to a shard queue at ``directory``.
 
     With ``exist_ok=True`` an existing queue is reused *iff* its plan
     fingerprint matches the requested campaign (that is the resume
-    path); a mismatch raises instead of silently mixing plans.
+    path); a mismatch raises instead of silently mixing plans.  The
+    resume path keeps the existing manifest verbatim — including its
+    ``trace`` id (or absence of one), so a resumed campaign's spans
+    stay in the original trace.
+
+    With ``trace=True`` the manifest carries a trace id minted from the
+    plan fingerprint; workers claiming shards emit trace spans under it
+    (see :mod:`repro.obs.trace_spans`).
     """
     directory = Path(directory)
     campaign = campaign or Campaign()
     manifest = manifest_for_campaign(
-        campaign, shards=shards, lease_ttl=lease_ttl, batch=batch, dist=dist
+        campaign, shards=shards, lease_ttl=lease_ttl, batch=batch, dist=dist,
+        trace=trace,
     )
     if (directory / "manifest.json").exists():
         if not exist_ok:
@@ -114,12 +133,20 @@ def launch_workers(
     """Spawn ``n`` ``repro fabric work`` subprocesses against a queue.
 
     Workers inherit this process's environment (so ``PYTHONPATH``
-    arrangements survive) and are named ``w1..wN``.  The caller waits
-    on the returned handles; a worker that died on an injected fault
-    exits non-zero and leaves its lease to be reclaimed.
+    arrangements survive) and are named ``w1..wN``.  When the queue
+    manifest carries a ``trace`` id, it is additionally propagated via
+    the ``REPRO_TRACE_ID`` environment variable — the fabric's
+    traceparent header — so workers cross-check manifest and ambient
+    context before emitting spans.  The caller waits on the returned
+    handles; a worker that died on an injected fault exits non-zero
+    and leaves its lease to be reclaimed.
     """
     if n < 1:
         raise ConfigurationError(f"worker count must be >= 1, got {n}")
+    env = None
+    trace_id = ShardQueue(directory).manifest().get("trace")
+    if trace_id:
+        env = {**os.environ, TRACE_ENV: str(trace_id)}
     procs = []
     for i in range(n):
         cmd = [
@@ -128,7 +155,7 @@ def launch_workers(
         ]
         if fault_plan is not None:
             cmd += ["--fault-plan", str(fault_plan)]
-        procs.append(subprocess.Popen(cmd))
+        procs.append(subprocess.Popen(cmd, env=env))
     return procs
 
 
@@ -137,6 +164,7 @@ def merge_queue(
     *,
     journal_out: str | Path | None = None,
     metrics_out: str | Path | None = None,
+    trace_out: str | Path | None = None,
 ) -> tuple[CampaignResult, MergeInfo]:
     """Merge a fully-done queue back into one campaign result.
 
@@ -145,8 +173,13 @@ def merge_queue(
     Loads every cell of the plan from the shared store — a missing or
     corrupt checkpoint is a hard error, since a done shard vouches for
     its cells — and reassembles the exact serial result.  Optionally
-    writes the merged winning-generation journal (JSONL, shard order)
-    and the summed metrics snapshot (counters add, gauges last-wins).
+    writes the merged winning-generation journal (JSONL, shard order),
+    the summed metrics snapshot (counters add, gauges last-wins), and —
+    for a queue initialised with ``trace=True`` — the unified Chrome
+    trace (``trace_out``): the winning-generation spans of every shard
+    merged under a synthesized campaign root, with lease reclaims,
+    retries, and batch fallbacks rendered as flow arrows (see
+    :func:`repro.obs.trace_spans.spans_to_chrome`).
     """
     queue = ShardQueue(directory)
     manifest = queue.manifest()
@@ -189,6 +222,41 @@ def merge_queue(
             registry.merge(json.loads(metrics_path.read_text()))
     info.events = len(events)
     info.workers = sorted(workers)
+
+    spans = spans_from_journal(events)
+    # Belt and braces: the folded journals are already winning-generation
+    # only, but merge_spans re-applies the exclusion and dedups by id.
+    winning = {shard: gen for shard, (gen, _w) in done.items()}
+    spans = merge_spans(spans, winning=winning)
+    info.spans = len(spans)
+    if trace_out is not None:
+        trace_id = manifest.get("trace")
+        if not trace_id:
+            raise ConfigurationError(
+                f"queue at {directory} was initialised without --trace; "
+                "no spans to export (re-init the queue with --trace)"
+            )
+        if spans:
+            # The campaign root span lives in no worker journal — every
+            # shard span points at it by deterministic id, so the merge
+            # synthesizes it over the observed span envelope.
+            start = min(s.start for s in spans)
+            end = max(s.end for s in spans)
+            root = Span(
+                trace_id=trace_id,
+                span_id=span_id_for(trace_id, "campaign"),
+                parent_id="",
+                name="campaign",
+                kind="campaign",
+                start=start,
+                duration=end - start,
+            )
+            spans = merge_spans(spans, [root])
+            info.spans = len(spans)
+        doc = spans_to_chrome(spans, events)
+        with open(trace_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
 
     if journal_out is not None:
         with open(journal_out, "w", encoding="utf-8") as fh:

@@ -26,6 +26,7 @@ from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
 from repro.analysis.stats import StatSummary, summarize
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import r830_host, small_host
+from repro.obs.trace_spans import mint_trace_id
 from repro.platforms.registry import make_platform
 from repro.run.calibration import Calibration
 from repro.run.campaign import (
@@ -122,6 +123,7 @@ def manifest_for_campaign(
     lease_ttl: float,
     batch: bool = False,
     dist: bool = False,
+    trace: bool = False,
 ) -> dict:
     """The JSON manifest committing a campaign to a shard queue.
 
@@ -130,6 +132,12 @@ def manifest_for_campaign(
     calibration are supported — a custom host or calibration would need
     its own serialization to round-trip faithfully, and silently
     approximating it would break the plan fingerprint's guarantee.
+
+    With ``trace=True`` the manifest additionally carries a ``trace``
+    id minted deterministically from the plan fingerprint
+    (:func:`repro.obs.trace_spans.mint_trace_id`); workers that claim
+    shards from the queue emit trace spans under it, so the merged
+    campaign journal yields one causal span tree.
     """
     if campaign.calib != Calibration():
         raise ConfigurationError(
@@ -147,7 +155,8 @@ def manifest_for_campaign(
         )
     refs = campaign_cells(campaign)
     ranges = shard_ranges(len(refs), shards)
-    return {
+    plan = plan_fingerprint(refs)
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "reps_fast": campaign.reps_fast,
         "reps_io": campaign.reps_io,
@@ -159,8 +168,11 @@ def manifest_for_campaign(
         "lease_ttl": float(lease_ttl),
         "cells": len(refs),
         "shards": len(ranges),
-        "plan": plan_fingerprint(refs),
+        "plan": plan,
     }
+    if trace:
+        manifest["trace"] = mint_trace_id(plan)
+    return manifest
 
 
 def campaign_from_manifest(manifest: dict) -> Campaign:

@@ -84,6 +84,11 @@ class FaultInjector:
         Optional :class:`~repro.obs.journal.Journal`; fired faults are
         recorded as ``fault-injected`` events (except ``journal.truncate``
         itself, whose whole point is that the write never completes).
+    tracer:
+        Optional :class:`~repro.obs.trace_spans.SpanTracer`; fired
+        faults additionally become zero-length ``fault`` spans, so the
+        merged campaign timeline shows exactly where the chaos landed
+        (``journal.truncate`` excluded, as for the journal).
     """
 
     def __init__(self, plan: FaultPlan | None) -> None:
@@ -91,16 +96,23 @@ class FaultInjector:
         self.enabled = plan is not None
         self.fired: list[tuple[str, str]] = []
         self.journal = None
+        self.tracer = None
         self._hits: dict[str, int] = {}
 
     # -- bookkeeping --------------------------------------------------------
 
     def record(self, site: str, label: str) -> None:
-        """Note a fired fault (and journal it, where that is safe)."""
+        """Note a fired fault (and journal/trace it, where that is safe)."""
         self.fired.append((site, label))
         jl = self.journal
         if jl is not None and jl.enabled and site != "journal.truncate":
             jl.record("fault-injected", label=label, detail=site)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled and site != "journal.truncate":
+            tracer.emit_leaf(
+                "fault", f"{site} {label}", start=time.time(), duration=0.0,
+                site=site,
+            )
 
     def fired_sites(self) -> set[str]:
         """Distinct sites fired so far in this process."""

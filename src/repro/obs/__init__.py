@@ -19,10 +19,21 @@ the same discipline to the reproduction's own campaigns:
   behind ``cell-dist`` journal events and ``repro obs dist``;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``) and folded flamegraph stacks from both campaign
-  journals and simulator ``Timeline`` / ``OffCpuReport`` data.
+  journals and simulator ``Timeline`` / ``OffCpuReport`` data;
+* :mod:`repro.obs.trace_spans` — hierarchical span tracing (campaign →
+  shard → worker → cell attempt → engine phase) with deterministic ids
+  that merge across fabric worker processes into one causal tree and
+  export as a unified Perfetto timeline with reclaim/retry flow arrows;
+* :mod:`repro.obs.live` — incremental journal tailing and the live
+  fleet dashboard behind ``repro obs top`` / ``fabric status --watch``;
+* :mod:`repro.obs.health` — declarative health rules (straggler shard,
+  lease churn, CI non-convergence, checkpoint corruption) evaluated
+  over a merged journal for CI gating via ``repro obs health``.
 
 Surfaced on the command line as ``repro obs summary`` / ``repro obs
-export`` plus ``--journal PATH`` on ``run`` and ``report``.
+export`` / ``repro obs spans`` / ``repro obs top`` / ``repro obs
+health`` plus ``--journal PATH`` and ``--trace`` on ``run`` and
+``report``.
 """
 
 from repro.obs.events import (
@@ -43,6 +54,15 @@ from repro.obs.export import (
     timeline_to_chrome,
     timeline_to_folded,
 )
+from repro.obs.health import (
+    RULE_NAMES,
+    HealthRule,
+    Violation,
+    default_rules,
+    evaluate_health,
+    load_rules,
+    render_violations,
+)
 from repro.obs.journal import (
     NULL_JOURNAL,
     Journal,
@@ -51,7 +71,9 @@ from repro.obs.journal import (
     NullJournal,
     open_journal,
     read_journal,
+    read_journal_tail,
 )
+from repro.obs.live import FleetMonitor, FleetSnapshot, ShardProgress
 from repro.obs.metrics import (
     CELL_SECONDS_BUCKETS,
     SUMMARY_QUANTILES,
@@ -71,6 +93,26 @@ from repro.obs.sketch import (
     merge_stream_sketches,
 )
 from repro.obs.summary import CellRecord, RunSummary, summarize_journal
+from repro.obs.trace_spans import (
+    NULL_TRACER,
+    SPAN_KINDS,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    SpanNode,
+    SpanTracer,
+    TraceContext,
+    active_tracer,
+    build_tree,
+    canonical_tree,
+    merge_spans,
+    mint_trace_id,
+    render_span_tree,
+    span_id_for,
+    spans_from_journal,
+    spans_to_chrome,
+    validate_chrome_trace,
+)
 
 __all__ = [
     # events
@@ -86,10 +128,42 @@ __all__ = [
     "NULL_JOURNAL",
     "open_journal",
     "read_journal",
+    "read_journal_tail",
     # summary
     "CellRecord",
     "RunSummary",
     "summarize_journal",
+    # trace spans
+    "SPAN_KINDS",
+    "TRACE_ENV",
+    "TraceContext",
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "mint_trace_id",
+    "span_id_for",
+    "active_tracer",
+    "spans_from_journal",
+    "merge_spans",
+    "build_tree",
+    "canonical_tree",
+    "render_span_tree",
+    "spans_to_chrome",
+    "validate_chrome_trace",
+    # live fleet health
+    "ShardProgress",
+    "FleetSnapshot",
+    "FleetMonitor",
+    # health rules
+    "RULE_NAMES",
+    "HealthRule",
+    "Violation",
+    "load_rules",
+    "default_rules",
+    "evaluate_health",
+    "render_violations",
     # metrics
     "Counter",
     "Gauge",

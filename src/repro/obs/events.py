@@ -6,8 +6,10 @@ replayed from a resume checkpoint, retried, failed, and finished, plus
 sweep/campaign spans, worker-pool rebuilds, deterministic fault
 injections (``fault-injected`` / ``checkpoint-corrupt``), fabric shard
 lifecycles (``shard-started`` / ``shard-finished`` / ``shard-lost`` /
-``shard-reclaimed``), and adaptive rep-allocation rounds
-(``reps-allocated``).  The schema is versioned (:data:`SCHEMA_VERSION`) so journals
+``shard-reclaimed``), adaptive rep-allocation rounds
+(``reps-allocated``), and trace spans (``span``, carrying one encoded
+:class:`~repro.obs.trace_spans.Span` per record).  The schema is
+versioned (:data:`SCHEMA_VERSION`) so journals
 written by one release can be rejected loudly — not misread silently —
 by another, and :func:`validate_event` is the single gate every reader
 passes records through.
@@ -54,6 +56,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "batch-partition",
         "batch-fallback",
         "checkpoint-corrupt",
+        "span",
         "fault-injected",
         "pool-rebuilt",
         "run-started",

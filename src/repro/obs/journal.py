@@ -32,6 +32,7 @@ __all__ = [
     "NULL_JOURNAL",
     "open_journal",
     "read_journal",
+    "read_journal_tail",
 ]
 
 
@@ -247,3 +248,53 @@ def read_journal(path: str | Path, *, strict: bool = True) -> list[JournalEvent]
         except ConfigurationError as exc:
             raise ConfigurationError(f"{path}:{lineno}: {exc}") from exc
     return events
+
+
+def read_journal_tail(
+    path: str | Path, offset: int = 0
+) -> tuple[list[JournalEvent], int]:
+    """Incrementally read a live journal from a byte offset.
+
+    Returns ``(events, new_offset)`` where ``new_offset`` is the
+    position to resume from on the next poll.  Only complete
+    (newline-terminated) lines are consumed; a torn final line — a
+    worker caught mid-``write`` — is *deferred*, not dropped: the
+    returned offset stops before it, so the next poll re-reads it once
+    the writer finishes the flush.  A missing file yields
+    ``([], 0)`` (the journal may not exist until its shard is claimed),
+    and a file shorter than ``offset`` — e.g. recreated from scratch —
+    resets the cursor and re-reads from the start.
+
+    This is the cheap polling primitive behind ``repro obs top``: each
+    tick parses only the bytes appended since the last tick, never the
+    whole journal.  Malformed JSON in a *complete* line raises
+    :class:`~repro.errors.ConfigurationError` (flush-per-event writers
+    can only ever tear the final line, so anything else is real
+    corruption).
+    """
+    path = Path(path)
+    if offset < 0:
+        raise ConfigurationError(f"journal offset must be >= 0, got {offset}")
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        return [], 0
+    if size < offset:
+        offset = 0
+    with path.open("rb") as fh:
+        fh.seek(offset)
+        data = fh.read()
+    keep = data.rfind(b"\n") + 1
+    events: list[JournalEvent] = []
+    for raw in data[:keep].splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            events.append(JournalEvent.from_dict(payload))
+        except (json.JSONDecodeError, ConfigurationError) as exc:
+            raise ConfigurationError(
+                f"{path}: invalid journal line at byte offset {offset}: {exc}"
+            ) from exc
+    return events, offset + keep

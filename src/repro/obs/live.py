@@ -1,0 +1,257 @@
+"""Live fleet health: incremental tailing of a running campaign.
+
+``repro obs top`` (and ``repro fabric status --watch``) must answer
+"where is this campaign *right now*" without re-parsing every journal
+on every tick.  :class:`FleetMonitor` keeps one byte offset per
+per-shard journal file and folds only the newly appended events
+(:func:`repro.obs.journal.read_journal_tail`), combining them with the
+queue's lease heartbeats (:meth:`repro.fabric.ShardQueue.status`) into
+a :class:`FleetSnapshot`: overall progress, an ETA extrapolated from
+the completed-cell rate, per-worker busy fractions, and the age of any
+stale lease.
+
+The monitor is read-only and lock-free: it only ever reads journal
+bytes that the flush-per-event writers have already committed, and a
+torn final line is deferred to the next poll rather than dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.journal import read_journal_tail
+
+__all__ = [
+    "ShardProgress",
+    "FleetSnapshot",
+    "FleetMonitor",
+]
+
+
+@dataclass
+class ShardProgress:
+    """Live view of one shard's current custody and progress.
+
+    Attributes
+    ----------
+    shard / generation / state / worker:
+        Queue-side custody facts (from the lease files).
+    heartbeat_age:
+        Seconds since the owner's last heartbeat (0 for unleased
+        states); beyond the queue TTL the shard shows as ``stale``.
+    cells_total / cells_done:
+        Plan size of the shard and cells finished in the *current*
+        generation's journal.
+    busy_seconds:
+        Sum of finished-cell durations in the current generation.
+    reclaims:
+        Lease takeovers observed for this shard so far.
+    """
+
+    shard: int
+    generation: int
+    state: str
+    worker: str
+    heartbeat_age: float = 0.0
+    cells_total: int = 0
+    cells_done: int = 0
+    busy_seconds: float = 0.0
+    reclaims: int = 0
+
+    @property
+    def label(self) -> str:
+        """Canonical ``shard-NNNN`` display label."""
+        return f"shard-{self.shard:04d}"
+
+
+@dataclass
+class FleetSnapshot:
+    """One poll of a running fleet, ready to render.
+
+    Attributes
+    ----------
+    ts:
+        Wall-clock time of the poll.
+    cells_total / cells_done:
+        Campaign plan size and cells finished under current custody.
+    shards:
+        Per-shard progress rows, ordered by shard index.
+    worker_busy:
+        Busy seconds per worker (finished-cell durations).
+    elapsed:
+        Event-stream span so far (first event to newest event).
+    eta_seconds:
+        Remaining-work estimate from the completed-cell rate, or
+        ``None`` before any cell has finished.
+    reclaims / stale:
+        Lease takeovers so far and shards currently past their TTL.
+    """
+
+    ts: float
+    cells_total: int
+    cells_done: int
+    shards: list[ShardProgress] = field(default_factory=list)
+    worker_busy: dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+    eta_seconds: float | None = None
+    reclaims: int = 0
+    stale: int = 0
+
+    @property
+    def done(self) -> bool:
+        """True when every shard reached ``done``."""
+        return bool(self.shards) and all(s.state == "done" for s in self.shards)
+
+    @property
+    def progress(self) -> float:
+        """Completed-cell fraction of the campaign plan (0..1)."""
+        if self.cells_total <= 0:
+            return 0.0
+        return min(1.0, self.cells_done / self.cells_total)
+
+    def render(self) -> str:
+        """Human-readable dashboard block for one poll."""
+        eta = (
+            f"eta {self.eta_seconds:6.1f} s"
+            if self.eta_seconds is not None
+            else "eta --"
+        )
+        lines = [
+            f"cells {self.cells_done}/{self.cells_total} "
+            f"({self.progress:.0%})  elapsed {self.elapsed:6.1f} s  {eta}"
+            + (f"  reclaims {self.reclaims}" if self.reclaims else "")
+            + (f"  STALE {self.stale}" if self.stale else ""),
+        ]
+        for s in self.shards:
+            hb = f"  hb {s.heartbeat_age:5.1f}s" if s.state in ("leased", "stale") else ""
+            done = (
+                f"{s.cells_done}/{s.cells_total}" if s.cells_total else f"{s.cells_done}"
+            )
+            notes = f"  reclaimed x{s.reclaims}" if s.reclaims else ""
+            lines.append(
+                f"  {s.label:<12s} g{s.generation} {s.state:<7s} "
+                f"{s.worker:<10s} cells {done:>9s}{hb}{notes}"
+            )
+        if self.worker_busy:
+            span = self.elapsed
+            lines.append("workers:")
+            for w, busy in sorted(self.worker_busy.items()):
+                util = busy / span if span > 0 else 0.0
+                lines.append(
+                    f"  {w:<12s} busy {busy:8.3f} s  utilization {util:6.1%}"
+                )
+        return "\n".join(lines)
+
+
+class FleetMonitor:
+    """Incrementally folds a fabric queue's journals into snapshots.
+
+    One monitor per watched queue; each :meth:`poll` reads only the
+    journal bytes appended since the previous poll (per-file byte
+    offsets), so watching a large fleet costs O(new events) per tick,
+    not O(journal size).
+
+    Parameters
+    ----------
+    queue:
+        The :class:`~repro.fabric.ShardQueue` to watch.
+    """
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+        manifest = queue.manifest()
+        self.cells_total = int(manifest.get("cells", 0))
+        self._offsets: dict[Path, int] = {}
+        #: (shard, generation) -> cells finished in that custody window
+        self._cells_done: dict[tuple[int, int], int] = {}
+        self._busy: dict[tuple[int, int], float] = {}
+        self._shard_cells: dict[tuple[int, int], int] = {}
+        self._worker_busy: dict[str, float] = {}
+        self._reclaims: dict[int, int] = {}
+        self._first_ts: float | None = None
+        self._last_ts: float = 0.0
+
+    def _ingest(self, shard: int, generation: int, path: Path) -> None:
+        events, offset = read_journal_tail(path, self._offsets.get(path, 0))
+        self._offsets[path] = offset
+        key = (shard, generation)
+        for e in events:
+            if self._first_ts is None or e.ts < self._first_ts:
+                self._first_ts = e.ts
+            end = e.ts + e.duration
+            if end > self._last_ts:
+                self._last_ts = end
+            if e.kind == "cell-finished":
+                self._cells_done[key] = self._cells_done.get(key, 0) + 1
+                self._busy[key] = self._busy.get(key, 0.0) + e.duration
+                worker = e.worker or "(unknown)"
+                self._worker_busy[worker] = (
+                    self._worker_busy.get(worker, 0.0) + e.duration
+                )
+            elif e.kind == "cell-resumed":
+                # Checkpoint replay: the cell is done under this custody
+                # window but cost no fresh busy time.
+                self._cells_done[key] = self._cells_done.get(key, 0) + 1
+            elif e.kind == "shard-started":
+                self._shard_cells[key] = int(e.extra.get("cells", 0))
+            elif e.kind == "shard-reclaimed":
+                self._reclaims[shard] = self._reclaims.get(shard, 0) + 1
+
+    def poll(self) -> FleetSnapshot:
+        """Tail every shard journal and combine with lease heartbeats."""
+        states = self.queue.status()
+        for st in states:
+            # A shard's history spans generations g1..g_current; tail
+            # each generation's journal we have not finished consuming.
+            for generation in range(1, st.generation + 1):
+                path = self.queue.journal_path(st.shard, generation)
+                self._ingest(st.shard, generation, path)
+
+        shards: list[ShardProgress] = []
+        cells_done = 0
+        reclaims = sum(self._reclaims.values())
+        stale = 0
+        for st in states:
+            key = (st.shard, st.generation)
+            done = self._cells_done.get(key, 0)
+            cells_done += done
+            if st.state == "stale":
+                stale += 1
+            shards.append(
+                ShardProgress(
+                    shard=st.shard,
+                    generation=st.generation,
+                    state=st.state,
+                    worker=st.worker,
+                    heartbeat_age=st.heartbeat_age,
+                    cells_total=self._shard_cells.get(key, 0),
+                    cells_done=done,
+                    busy_seconds=self._busy.get(key, 0.0),
+                    reclaims=self._reclaims.get(st.shard, 0),
+                )
+            )
+
+        elapsed = (
+            max(0.0, self._last_ts - self._first_ts)
+            if self._first_ts is not None
+            else 0.0
+        )
+        eta = None
+        if cells_done > 0 and elapsed > 0 and self.cells_total > cells_done:
+            rate = cells_done / elapsed
+            eta = (self.cells_total - cells_done) / rate
+        elif cells_done >= self.cells_total > 0:
+            eta = 0.0
+        return FleetSnapshot(
+            ts=time.time(),
+            cells_total=self.cells_total,
+            cells_done=cells_done,
+            shards=shards,
+            worker_busy=dict(self._worker_busy),
+            elapsed=elapsed,
+            eta_seconds=eta,
+            reclaims=reclaims,
+            stale=stale,
+        )

@@ -10,6 +10,7 @@ time, which no amount of extra workers can shrink).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
@@ -20,6 +21,19 @@ __all__ = ["CellRecord", "RunSummary", "ShardRecord", "summarize_journal"]
 
 #: Percentiles reported for recorded latency distributions.
 DIST_PERCENTILES: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
+
+
+def _busy_fraction(busy: float, span: float) -> float:
+    """``busy / span`` with degenerate windows pinned to 0.0.
+
+    A zero-length journal span (a cached-only campaign whose events all
+    share one timestamp) or a non-finite endpoint (an ``inf`` duration
+    passes schema validation) would otherwise surface as ``inf`` / NaN
+    utilization in ``obs summary``.
+    """
+    if span <= 0 or not math.isfinite(span) or not math.isfinite(busy):
+        return 0.0
+    return busy / span
 
 
 def _pct_label(q: float) -> str:
@@ -198,11 +212,11 @@ class RunSummary:
         return out
 
     def worker_utilization(self) -> dict[str, float]:
-        """Busy fraction of the journal span, per worker."""
-        if self.wall_seconds <= 0:
-            return {w: 0.0 for w in self.worker_busy}
+        """Busy fraction of the journal span, per worker (0.0 for
+        zero-length or non-finite spans)."""
         return {
-            w: busy / self.wall_seconds for w, busy in sorted(self.worker_busy.items())
+            w: _busy_fraction(busy, self.wall_seconds)
+            for w, busy in sorted(self.worker_busy.items())
         }
 
     @property
@@ -211,11 +225,11 @@ class RunSummary:
         return sum(s.reclaimed for s in self.shards.values())
 
     def shard_utilization(self) -> dict[str, float]:
-        """Busy fraction of the journal span, per fabric shard."""
-        if self.wall_seconds <= 0:
-            return {label: 0.0 for label in self.shards}
+        """Busy fraction of the journal span, per fabric shard (0.0 for
+        zero-length or non-finite spans, e.g. instant cached-only
+        shards)."""
         return {
-            label: s.duration / self.wall_seconds
+            label: _busy_fraction(s.duration, self.wall_seconds)
             for label, s in sorted(self.shards.items())
         }
 

@@ -135,10 +135,22 @@ def run_adaptive_sweep(
         for t, cell_runs in zip(tasks, runs)
     }
     if jl.enabled:
+        # Cells that exhausted the rep cap while the policy still wanted
+        # more: surfaced for the `ci-unconverged` health rule.
+        unconverged = sorted(
+            tasks[i].label
+            for i in range(len(tasks))
+            if reps_done[i] >= cap
+            and policy.needs_more([r.value for r in runs[i]])
+        )
         jl.record(
             "sweep-finished", label=spec.workload.name,
             duration=time.perf_counter() - t0,
-            extra={"rounds": round_no, "reps_total": sum(reps_done)},
+            extra={
+                "rounds": round_no,
+                "reps_total": sum(reps_done),
+                "unconverged": unconverged,
+            },
         )
     return SweepResult(
         workload=spec.workload.name,

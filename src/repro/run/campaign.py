@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
 from repro.obs.journal import Journal
+from repro.obs.trace_spans import NULL_TRACER, SpanTracer, TraceContext
 from repro.analysis.stats import StatSummary, summarize
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import HostTopology, r830_host, small_host
@@ -260,6 +261,7 @@ def run_campaign(
     batch: bool = False,
     dist: bool = False,
     reps_policy: "AdaptiveRepsPolicy | None" = None,
+    trace: TraceContext | None = None,
 ) -> CampaignResult:
     """Execute the full evaluation and return everything measured.
 
@@ -323,6 +325,14 @@ def run_campaign(
         sweeps bypass the :class:`SweepCache` (its fingerprint does not
         cover the policy) but still use cell checkpoints; Figs. 7-8 are
         unaffected (fixed reps by design).
+    trace:
+        Optional :class:`~repro.obs.trace_spans.TraceContext`.  When
+        given (and a journal is attached), the campaign emits
+        hierarchical trace spans — campaign → sweep → cell attempt →
+        engine phases — as ``span`` journal events under the context's
+        trace id (see :mod:`repro.obs.trace_spans`).  Spans never feed
+        back into measured values, so the result and report are
+        byte-identical with tracing on or off.
     """
     campaign = campaign or Campaign()
     if resume and checkpoint is None:
@@ -341,6 +351,11 @@ def run_campaign(
         runner.journal = journal
     if checkpoint is not None and runner.checkpoint is None:
         runner.checkpoint = checkpoint
+    tracer = NULL_TRACER
+    if trace is not None and runner.journal.enabled:
+        tracer = SpanTracer(runner.journal, trace)
+    if tracer.enabled and not runner.tracer.enabled:
+        runner.tracer = tracer
     # Arm the injector across the campaign's machinery for the duration
     # of this call only: attachments are restored on the way out, so the
     # same cache/checkpoint/journal objects can be reused for a clean
@@ -362,6 +377,8 @@ def run_campaign(
             if hasattr(runner.journal, "faults") and not runner.journal.faults.enabled:
                 arm(runner.journal)
             faults.journal = runner.journal
+        if tracer.enabled:
+            faults.tracer = tracer
     jl = runner.journal
     t_start = time.perf_counter()
     try:
@@ -375,42 +392,50 @@ def run_campaign(
         big = [instance_type(n) for n in _BIG]
         sweeps: dict[str, SweepResult] = {}
 
-        def sweep(workload, instances, reps) -> SweepResult:
-            if reps_policy is not None:
-                from repro.run.adaptive import run_adaptive_sweep
+        def sweep(fig, workload, instances, reps) -> SweepResult:
+            with tracer.span("sweep", fig):
+                if reps_policy is not None:
+                    from repro.run.adaptive import run_adaptive_sweep
 
-                return run_adaptive_sweep(
+                    return run_adaptive_sweep(
+                        workload,
+                        instances,
+                        reps_policy,
+                        host=campaign.host,
+                        reps=reps,
+                        calib=campaign.calib,
+                        seed=campaign.seed,
+                        runner=runner,
+                    )
+                return run_platform_sweep(
                     workload,
                     instances,
-                    reps_policy,
                     host=campaign.host,
                     reps=reps,
                     calib=campaign.calib,
                     seed=campaign.seed,
                     runner=runner,
+                    cache=cache,
+                    journal=jl,
                 )
-            return run_platform_sweep(
-                workload,
-                instances,
-                host=campaign.host,
-                reps=reps,
-                calib=campaign.calib,
-                seed=campaign.seed,
-                runner=runner,
-                cache=cache,
-                journal=jl,
-            )
 
         if "fig3" in campaign.include:
             sweeps["fig3"] = sweep(
-                FfmpegWorkload(), instance_types_upto(16), campaign.reps_fast
+                "fig3", FfmpegWorkload(), instance_types_upto(16),
+                campaign.reps_fast,
             )
         if "fig4" in campaign.include:
-            sweeps["fig4"] = sweep(MpiSearchWorkload(), big, campaign.reps_fast)
+            sweeps["fig4"] = sweep(
+                "fig4", MpiSearchWorkload(), big, campaign.reps_fast
+            )
         if "fig5" in campaign.include:
-            sweeps["fig5"] = sweep(WordPressWorkload(), big, campaign.reps_io)
+            sweeps["fig5"] = sweep(
+                "fig5", WordPressWorkload(), big, campaign.reps_io
+            )
         if "fig6" in campaign.include:
-            sweeps["fig6"] = sweep(CassandraWorkload(), big, campaign.reps_io)
+            sweeps["fig6"] = sweep(
+                "fig6", CassandraWorkload(), big, campaign.reps_io
+            )
 
         chr_bands: dict[str, ChrRange] = {}
         for fig, name in (
@@ -423,10 +448,12 @@ def run_campaign(
 
         fig7: dict[tuple[str, str], StatSummary] = {}
         if "fig7" in campaign.include:
-            fig7 = _run_cell_summaries(runner, *fig7_tasks(campaign))
+            with tracer.span("sweep", "fig7"):
+                fig7 = _run_cell_summaries(runner, *fig7_tasks(campaign))
         fig8: dict[tuple[str, str], StatSummary] = {}
         if "fig8" in campaign.include:
-            fig8 = _run_cell_summaries(runner, *fig8_tasks(campaign))
+            with tracer.span("sweep", "fig8"):
+                fig8 = _run_cell_summaries(runner, *fig8_tasks(campaign))
 
         if jl.enabled:
             jl.record(
@@ -435,6 +462,9 @@ def run_campaign(
                 duration=time.perf_counter() - t_start,
             )
     finally:
+        tracer.close()
+        if faults is not None and tracer.enabled:
+            faults.tracer = None
         for obj, prev in reversed(armed):
             obj.faults = prev
     return CampaignResult(

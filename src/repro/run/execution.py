@@ -16,6 +16,7 @@ the serial path would have.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -28,6 +29,7 @@ from repro.hostmodel.storage import StorageModel
 from repro.hostmodel.topology import HostTopology
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sketch import LatencyRecorder
+from repro.obs.trace_spans import active_tracer
 from repro.platforms.base import ExecutionPlatform
 from repro.rng import StreamSpec
 from repro.run.calibration import Calibration
@@ -273,7 +275,31 @@ def run_once(
         ``barrier_wait``) and the resulting sketches ride on
         ``RunResult.dist``.  Metric values are byte-identical with and
         without it.
+
+    When a span tracer has an open inline cell frame
+    (:func:`repro.obs.trace_spans.active_tracer`), the two engine
+    phases of the repetition — ``compile`` (workload build + overhead
+    model + simulator construction) and ``advance`` (the simulation
+    itself) — are emitted as phase spans under the cell.  The hook is
+    one module-global read when tracing is off and never perturbs the
+    result.
     """
+    tracer = active_tracer()
+    if tracer is None:
+        prep = prepare_run(
+            workload,
+            platform,
+            host,
+            calib,
+            rng=rng,
+            rep=rep,
+            trace=trace,
+            profiler=profiler,
+            latency=latency,
+        )
+        return finish_run(prep, prep.sim.run(), metrics=metrics)
+    start = time.time()
+    t0 = time.perf_counter()
     prep = prepare_run(
         workload,
         platform,
@@ -285,4 +311,9 @@ def run_once(
         profiler=profiler,
         latency=latency,
     )
-    return finish_run(prep, prep.sim.run(), metrics=metrics)
+    tracer.phase("compile", start, time.perf_counter() - t0, rep=rep)
+    start = time.time()
+    t0 = time.perf_counter()
+    engine_result = prep.sim.run()
+    tracer.phase("advance", start, time.perf_counter() - t0, rep=rep)
+    return finish_run(prep, engine_result, metrics=metrics)

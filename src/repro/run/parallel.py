@@ -67,6 +67,7 @@ from repro.hostmodel.topology import HostTopology
 from repro.obs.journal import NULL_JOURNAL, Journal
 from repro.obs.metrics import CELL_SECONDS_BUCKETS, MetricsRegistry
 from repro.obs.sketch import LatencyRecorder, merge_stream_sketches
+from repro.obs.trace_spans import NULL_TRACER
 from repro.platforms.base import PlatformKind
 from repro.platforms.provisioning import InstanceType
 from repro.platforms.registry import make_platform
@@ -405,6 +406,15 @@ class ParallelRunner:
         Metric values — and therefore reports — are byte-identical with
         recording on or off, and the sketches themselves are identical
         across the inline, pool, and batched legs.
+    tracer:
+        Optional :class:`~repro.obs.trace_spans.SpanTracer`; when
+        attached, every cell attempt becomes a span in the campaign
+        trace — the inline leg opens a frame around the attempt (so
+        engine compile/advance phases and checkpoint writes nest under
+        it), the pool leg emits leaf spans from the worker shim's
+        observed timing, and batched groups emit one leaf per cell.
+        Defaults to the no-op tracer (one ``enabled`` check per cell);
+        spans never feed back into results.
     """
 
     def __init__(
@@ -421,6 +431,7 @@ class ParallelRunner:
         checkpoint: "CellStore | None" = None,
         batch: bool = False,
         dist: bool = False,
+        tracer=None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -439,6 +450,7 @@ class ParallelRunner:
         self.checkpoint = checkpoint
         self.batch = bool(batch)
         self.dist = bool(dist)
+        self.tracer = tracer or NULL_TRACER
 
     # -- generic task execution ---------------------------------------------
 
@@ -520,7 +532,16 @@ class ParallelRunner:
         def on_result(j: int, payload, result) -> None:
             key = keys[pending[j]]
             if key is not None and isinstance(result, list):
-                store.put(key, result, label=_label(payload, pending[j]))
+                tracer = self.tracer
+                if tracer.enabled:
+                    put_start = time.time()
+                    t0 = time.perf_counter()
+                    store.put(key, result, label=_label(payload, pending[j]))
+                    tracer.phase(
+                        "checkpoint", put_start, time.perf_counter() - t0
+                    )
+                else:
+                    store.put(key, result, label=_label(payload, pending[j]))
 
         pending_items = [items[i] for i in pending]
         if batched:
@@ -613,6 +634,12 @@ class ParallelRunner:
                 results[i] = runs
                 if on_result is not None:
                     on_result(i, items[i], runs)
+                if self.tracer.enabled:
+                    self.tracer.emit_leaf(
+                        "cell", _label(items[i], i), start=started,
+                        duration=duration, worker=wid, attempt=1,
+                        batched=True,
+                    )
                 self._observe_completion(
                     _label(items[i], i), runs, worker=wid, attempt=1,
                     started=started, duration=duration,
@@ -788,6 +815,7 @@ class ParallelRunner:
     ) -> list:
         results = []
         wid = _worker_id()
+        tracer = self.tracer
         total = len(items) if total is None else total
         for i, payload in enumerate(items):
             label = _label(payload, i)
@@ -802,6 +830,11 @@ class ParallelRunner:
                         "cell-started", label=label, worker=wid,
                         attempt=attempts, ts=started,
                     )
+                frame = (
+                    tracer.begin_cell(label, attempt=attempts)
+                    if tracer.enabled
+                    else None
+                )
                 try:
                     if self.faults.enabled:
                         spec = self.faults.worker_fault(label, attempts)
@@ -811,8 +844,12 @@ class ParallelRunner:
                 except (ConfigurationError, InjectedCrash):
                     # misconfiguration never heals on retry; a simulated
                     # process death must abort like the real thing.
+                    if frame is not None:
+                        tracer.end_cell(frame, failed=True)
                     raise
                 except Exception as exc:
+                    if frame is not None:
+                        tracer.end_cell(frame, failed=True)
                     failures.append(AttemptFailure(attempts, wid, repr(exc)))
                     self._record_failure(
                         label, wid, attempts, repr(exc),
@@ -827,6 +864,8 @@ class ParallelRunner:
                 results.append(result)
                 if on_result is not None:
                     on_result(i, payload, result)
+                if frame is not None:
+                    tracer.end_cell(frame)
                 self._observe_completion(
                     label, result, worker=wid, attempt=attempts,
                     started=started, duration=time.perf_counter() - t0,
@@ -880,6 +919,14 @@ class ParallelRunner:
                             results[i] = value.result
                             if on_result is not None:
                                 on_result(i, items[i], value.result)
+                            if self.tracer.enabled:
+                                self.tracer.emit_leaf(
+                                    "cell", label,
+                                    start=value.started,
+                                    duration=value.duration,
+                                    worker=value.worker,
+                                    attempt=attempts[i],
+                                )
                             self._observe_completion(
                                 label, value.result, worker=value.worker,
                                 attempt=attempts[i], started=value.started,
