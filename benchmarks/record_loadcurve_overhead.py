@@ -1,0 +1,200 @@
+"""Record or check the open-loop recording overhead budget.
+
+The open-loop request-per-arrival workloads record per-request latency
+sketches **unconditionally** (``always_dist``) — a load curve without
+latencies is useless — so unlike ``--dist`` campaigns there is no
+recording-off escape hatch.  The budget this script enforces is that the
+unconditional recording keeps an open-loop cell within the same ratio
+the closed-loop ``--dist`` path is held to (``<= 1.10x`` the identical
+cell with recording disabled).  It times identical open-loop cells with
+the recorder forced off and with the stock always-on path (best-of-N
+each, interleaved, same seeds), verifies the measured results are
+value-identical both ways, and either updates
+``benchmarks/results/loadcurve_overhead.json`` or checks the current
+tree against the committed ratio budget.
+
+Usage::
+
+    # re-record the committed baseline
+    PYTHONPATH=src python benchmarks/record_loadcurve_overhead.py
+
+    # CI gate: fail when recording-on is > 1.10x recording-off
+    PYTHONPATH=src python benchmarks/record_loadcurve_overhead.py \
+        --check --tolerance 1.10 --out /tmp/loadcurve_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import instance_type, make_platform, r830_host
+from repro.rng import RngFactory
+from repro.run.calibration import Calibration
+from repro.run.execution import run_cell
+from repro.workloads.openloop import OpenLoopCassandra, OpenLoopWordPress
+
+BASELINE = Path(__file__).parent / "results" / "loadcurve_overhead.json"
+
+
+class _MuteWordPress(OpenLoopWordPress):
+    """The same cell with the unconditional recording switched off."""
+
+    always_dist = False
+
+
+class _MuteCassandra(OpenLoopCassandra):
+    always_dist = False
+
+
+#: (recording factory, muted factory, instance, cell reps per timing).
+#: The request counts keep each timing window wide enough that the
+#: on/off ratio is not dominated by timer noise.
+CASES = {
+    "wordpress-open": (
+        lambda: OpenLoopWordPress(rate=240.0, n_requests=300),
+        lambda: _MuteWordPress(rate=240.0, n_requests=300),
+        "xLarge",
+        8,
+    ),
+    "cassandra-open": (
+        lambda: OpenLoopCassandra(rate=120.0, n_requests=300),
+        lambda: _MuteCassandra(rate=120.0, n_requests=300),
+        "xLarge",
+        8,
+    ),
+}
+
+
+def _streams(name: str, cell_reps: int):
+    factory = RngFactory(17)
+    return [
+        factory.stream_spec(f"lc-overhead/{name}", rep=k)
+        for k in range(cell_reps)
+    ]
+
+
+def _one_timing(name: str, recording: bool) -> float:
+    """Wall clock of one open-loop cell, recorder on or forced off."""
+    make_on, make_off, inst, cell_reps = CASES[name]
+    wl = (make_on if recording else make_off)()
+    platform = make_platform("CN", instance_type(inst), "vanilla")
+    streams = _streams(name, cell_reps)
+    t0 = time.perf_counter()
+    run_cell(wl, platform, r830_host(), Calibration(), streams)
+    return time.perf_counter() - t0
+
+
+def time_case(name: str, reps: int = 7) -> tuple[float, float]:
+    """Best-of-``reps`` (off, on) wall clock, interleaved.
+
+    Off and on timings alternate within each repetition so slow drift
+    (thermal, noisy-neighbour CPU) cancels out of the ratio instead of
+    landing entirely on one side.
+    """
+    _one_timing(name, recording=True)  # warmup: imports, caches, allocator
+    best_off = best_on = float("inf")
+    for _ in range(reps):
+        best_off = min(best_off, _one_timing(name, recording=False))
+        best_on = min(best_on, _one_timing(name, recording=True))
+    return best_off, best_on
+
+
+def check_value_identity() -> None:
+    """Recording must not perturb a single measured value."""
+    for name in CASES:
+        make_on, make_off, inst, cell_reps = CASES[name]
+        platform = make_platform("CN", instance_type(inst), "vanilla")
+
+        def run(make_wl):
+            return run_cell(
+                make_wl(), platform, r830_host(), Calibration(),
+                _streams(name, cell_reps),
+            )
+
+        def key(results):
+            return [(r.value, r.makespan, r.mean_response) for r in results]
+
+        on = run(make_on)
+        assert all(
+            r.dist and "op" in r.dist for r in on
+        ), f"{name}: open-loop cell did not record latency sketches"
+        assert key(on) == key(
+            run(make_off)
+        ), f"{name}: recording changed measured values"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed budget instead of recording",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.10,
+        help="check mode: fail when on/off exceeds this ratio",
+    )
+    ap.add_argument(
+        "--reps", type=int, default=7, help="timing repetitions per case"
+    )
+    ap.add_argument(
+        "--out", type=Path, default=None, help="also write measured ratios here"
+    )
+    args = ap.parse_args()
+
+    check_value_identity()
+    print("value identity: recording on == recording off")
+
+    measured: dict[str, dict[str, float]] = {}
+    for name in CASES:
+        off, on = time_case(name, reps=args.reps)
+        measured[name] = {
+            "off_s": round(off, 4),
+            "on_s": round(on, 4),
+            "ratio": round(on / off, 3),
+        }
+        print(f"{name:15s} off {off:.4f}s  on {on:.4f}s  x{on / off:.3f}")
+
+    if args.out:
+        args.out.write_text(json.dumps(measured, indent=2, sort_keys=True))
+        print(f"timings -> {args.out}")
+
+    if args.check:
+        failed = [
+            name for name, m in measured.items() if m["ratio"] > args.tolerance
+        ]
+        if failed:
+            print(
+                f"FAIL: open-loop recording overhead exceeds "
+                f"{args.tolerance}x for {failed} (budget in {BASELINE})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"open-loop recording overhead within {args.tolerance}x budget")
+        return 0
+
+    data = {
+        "cases": measured,
+        "budget_ratio": args.tolerance,
+        "note": (
+            "Open-loop cell wall clock with the unconditional latency "
+            f"recording forced off vs the stock path (best of {args.reps}, "
+            "seeds fixed). Open-loop cells always record (always_dist), "
+            "so this pins the price of that policy to the same budget as "
+            "the closed-loop --dist path. Re-record with "
+            "benchmarks/record_loadcurve_overhead.py."
+        ),
+    }
+    BASELINE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"baseline -> {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

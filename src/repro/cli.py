@@ -73,12 +73,23 @@ from repro.platforms.provisioning import (
 )
 from repro.platforms.registry import make_platform
 from repro.rng import DEFAULT_SEED, RngFactory
-from repro.run.campaign import KNOWN_EXPERIMENTS, Campaign, run_campaign
+from repro.analysis.loadcurve import (
+    LOADCURVE_WORKLOADS,
+    LoadCurveConfig,
+    knee_json,
+)
+from repro.run.campaign import (
+    DEFAULT_EXPERIMENTS,
+    KNOWN_EXPERIMENTS,
+    Campaign,
+    run_campaign,
+)
 from repro.run.parallel import default_jobs
 from repro.run.persistence import CellStore, SweepCache
 from repro.run.colocation import Tenant, run_colocated
 from repro.run.execution import run_once
 from repro.run.experiment import run_platform_sweep
+from repro.workloads.arrivals import ARRIVAL_PROCESSES
 from repro.workloads.base import Workload, WorkloadProfile
 from repro.workloads.cassandra import CassandraWorkload
 from repro.workloads.ffmpeg import FfmpegWorkload
@@ -409,6 +420,99 @@ def build_parser() -> argparse.ArgumentParser:
         "into the --journal stream; inspect with 'repro obs spans'; the "
         "report stays byte-identical with tracing on or off",
     )
+    rep_p.add_argument(
+        "--load-sweep",
+        action="store_true",
+        help="also run the open-loop saturation sweep (the 'loadcurve' "
+        "experiment with its default ladder) and append its section",
+    )
+
+    lc_p = sub.add_parser(
+        "loadcurve",
+        help="open-loop saturation sweep: offered-rate ladder per "
+        "platform, tail-latency curves, knee analysis",
+    )
+    lc_p.add_argument(
+        "--workload",
+        default="wordpress",
+        choices=list(LOADCURVE_WORKLOADS),
+        help="open-loop application to drive",
+    )
+    lc_p.add_argument(
+        "--rates",
+        metavar="R,R,...",
+        help="offered-rate ladder in req/s, strictly increasing "
+        "(default: the workload's stock ladder)",
+    )
+    lc_p.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="arrivals simulated per repetition per rung",
+    )
+    lc_p.add_argument(
+        "--reps", type=int, default=2, metavar="N",
+        help="repetitions per (platform, rate) cell",
+    )
+    lc_p.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=list(ARRIVAL_PROCESSES),
+        help="arrival process shaping the request stream",
+    )
+    lc_p.add_argument(
+        "--instance",
+        default="xLarge",
+        choices=instance_type_names(),
+        help="instance type every platform is provisioned at",
+    )
+    lc_p.add_argument(
+        "--knee-multiple", type=float, default=3.0, metavar="X",
+        help="a rung is past the knee when its p99 exceeds X times "
+        "the unloaded (lowest-rung) p99",
+    )
+    lc_p.add_argument(
+        "--out", default="LOADCURVE.md", help="markdown report path"
+    )
+    lc_p.add_argument(
+        "--knee-out", metavar="PATH",
+        help="also write the knee analysis as canonical JSON "
+        "(byte-identical across --jobs/--batch/fabric legs)",
+    )
+    lc_p.add_argument(
+        "--svg", metavar="PATH",
+        help="also render the throughput-latency curves as an SVG",
+    )
+    lc_p.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed sweep cache directory (probe + write-back)",
+    )
+    lc_p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="per-cell checkpoint store enabling crash-safe --resume "
+        "(default with --cache: <cache>/cells)",
+    )
+    lc_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed sweep from verified checkpoints; the "
+        "outputs are byte-identical to an uninterrupted run",
+    )
+    lc_p.add_argument(
+        "--journal", metavar="PATH",
+        help="stream lifecycle events to a JSONL journal "
+        "(inspect with 'repro obs'; latency sketches ride as cell-dist "
+        "events for 'repro obs dist')",
+    )
+    lc_p.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="arm a deterministic fault plan (see 'repro faults plan')",
+    )
+    lc_p.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="advance shape-compatible cells together on the batched "
+        "engine (bit-identical outputs; composes with --jobs/--resume)",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="campaign telemetry: journal summary and trace export"
@@ -570,6 +674,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--shards", type=int, default=4,
             help="shards to split the cell plan into (more shards = "
             "finer-grained reclamation after a worker dies)",
+        )
+        p.add_argument(
+            "--lc-workload",
+            default="wordpress",
+            choices=list(LOADCURVE_WORKLOADS),
+            help="open-loop workload of the 'loadcurve' experiment",
+        )
+        p.add_argument(
+            "--lc-rates",
+            metavar="R,R,...",
+            help="offered-rate ladder of the 'loadcurve' experiment "
+            "(default: the stock ladder)",
+        )
+        p.add_argument(
+            "--lc-requests", type=int, default=200, metavar="N",
+            help="arrivals per repetition per rung of the 'loadcurve' "
+            "experiment",
+        )
+        p.add_argument(
+            "--lc-reps", type=int, default=2, metavar="N",
+            help="repetitions per (platform, rate) 'loadcurve' cell",
         )
         p.add_argument(
             "--lease-ttl", type=float, default=30.0,
@@ -1091,11 +1216,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    include = tuple(args.only) if args.only else DEFAULT_EXPERIMENTS
+    if args.load_sweep and "loadcurve" not in include:
+        include = (*include, "loadcurve")
     campaign = Campaign(
         reps_fast=args.reps_fast,
         reps_io=args.reps_io,
         seed=args.seed,
-        include=tuple(args.only) if args.only else KNOWN_EXPERIMENTS,
+        include=include,
     )
     jobs = _jobs(args)
     cache = SweepCache(args.cache) if args.cache else None
@@ -1165,6 +1293,86 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"trace {trace.trace_id}: inspect with "
             f"'repro obs spans {args.journal}'"
         )
+    if faults is not None and faults.fired:
+        sites = ", ".join(sorted(faults.fired_sites()))
+        print(f"faults fired: {len(faults.fired)} ({sites})")
+    return 0
+
+
+def _cmd_loadcurve(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.rates:
+        kwargs["rates"] = tuple(
+            float(r) for r in args.rates.split(",") if r.strip()
+        )
+    config = LoadCurveConfig(
+        workload=args.workload,
+        n_requests=args.requests,
+        reps=args.reps,
+        arrivals=args.arrivals,
+        knee_multiple=args.knee_multiple,
+        instance=args.instance,
+        **kwargs,
+    )
+    campaign = Campaign(
+        seed=args.seed, include=("loadcurve",), loadcurve=config
+    )
+    jobs = _jobs(args)
+    cache = SweepCache(args.cache) if args.cache else None
+    checkpoint = CellStore(args.checkpoint) if args.checkpoint else None
+    if args.resume and checkpoint is None and cache is None:
+        raise ReproError("--resume needs --checkpoint and/or --cache")
+    faults = (
+        FaultInjector(FaultPlan.load(args.fault_plan))
+        if args.fault_plan
+        else None
+    )
+    journal = open_journal(args.journal, append=args.resume)
+    print(
+        f"sweeping {config.workload} over "
+        f"{','.join(f'{r:g}' for r in config.rates)} req/s "
+        f"({config.arrivals} arrivals, {config.instance}, {jobs} job(s)) ..."
+    )
+    try:
+        result = run_campaign(
+            campaign,
+            jobs=jobs,
+            cache=cache,
+            journal=journal,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            faults=faults,
+            batch=args.batch,
+        )
+    finally:
+        journal.close()
+    text = generate_report(result, title="Open-loop saturation sweep")
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.out} ({len(text)} chars)")
+    lc = result.loadcurve
+    for platform in lc.platform_order:
+        knee = lc.knees[platform]
+        where = (
+            f"knee at {knee.knee_rate:g} req/s"
+            if knee.knee_rate is not None
+            else f"no knee up to {config.rates[-1]:g} req/s"
+        )
+        print(
+            f"  {platform}: {where}, "
+            f"max sustained {knee.max_sustained:.1f} req/s"
+        )
+    if args.knee_out:
+        with open(args.knee_out, "w") as fh:
+            fh.write(knee_json(lc))
+        print(f"knee analysis: {args.knee_out}")
+    if args.svg:
+        from repro.viz.loadcurve import save_loadcurve_svg
+
+        save_loadcurve_svg(lc, args.svg)
+        print(f"curves: {args.svg}")
+    if args.journal:
+        print(f"journal: {args.journal} (inspect with 'repro obs dist')")
     if faults is not None and faults.fired:
         sites = ", ".join(sorted(faults.fired_sites()))
         print(f"faults fired: {len(faults.fired)} ({sites})")
@@ -1400,11 +1608,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _fabric_campaign(args: argparse.Namespace) -> Campaign:
+    lc_kwargs = {}
+    if args.lc_rates:
+        lc_kwargs["rates"] = tuple(
+            float(r) for r in args.lc_rates.split(",") if r.strip()
+        )
     return Campaign(
         reps_fast=args.reps_fast,
         reps_io=args.reps_io,
         seed=args.seed,
-        include=tuple(args.only) if args.only else KNOWN_EXPERIMENTS,
+        include=tuple(args.only) if args.only else DEFAULT_EXPERIMENTS,
+        loadcurve=LoadCurveConfig(
+            workload=args.lc_workload,
+            n_requests=args.lc_requests,
+            reps=args.lc_reps,
+            **lc_kwargs,
+        ),
     )
 
 
@@ -1597,6 +1816,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_perf(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "loadcurve":
+            return _cmd_loadcurve(args)
         if args.command == "obs":
             return _cmd_obs(args)
         if args.command == "faults":

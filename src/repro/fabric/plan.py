@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass
 
 from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
+from repro.analysis.loadcurve import LoadCurveConfig, LoadCurveResult, build_loadcurve
 from repro.analysis.stats import StatSummary, summarize
 from repro.errors import ConfigurationError
 from repro.hostmodel.topology import r830_host, small_host
@@ -36,6 +37,8 @@ from repro.run.campaign import (
     SWEEP_EXPERIMENTS,
     fig7_tasks,
     fig8_tasks,
+    loadcurve_platform_order,
+    loadcurve_tasks,
     sweep_spec,
 )
 from repro.run.parallel import CellTask, cell_tasks
@@ -77,8 +80,10 @@ def campaign_cells(campaign: Campaign) -> list[CellRef]:
             tasks, _ = cell_tasks(sweep_spec(campaign, fig))
         elif fig == "fig7":
             tasks, _ = fig7_tasks(campaign)
-        else:
+        elif fig == "fig8":
             tasks, _ = fig8_tasks(campaign)
+        else:
+            tasks, _ = loadcurve_tasks(campaign)
         for i, task in enumerate(tasks):
             key = task_fingerprint(task)
             if key is None:  # pragma: no cover - cell tasks always hash
@@ -170,6 +175,11 @@ def manifest_for_campaign(
         "shards": len(ranges),
         "plan": plan,
     }
+    if "loadcurve" in campaign.include:
+        # The open-loop sweep's configuration is part of the plan; the
+        # key is only present when the sweep is, so manifests of
+        # figure-only campaigns are unchanged.
+        manifest["loadcurve"] = campaign.loadcurve.to_dict()
     if trace:
         manifest["trace"] = mint_trace_id(plan)
     return manifest
@@ -184,12 +194,18 @@ def campaign_from_manifest(manifest: dict) -> Campaign:
                 f"(expected {MANIFEST_SCHEMA})"
             )
         host_cpus = manifest["host_cpus"]
+        kwargs = {}
+        if "loadcurve" in manifest:
+            kwargs["loadcurve"] = LoadCurveConfig.from_dict(
+                manifest["loadcurve"]
+            )
         return Campaign(
             reps_fast=manifest["reps_fast"],
             reps_io=manifest["reps_io"],
             host=small_host(host_cpus) if host_cpus else r830_host(),
             seed=manifest["seed"],
             include=tuple(manifest["include"]),
+            **kwargs,
         )
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(
@@ -268,6 +284,15 @@ def assemble_result(
             key: summarize([run.value for run in runs_for(r)])
             for key, r in zip(keys, by_exp["fig8"])
         }
+    loadcurve: LoadCurveResult | None = None
+    if "loadcurve" in campaign.include:
+        _, keys = loadcurve_tasks(campaign)
+        loadcurve = build_loadcurve(
+            campaign.loadcurve,
+            loadcurve_platform_order(campaign.loadcurve),
+            zip(keys, (runs_for(r) for r in by_exp["loadcurve"])),
+        )
     return CampaignResult(
-        sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8
+        sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8,
+        loadcurve=loadcurve,
     )

@@ -16,6 +16,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.analysis.chr import ChrRange, estimate_suitable_chr_range
+from repro.analysis.loadcurve import (
+    LOADCURVE_GRID,
+    LoadCurveConfig,
+    LoadCurveResult,
+    build_loadcurve,
+)
 from repro.obs.journal import Journal
 from repro.obs.trace_spans import NULL_TRACER, SpanTracer, TraceContext
 from repro.analysis.stats import StatSummary, summarize
@@ -37,6 +43,7 @@ from repro.run.results import SweepResult
 from repro.workloads.cassandra import CassandraWorkload
 from repro.workloads.ffmpeg import FfmpegWorkload
 from repro.workloads.mpi import MpiSearchWorkload
+from repro.workloads.openloop import OpenLoopCassandra, OpenLoopWordPress
 from repro.workloads.wordpress import WordPressWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -45,10 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "DEFAULT_EXPERIMENTS",
     "KNOWN_EXPERIMENTS",
     "SWEEP_EXPERIMENTS",
     "fig7_tasks",
     "fig8_tasks",
+    "loadcurve_platform_order",
+    "loadcurve_tasks",
     "run_campaign",
     "sweep_spec",
 ]
@@ -57,6 +67,14 @@ _BIG = ("xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge")
 
 #: Every experiment id a campaign can include, in report order.
 KNOWN_EXPERIMENTS: tuple[str, ...] = (
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "loadcurve",
+)
+
+#: The experiment ids a default campaign runs: the paper's figures.  The
+#: open-loop ``loadcurve`` sweep is opt-in (``repro loadcurve`` /
+#: ``report --load-sweep``), keeping default campaign plans and goldens
+#: unchanged.
+DEFAULT_EXPERIMENTS: tuple[str, ...] = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 )
 
@@ -82,8 +100,13 @@ class Campaign:
         Root random seed.
     include:
         Which experiment ids to run (see :data:`KNOWN_EXPERIMENTS`);
-        defaults to all.  Unknown, duplicate, or empty selections raise
+        defaults to the paper's figures (:data:`DEFAULT_EXPERIMENTS`).
+        Unknown, duplicate, or empty selections raise
         :class:`~repro.errors.ConfigurationError`.
+    loadcurve:
+        Configuration of the open-loop offered-load sweep, used when
+        ``"loadcurve"`` is included (see
+        :class:`~repro.analysis.loadcurve.LoadCurveConfig`).
     """
 
     reps_fast: int = 5
@@ -91,7 +114,8 @@ class Campaign:
     host: HostTopology = field(default_factory=r830_host)
     calib: Calibration = field(default_factory=Calibration)
     seed: int = DEFAULT_SEED
-    include: tuple[str, ...] = KNOWN_EXPERIMENTS
+    include: tuple[str, ...] = DEFAULT_EXPERIMENTS
+    loadcurve: LoadCurveConfig = field(default_factory=LoadCurveConfig)
 
     def __post_init__(self) -> None:
         if self.reps_fast < 1 or self.reps_io < 1:
@@ -121,6 +145,7 @@ class CampaignResult:
     chr_bands: dict[str, ChrRange]
     fig7: dict[tuple[str, str], StatSummary]
     fig8: dict[tuple[str, str], StatSummary]
+    loadcurve: LoadCurveResult | None = None
 
     def sweep(self, fig: str) -> SweepResult:
         """One figure's sweep; raises if it was not part of the campaign."""
@@ -233,6 +258,71 @@ def fig8_tasks(
                 )
             )
             keys.append((task_label, mode))
+    return tasks, keys
+
+
+def _loadcurve_workload(config: LoadCurveConfig, rate: float):
+    """The open-loop workload of one ladder rung."""
+    if config.workload.lower() == "wordpress":
+        return OpenLoopWordPress(
+            rate=float(rate),
+            n_requests=config.n_requests,
+            arrivals=config.arrivals,
+        )
+    return OpenLoopCassandra(
+        rate=float(rate),
+        n_requests=config.n_requests,
+        arrivals=config.arrivals,
+    )
+
+
+def loadcurve_platform_order(config: LoadCurveConfig) -> list[str]:
+    """Platform labels of the load sweep, in report order."""
+    inst = instance_type(config.instance)
+    return [
+        make_platform(kind, inst, mode).label()
+        for kind, mode in LOADCURVE_GRID
+    ]
+
+
+def loadcurve_tasks(
+    campaign: Campaign,
+) -> tuple[list[CellTask], list[tuple[str, float]]]:
+    """Offered-load sweep cells plus their ``(platform, rate)`` keys.
+
+    Prefix-stream seeding: every cell of the sweep — every rung of the
+    ladder *and* every platform — shares the same repetition stream
+    recipes.  The open-loop workloads draw a unit-rate arrival sequence
+    and scale it by ``1 / rate`` (see :mod:`repro.workloads.arrivals`),
+    so the whole ladder replays one common random realization and knee
+    positions differ only by rate and platform, never by resampling
+    noise.
+    """
+    cfg = campaign.loadcurve
+    factory = RngFactory(seed=campaign.seed)
+    inst = instance_type(cfg.instance)
+    streams = tuple(
+        factory.stream_spec(f"campaign-loadcurve/{cfg.workload}", rep=rep)
+        for rep in range(cfg.reps)
+    )
+    tasks: list[CellTask] = []
+    keys: list[tuple[str, float]] = []
+    for rate in cfg.rates:
+        workload = _loadcurve_workload(cfg, rate)
+        for kind, mode in LOADCURVE_GRID:
+            platform = make_platform(kind, inst, mode)
+            tasks.append(
+                CellTask(
+                    workload=workload,
+                    kind=platform.kind,
+                    mode=platform.mode,
+                    instance=inst,
+                    host=campaign.host,
+                    calib=campaign.calib,
+                    streams=streams,
+                )
+            )
+            keys.append((platform.label(), float(rate)))
     return tasks, keys
 
 
@@ -455,6 +545,17 @@ def run_campaign(
             with tracer.span("sweep", "fig8"):
                 fig8 = _run_cell_summaries(runner, *fig8_tasks(campaign))
 
+        loadcurve: LoadCurveResult | None = None
+        if "loadcurve" in campaign.include:
+            with tracer.span("sweep", "loadcurve"):
+                tasks, keys = loadcurve_tasks(campaign)
+                runs = runner.run_tasks(execute_cell, tasks)
+            loadcurve = build_loadcurve(
+                campaign.loadcurve,
+                loadcurve_platform_order(campaign.loadcurve),
+                zip(keys, runs),
+            )
+
         if jl.enabled:
             jl.record(
                 "campaign-finished",
@@ -468,5 +569,6 @@ def run_campaign(
         for obj, prev in reversed(armed):
             obj.faults = prev
     return CampaignResult(
-        sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8
+        sweeps=sweeps, chr_bands=chr_bands, fig7=fig7, fig8=fig8,
+        loadcurve=loadcurve,
     )

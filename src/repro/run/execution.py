@@ -93,8 +93,12 @@ def run_cell(
     With ``dist=True`` each repetition records its simulated latency
     streams into a fresh :class:`~repro.obs.sketch.LatencyRecorder` and
     carries the resulting sketches on ``RunResult.dist``; metric values
-    are byte-identical either way.
+    are byte-identical either way.  A workload that declares
+    ``always_dist = True`` (the open-loop request-per-arrival models,
+    whose entire output is the latency distribution) records
+    unconditionally.
     """
+    dist = dist or bool(getattr(workload, "always_dist", False))
     return [
         run_once(
             workload, platform, host, calib, rng=s.make(), rep=s.rep,

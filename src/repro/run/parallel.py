@@ -214,12 +214,13 @@ def _execute_batch_group(
     preps = []
     for task in tasks:
         platform = make_platform(task.kind, task.instance, task.mode)
+        record = dist or bool(getattr(task.workload, "always_dist", False))
         for s in task.streams:
             preps.append(
                 prepare_run(
                     task.workload, platform, task.host, task.calib,
                     rng=s.make(), rep=s.rep,
-                    latency=LatencyRecorder() if dist else None,
+                    latency=LatencyRecorder() if record else None,
                 )
             )
     engine_results = run_batched([p.sim for p in preps])

@@ -323,8 +323,11 @@ class CellStore:
     replayed without execution, a corrupt or fingerprint-mismatched
     entry is reported and re-run.  Replayed runs carry no perf counters
     (counters are never serialized), matching the sweep-cache replay
-    semantics — the campaign report depends only on the serialized
-    fields, so resumed reports are byte-identical.
+    semantics; recorded latency sketches *are* serialized (canonical
+    dict form, sorted streams), so distribution-bearing cells — the
+    open-loop load-sweep cells record unconditionally — replay with
+    their sketches intact.  The campaign report depends only on the
+    serialized fields, so resumed reports are byte-identical.
 
     Parameters
     ----------

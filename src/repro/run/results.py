@@ -48,9 +48,11 @@ class RunResult:
     dist:
         Per-stream latency sketches (``{stream:
         :class:`~repro.obs.sketch.QuantileSketch`}``) when the run was
-        executed with latency recording; like the counters they travel
-        in-process (and across worker pickling) but are not serialized
-        to JSON, so checkpointed/cached runs reload without them.
+        executed with latency recording.  Unlike the counters they *are*
+        serialized (sketches are deterministic integer bucket counts),
+        so checkpointed/cached runs of latency-recording cells — the
+        open-loop load-curve cells in particular — replay with their
+        distributions intact.
     """
 
     workload: str
@@ -67,8 +69,13 @@ class RunResult:
     dist: dict | None = field(default=None, repr=False)
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (drops the counters)."""
-        return {
+        """JSON-ready representation (drops the counters).
+
+        Latency sketches, when recorded, are serialized under ``dist``
+        (sorted stream names, canonical sketch dicts) — deterministic,
+        so content-addressed checkpoint writes stay byte-identical.
+        """
+        d = {
             "workload": self.workload,
             "platform_label": self.platform_label,
             "instance_name": self.instance_name,
@@ -80,11 +87,24 @@ class RunResult:
             "thrashed": self.thrashed,
             "rep": self.rep,
         }
+        if self.dist:
+            d["dist"] = {
+                name: sk.to_dict() for name, sk in sorted(self.dist.items())
+            }
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResult":
         """Inverse of :meth:`to_dict`."""
-        return cls(counters=None, **d)
+        from repro.obs.sketch import QuantileSketch
+
+        d = dict(d)
+        dist = d.pop("dist", None)
+        if dist is not None:
+            dist = {
+                name: QuantileSketch.from_dict(sd) for name, sd in dist.items()
+            }
+        return cls(counters=None, dist=dist, **d)
 
 
 @dataclass

@@ -1,0 +1,173 @@
+"""Standalone SVG rendering of throughput-latency load curves.
+
+Turns a :class:`~repro.analysis.loadcurve.LoadCurveResult` into the
+classic saturation picture: p99 latency (log scale) versus offered load,
+one polyline per platform with the detected saturation knee marked.
+Like the rest of :mod:`repro.viz` the document is built from string
+templates — no third-party dependency — and opens in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.analysis.loadcurve import LoadCurveResult
+from repro.errors import AnalysisError
+from repro.viz.svg import _color
+
+__all__ = ["render_loadcurve_svg", "save_loadcurve_svg"]
+
+
+def render_loadcurve_svg(
+    result: LoadCurveResult,
+    *,
+    title: str | None = None,
+    width: int = 860,
+    height: int = 420,
+) -> str:
+    """Render the p99-vs-offered-load curves as an SVG document (text)."""
+    if not result.curves:
+        raise AnalysisError("load-curve result has no curves to render")
+    cfg = result.config
+    title = title or (
+        f"{cfg.workload} open-loop saturation ({cfg.arrivals} arrivals, "
+        f"{cfg.instance})"
+    )
+
+    rates = [float(r) for r in cfg.rates]
+    x_min, x_max = rates[0], rates[-1]
+    if x_max <= x_min:  # pragma: no cover - config forbids this
+        x_max = x_min * 2.0
+    p99s = [
+        pt.p99
+        for platform in result.platform_order
+        for pt in result.curves[platform]
+        if pt.p99 > 0.0
+    ]
+    if not p99s:
+        raise AnalysisError("load-curve result has no positive p99 values")
+    lo = math.floor(math.log10(min(p99s)))
+    hi = math.ceil(math.log10(max(p99s)))
+    if hi == lo:
+        hi += 1
+
+    margin_l, margin_r, margin_t, margin_b = 70, 180, 44, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def x_of(rate: float) -> float:
+        frac = (rate - x_min) / (x_max - x_min)
+        return margin_l + plot_w * min(max(frac, 0.0), 1.0)
+
+    def y_of(v: float) -> float:
+        v = max(v, 10.0**lo)
+        frac = (math.log10(v) - lo) / (hi - lo)
+        return margin_t + plot_h * (1.0 - min(max(frac, 0.0), 1.0))
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>',
+    ]
+
+    # horizontal gridlines at decade boundaries of the p99 axis
+    for d in range(lo, hi + 1):
+        y = y_of(10.0**d)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">1e{d}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2:.1f}" font-size="12" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2:.1f})" '
+        'text-anchor="middle">p99 latency (s, log scale)</text>'
+    )
+
+    # vertical gridlines at the ladder rungs
+    axis_y = margin_t + plot_h
+    for rate in rates:
+        x = x_of(rate)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{axis_y}" stroke="#eeeeee" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 18}" text-anchor="middle" '
+            f'font-size="11">{rate:g}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{axis_y}" x2="{width - margin_r}" '
+        f'y2="{axis_y}" stroke="#333333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.1f}" y="{height - 12}" '
+        'text-anchor="middle" font-size="12">'
+        "Offered load (requests / s)</text>"
+    )
+
+    # one polyline per platform; the knee rung gets a ringed marker
+    for k, platform in enumerate(result.platform_order):
+        color = _color(platform, k)
+        points = result.curves[platform]
+        path = " ".join(
+            f"{x_of(pt.rate):.1f},{y_of(pt.p99):.1f}" for pt in points
+        )
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"><title>{escape(platform)}</title>'
+            "</polyline>"
+        )
+        knee = result.knees[platform]
+        for pt in points:
+            is_knee = knee.knee_rate is not None and pt.rate == knee.knee_rate
+            r = 5 if is_knee else 3
+            stroke = "#000000" if is_knee else "#333333"
+            parts.append(
+                f'<circle cx="{x_of(pt.rate):.1f}" cy="{y_of(pt.p99):.1f}" '
+                f'r="{r}" fill="{color}" stroke="{stroke}" '
+                f'stroke-width="{1.5 if is_knee else 0.5}">'
+                f"<title>{escape(platform)} @ {pt.rate:g} req/s: "
+                f"p99 {pt.p99:.6g} s"
+                f"{' (knee)' if is_knee else ''}</title></circle>"
+            )
+
+    # legend, with the knee position annotated per platform
+    lx = width - margin_r + 12
+    for k, platform in enumerate(result.platform_order):
+        ly = margin_t + k * 20
+        knee = result.knees[platform]
+        knee_txt = (
+            f"knee {knee.knee_rate:g}"
+            if knee.knee_rate is not None
+            else f"knee > {rates[-1]:g}"
+        )
+        parts.append(
+            f'<rect x="{lx}" y="{ly}" width="13" height="13" '
+            f'fill="{_color(platform, k)}" stroke="#333333" '
+            'stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 19}" y="{ly + 11}" font-size="12">'
+            f"{escape(platform)} ({knee_txt})</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_loadcurve_svg(
+    result: LoadCurveResult, path: str | Path, **kwargs
+) -> Path:
+    """Render and write a load-curve SVG; returns the written path."""
+    path = Path(path)
+    path.write_text(render_loadcurve_svg(result, **kwargs))
+    return path

@@ -19,6 +19,14 @@ paper are modeled:
 the ablation benchmarks.
 """
 
+from repro.workloads.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_process,
+)
 from repro.workloads.base import ProcessSpec, ThreadSpec, Workload, WorkloadProfile
 from repro.workloads.cassandra import CassandraWorkload
 from repro.workloads.distributed import DistributedMpiWorkload
@@ -33,6 +41,7 @@ from repro.workloads.segments import (
     total_compute_work,
     total_io_time,
 )
+from repro.workloads.openloop import OpenLoopCassandra, OpenLoopWordPress
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.video_library import (
     VideoBatchWorkload,
@@ -60,6 +69,14 @@ __all__ = [
     "WordPressWorkload",
     "CassandraWorkload",
     "SyntheticWorkload",
+    "OpenLoopWordPress",
+    "OpenLoopCassandra",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "arrival_process",
+    "ARRIVAL_PROCESSES",
     "VideoSpec",
     "VideoLibrary",
     "VideoBatchWorkload",

@@ -1,0 +1,285 @@
+"""Deterministic open-loop arrival processes.
+
+The paper drives WordPress and Cassandra *closed-loop*: a fixed request
+population is fired at once and the platform drains it.  Production
+traffic is open-loop — requests arrive whether or not the platform keeps
+up — so the saturation analysis (:mod:`repro.analysis.loadcurve`) needs
+arrival *processes*: generators of strictly increasing arrival times at
+a configurable offered rate.
+
+Three processes are provided, all drawn from the same
+:class:`~repro.rng.StreamSpec`-derived generators as every other source
+of randomness in the reproduction:
+
+* :class:`PoissonArrivals` — memoryless arrivals (the M/G/k baseline);
+* :class:`BurstyArrivals` — a two-state MMPP that alternates calm and
+  burst phases (normalized to the same mean rate);
+* :class:`DiurnalArrivals` — replay of a periodic intensity trace via
+  time-rescaling of a unit-rate Poisson stream (a day-shaped load
+  curve compressed into the simulation window).
+
+Prefix-stream seeding
+---------------------
+Every process first generates a **unit-mean-rate** arrival sequence and
+only then scales it by ``1 / rate``.  Two rungs of a rate ladder that
+share a stream therefore share the *same underlying random realization*
+— the classic common-random-numbers pairing — so the measured knee
+position is a function of the rate alone, never of resampling noise
+between rungs.  The same property pairs platforms: every platform at a
+given rung replays identical arrival instants.
+
+Vectorized ≡ scalar
+-------------------
+``numpy``'s ``Generator.random(n)`` fills its output sequentially from
+the underlying PCG64 stream, consuming exactly the same raw draws as
+``n`` scalar ``random()`` calls.  Each process exposes both
+:meth:`~ArrivalProcess.times` (vectorized, the production path) and
+:meth:`~ArrivalProcess.times_scalar` (one draw at a time, the reference
+path); the two are byte-for-bit identical, which
+``tests/test_arrivals.py`` pins property-style.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "arrival_process",
+]
+
+
+def _check_n_rate(n: int, rate: float) -> None:
+    if n < 1:
+        raise WorkloadError(f"n must be >= 1, got {n}")
+    if not rate > 0:
+        raise WorkloadError(f"rate must be > 0, got {rate}")
+
+
+class ArrivalProcess:
+    """Base interface: strictly increasing arrival times at ``rate``.
+
+    Subclasses implement :meth:`unit_times` (vectorized) and
+    :meth:`unit_times_scalar` (the one-draw-at-a-time reference); the
+    public :meth:`times` / :meth:`times_scalar` scale the unit-rate
+    sequence by ``1 / rate`` (prefix-stream seeding, see the module
+    docstring).
+    """
+
+    #: Registry name (``arrival_process(name)``).
+    name: str = "arrivals"
+
+    def unit_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` arrival times of the unit-mean-rate process."""
+        raise NotImplementedError
+
+    def unit_times_scalar(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Scalar-draw reference path of :meth:`unit_times`."""
+        raise NotImplementedError
+
+    def times(self, n: int, rate: float, rng: np.random.Generator) -> np.ndarray:
+        """``n`` strictly increasing arrival times at offered ``rate``."""
+        _check_n_rate(n, rate)
+        return self.unit_times(n, rng) / rate
+
+    def times_scalar(
+        self, n: int, rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Reference twin of :meth:`times` using scalar draws only."""
+        _check_n_rate(n, rate)
+        return self.unit_times_scalar(n, rng) / rate
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival gaps by inversion.
+
+    One uniform per arrival; the gap is ``-log1p(-u)`` (numerically
+    exact near ``u = 0``, and never infinite because ``random()`` draws
+    from ``[0, 1)``).
+    """
+
+    name = "poisson"
+
+    def unit_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(n)
+        return np.cumsum(-np.log1p(-u))
+
+    def unit_times_scalar(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty(n, dtype=np.float64)
+        total = np.float64(0.0)
+        for i in range(n):
+            # np.log1p, not math.log1p: the two libms can disagree in
+            # the last ULP, and the contract is byte-identity.
+            total += -np.log1p(-rng.random())
+            out[i] = total
+        return out
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state MMPP: calm and burst phases at the same mean rate.
+
+    Parameters
+    ----------
+    burst_factor:
+        Rate multiplier of the burst state (> 1).  The calm state's
+        multiplier is solved so the symmetric two-state stationary mix
+        has unit mean inter-arrival time: ``1 / (2 - 1/burst_factor)``.
+    switch_prob:
+        Per-arrival probability of toggling between the states.
+
+    Two uniforms per arrival (gap, then state toggle), drawn as one
+    ``2n`` block so the vectorized and scalar paths consume the stream
+    identically.  The state before arrival ``i`` is the parity of the
+    toggles among arrivals ``0..i-1`` (vectorized as an exclusive
+    cumulative sum), starting calm.
+    """
+
+    burst_factor: float = 4.0
+    switch_prob: float = 0.05
+
+    name = "bursty"
+
+    def __post_init__(self) -> None:
+        if not self.burst_factor > 1.0:
+            raise WorkloadError(
+                f"burst_factor must be > 1, got {self.burst_factor}"
+            )
+        if not 0.0 < self.switch_prob <= 1.0:
+            raise WorkloadError(
+                f"switch_prob must be in (0, 1], got {self.switch_prob}"
+            )
+
+    def _multipliers(self) -> tuple[float, float]:
+        calm = 1.0 / (2.0 - 1.0 / self.burst_factor)
+        return calm, self.burst_factor
+
+    def unit_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(2 * n)
+        u_gap, u_switch = u[:n], u[n:]
+        calm, burst = self._multipliers()
+        toggles = (u_switch < self.switch_prob).astype(np.int64)
+        state = (np.cumsum(toggles) - toggles) % 2  # state *before* arrival i
+        mult = np.where(state == 1, burst, calm)
+        return np.cumsum(-np.log1p(-u_gap) / mult)
+
+    def unit_times_scalar(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = np.empty(2 * n, dtype=np.float64)
+        for i in range(2 * n):
+            u[i] = rng.random()
+        calm, burst = self._multipliers()
+        out = np.empty(n, dtype=np.float64)
+        total = np.float64(0.0)
+        state = 0
+        for i in range(n):
+            mult = burst if state == 1 else calm
+            total += -np.log1p(-u[i]) / mult
+            out[i] = total
+            if float(u[n + i]) < self.switch_prob:
+                state = 1 - state
+        return out
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Replay of a periodic intensity trace by time-rescaling.
+
+    Parameters
+    ----------
+    trace:
+        Strictly positive relative intensities, one per equal-length
+        slot of the period (default: a 12-slot day shape with a morning
+        ramp, a midday plateau, and a night trough).  Normalized to unit
+        mean, so the process keeps the requested mean rate regardless of
+        the trace's scale.
+
+    A unit-rate Poisson stream supplies cumulative *mass*; each mass is
+    mapped through the piecewise-linear inverse cumulative intensity
+    ``Λ⁻¹`` of the periodic trace.  Because every slot intensity is
+    strictly positive, ``Λ`` is strictly increasing and the replayed
+    arrival times are strictly monotone — the property
+    ``tests/test_arrivals.py`` pins.
+    """
+
+    trace: tuple[float, ...] = (
+        0.3, 0.3, 0.5, 0.9, 1.4, 1.6, 1.6, 1.5, 1.3, 1.0, 0.6, 0.4,
+    )
+
+    name = "diurnal"
+
+    def __post_init__(self) -> None:
+        if len(self.trace) < 2:
+            raise WorkloadError("trace needs >= 2 intensity slots")
+        if any(not v > 0 for v in self.trace):
+            raise WorkloadError(
+                "trace intensities must all be > 0 (a zero-intensity slot "
+                "would make the cumulative intensity non-invertible)"
+            )
+
+    def _weights(self) -> np.ndarray:
+        w = np.asarray(self.trace, dtype=np.float64)
+        return w / w.mean()
+
+    def _invert(self, masses: np.ndarray) -> np.ndarray:
+        """Map cumulative unit-rate masses through ``Λ⁻¹``."""
+        w = self._weights()
+        k = len(w)
+        period_mass = float(w.sum())  # == k after normalization
+        bounds = np.concatenate(([0.0], np.cumsum(w)))
+        n_periods = np.floor_divide(masses, period_mass)
+        wrapped = masses - n_periods * period_mass
+        slot = np.clip(
+            np.searchsorted(bounds, wrapped, side="right") - 1, 0, k - 1
+        )
+        t_local = slot + (wrapped - bounds[slot]) / w[slot]
+        return n_periods * k + t_local
+
+    def unit_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(n)
+        masses = np.cumsum(-np.log1p(-u))
+        return self._invert(masses)
+
+    def unit_times_scalar(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        masses = np.empty(n, dtype=np.float64)
+        total = np.float64(0.0)
+        for i in range(n):
+            total += -np.log1p(-rng.random())
+            masses[i] = total
+        # The inverse map is deterministic elementwise arithmetic (no
+        # further draws); applying it per element is identical to the
+        # vectorized call.
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            out[i] = self._invert(masses[i : i + 1])[0]
+        return out
+
+
+#: Registry name -> default-configured process.
+ARRIVAL_PROCESSES: tuple[str, ...] = ("poisson", "bursty", "diurnal")
+
+_FACTORIES = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "diurnal": DiurnalArrivals,
+}
+
+
+def arrival_process(name: str) -> ArrivalProcess:
+    """Look up an arrival process by registry name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown arrival process {name!r}; "
+            f"known: {sorted(_FACTORIES)}"
+        ) from None

@@ -62,6 +62,7 @@ from repro.run.calibration import Calibration
 from repro.run.execution import finish_run, prepare_run
 from repro.run.parallel import CellTask, ParallelRunner, execute_cell
 from repro.sched.affinity import ProvisioningMode
+from repro.workloads.openloop import OpenLoopCassandra, OpenLoopWordPress
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "batch_campaign.json"
 
@@ -315,3 +316,90 @@ class TestPartitionHazards:
         )
         assert _runs_json(batched) == _runs_json(scalar)
         assert jl.count("batch-fallback") == 1
+
+
+# -- open-loop request-per-arrival cells -----------------------------------
+
+
+OL_PARAMS = st.fixed_dictionaries(
+    {
+        "workload": st.sampled_from(["wordpress", "cassandra"]),
+        "arrivals": st.sampled_from(["poisson", "bursty", "diurnal"]),
+        "rate": st.sampled_from([60.0, 240.0]),
+        "n_requests": st.integers(4, 20),
+    }
+)
+
+
+def _mk_open_loop(p):
+    cls = OpenLoopWordPress if p["workload"] == "wordpress" else OpenLoopCassandra
+    return cls(rate=p["rate"], n_requests=p["n_requests"], arrivals=p["arrivals"])
+
+
+def _dist_payloads(journal):
+    """``label -> canonical cell-dist streams`` of one journaled run."""
+    return {
+        e.label: json.dumps(e.extra["streams"], sort_keys=True)
+        for e in journal.events
+        if e.kind == "cell-dist"
+    }
+
+
+class TestOpenLoopEquivalence:
+    """Open-loop cells are bit-identical across every engine leg.
+
+    The request-per-arrival workloads record latency sketches
+    unconditionally (``always_dist``), so ``_runs_json`` — which
+    serializes ``RunResult.dist`` — covers the sketch payloads too; the
+    journal check below additionally pins the ``cell-dist`` event bytes
+    that ``repro obs dist`` consumes.
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(OL_PARAMS, min_size=2, max_size=4), st.integers(0, 2**16))
+    def test_engines_bit_identical(self, params, seed):
+        workloads = [_mk_open_loop(p) for p in params]
+        tasks = _mk_tasks(workloads, instance="xLarge", seed=seed % 1000)
+        scalar = ParallelRunner(1).run_tasks(execute_cell, tasks)
+        assert all(
+            "op" in rr.dist for runs in scalar for rr in runs
+        ), "open-loop cells must record latency sketches unconditionally"
+        batched = ParallelRunner(1, batch=True).run_tasks(execute_cell, tasks)
+        assert _runs_json(batched) == _runs_json(scalar)
+        pool = ParallelRunner(2).run_tasks(execute_cell, tasks)
+        assert _runs_json(pool) == _runs_json(scalar)
+
+    def test_cell_dist_payloads_identical_across_legs(self):
+        workloads = [
+            OpenLoopWordPress(rate=120.0, n_requests=12),
+            OpenLoopWordPress(rate=120.0, n_requests=12),
+            OpenLoopCassandra(rate=90.0, n_requests=10, arrivals="bursty"),
+        ]
+        payloads = []
+        for kwargs in ({}, {"batch": True}, {"jobs": 2}):
+            jl = MemoryJournal()
+            jobs = kwargs.pop("jobs", 1)
+            tasks = _mk_tasks(workloads, instance="xLarge", seed=17)
+            ParallelRunner(jobs, journal=jl, **kwargs).run_tasks(
+                execute_cell, tasks
+            )
+            payloads.append(_dist_payloads(jl))
+        assert len(payloads[0]) == len(workloads)
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_mixed_open_and_closed_corpus(self):
+        """Arrival-process cells ride in a campaign next to closed-loop
+        synthetic cells without perturbing either leg's bytes."""
+        workloads = [
+            SyntheticWorkload(threads_per_process=2, phases=3),
+            OpenLoopWordPress(rate=150.0, n_requests=10, arrivals="diurnal"),
+            SyntheticWorkload(threads_per_process=2, phases=3),
+            OpenLoopCassandra(rate=80.0, n_requests=8),
+        ]
+        tasks = _mk_tasks(workloads, seed=23)
+        scalar = ParallelRunner(1).run_tasks(execute_cell, tasks)
+        batched = ParallelRunner(1, batch=True).run_tasks(execute_cell, tasks)
+        assert _runs_json(batched) == _runs_json(scalar)
+        # closed-loop cells keep their no-sketch default
+        assert scalar[0][0].dist is None or "op" not in (scalar[0][0].dist or {})
+        assert "op" in scalar[1][0].dist

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -546,3 +548,61 @@ class TestReportResumeCli:
         assert main(resumed) == 0
         capsys.readouterr()
         assert (tmp_path / "resumed.md").read_text() == golden.read_text()
+
+
+class TestLoadCurveCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadcurve"])
+        assert args.workload == "wordpress"
+        assert args.arrivals == "poisson"
+        assert args.knee_multiple == 3.0
+
+    def test_bad_arrivals_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadcurve", "--arrivals", "fractal"])
+
+    def test_bad_ladder_exits_one(self, capsys, tmp_path):
+        rc = main(
+            ["loadcurve", "--rates", "200,100",
+             "--out", str(tmp_path / "lc.md")]
+        )
+        assert rc == 1
+        assert "increasing" in capsys.readouterr().err
+
+    def test_end_to_end_with_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "lc.md"
+        knee = tmp_path / "knee.json"
+        svg = tmp_path / "lc.svg"
+        rc = main(
+            ["loadcurve", "--rates", "60,120,180", "--requests", "8",
+             "--reps", "1", "--out", str(out), "--knee-out", str(knee),
+             "--svg", str(svg)]
+        )
+        assert rc == 0
+        assert "Open-loop saturation sweep" in out.read_text()
+        doc = json.loads(knee.read_text())
+        assert set(doc["platforms"]) == {
+            "Vanilla BM", "Vanilla VM", "Vanilla VMCN",
+            "Vanilla CN", "Pinned CN",
+        }
+        assert svg.read_text().startswith("<svg")
+        assert "knee" in capsys.readouterr().out
+
+    def test_report_load_sweep_flag_appends_section(self, tmp_path):
+        out = tmp_path / "r.md"
+        rc = main(
+            ["report", "--only", "fig8", "--reps-fast", "1",
+             "--load-sweep", "--out", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "Fig. 8" in text
+        assert "Open-loop saturation sweep" in text
+
+    def test_default_report_excludes_loadcurve(self, tmp_path):
+        out = tmp_path / "r.md"
+        assert main(
+            ["report", "--only", "fig8", "--reps-fast", "1",
+             "--out", str(out)]
+        ) == 0
+        assert "Open-loop saturation sweep" not in out.read_text()

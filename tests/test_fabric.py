@@ -579,3 +579,54 @@ class TestAdaptiveReps:
         events = read_journal(tmp_path / "run.jsonl", strict=True)
         grants = [e for e in events if e.kind == "reps-allocated"]
         assert grants and all(e.extra["grants"] for e in grants)
+
+
+# -- open-loop load sweeps over the fabric ---------------------------------
+
+
+class TestFabricLoadCurve:
+    """A sharded offered-load sweep merges to the serial bytes.
+
+    The load-curve cells carry latency sketches (serialized through the
+    queue's checkpoint store), so this also pins sketch round-tripping
+    across worker processes.
+    """
+
+    def _camp(self) -> Campaign:
+        from repro.analysis.loadcurve import LoadCurveConfig
+
+        return Campaign(
+            include=("loadcurve",),
+            loadcurve=LoadCurveConfig(
+                rates=(60.0, 120.0, 180.0), n_requests=16, reps=1
+            ),
+        )
+
+    def test_three_workers_match_serial(self, tmp_path):
+        serial = generate_report(run_campaign(self._camp()))
+        init_queue(tmp_path / "q", self._camp(), shards=5, lease_ttl=60.0)
+        for worker in ("w1", "w2", "w3", "w1", "w2"):
+            run_worker(tmp_path / "q", worker, wait=False, max_shards=1)
+        result, info = merge_queue(tmp_path / "q")
+        assert generate_report(result) == serial
+        assert info.workers == ["w1", "w2", "w3"]
+        # the merged result carries the full sketch grid
+        lc = result.loadcurve
+        assert lc is not None
+        for platform in lc.platform_order:
+            for pt in lc.curves[platform]:
+                assert pt.n_ops == 16
+
+    def test_manifest_roundtrips_loadcurve_config(self, tmp_path):
+        camp = self._camp()
+        manifest = manifest_for_campaign(camp, shards=2, lease_ttl=30.0)
+        assert manifest["loadcurve"]["rates"] == [60.0, 120.0, 180.0]
+        from repro.fabric import campaign_from_manifest
+
+        rebuilt = campaign_from_manifest(manifest)
+        assert rebuilt.loadcurve == camp.loadcurve
+        assert plan_fingerprint(campaign_cells(rebuilt)) == manifest["plan"]
+
+    def test_figure_only_manifest_has_no_loadcurve_key(self):
+        manifest = manifest_for_campaign(_camp(), shards=2, lease_ttl=30.0)
+        assert "loadcurve" not in manifest

@@ -370,6 +370,35 @@ class TestGoldenRegression:
         self._check_series(fig6, "Vanilla CN", entry)
         assert all(np.diff(entry["values"]) < 0)
 
+    def test_loadcurve_knee_golden(self):
+        """Open-loop saturation: the committed knee analysis, byte for
+        byte, and its headline — vanilla-CN's cgroups tax knees at a
+        measurably lower offered load than pinned-CN (which saturates
+        with bare metal), VM saturating with vanilla-CN per the paper's
+        WordPress overhead ordering."""
+        from repro.analysis.loadcurve import knee_json
+        from repro.run.campaign import Campaign, run_campaign
+
+        golden_path = GOLDEN_PATH.parent / "loadcurve_knee.json"
+        result = run_campaign(Campaign(include=("loadcurve",)))
+        assert knee_json(result.loadcurve) == golden_path.read_text()
+
+        doc = json.loads(golden_path.read_text())
+        knees = {p: d["knee_rate"] for p, d in doc["platforms"].items()}
+        sustained = {
+            p: d["max_sustained"] for p, d in doc["platforms"].items()
+        }
+        # the headline: pinning moves the knee measurably right
+        assert knees["Vanilla CN"] < knees["Pinned CN"]
+        assert knees["Pinned CN"] >= 1.5 * knees["Vanilla CN"]
+        assert sustained["Pinned CN"] >= 1.5 * sustained["Vanilla CN"]
+        # paper ordering: pinned CN saturates with bare metal; the VM
+        # and VMCN stacks knee no later than vanilla BM
+        assert knees["Pinned CN"] == knees["Vanilla BM"]
+        assert knees["Vanilla VM"] <= knees["Vanilla BM"]
+        assert knees["Vanilla VMCN"] <= knees["Vanilla VM"]
+        assert knees["Vanilla CN"] <= knees["Vanilla VM"]
+
     def test_fig7_chr_effect_pinned(self, golden):
         """Fig. 7: the same vanilla 4xLarge container is slower at
         CHR=0.14 than at CHR=1, at the pinned absolute values."""
